@@ -1,0 +1,562 @@
+//! Sparse-aware first-order optimizers.
+//!
+//! The paper tunes SceneRec with **RMSProp** (§5.3); SGD, Momentum and Adam
+//! are provided for the baselines and ablations. All optimizers understand
+//! the dense/sparse split of [`GradStore`]: for embedding tables only the
+//! touched rows (and their per-row optimizer state) are updated, which is
+//! the standard sparse-update semantics of DL frameworks.
+
+use crate::param::{GradStore, ParamId, ParamKind, ParamStore};
+use scenerec_tensor::linalg;
+use scenerec_tensor::Matrix;
+
+/// A first-order optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update step from the accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore);
+
+    /// The (current) learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules / grid search).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Weight decay configuration shared by all optimizers.
+///
+/// Implements the `λ‖Θ‖²` term of Eq. 15 as *decoupled* decay applied to
+/// the parameters that received gradients this step: dense parameters decay
+/// fully, embedding tables decay only on touched rows (the standard BPR
+/// convention, since untouched entities took no part in the loss).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightDecay(pub f32);
+
+impl WeightDecay {
+    fn apply(self, store: &mut ParamStore, grads: &GradStore, lr: f32) {
+        if self.0 == 0.0 {
+            return;
+        }
+        let factor = lr * 2.0 * self.0; // d/dθ λθ² = 2λθ
+        for idx in 0..store.len() {
+            let id = ParamId(idx);
+            match store.param(id).kind() {
+                ParamKind::Dense => {
+                    if grads.dense(id).is_some() {
+                        store
+                            .param_mut(id)
+                            .value_mut()
+                            .map_inplace(|v| v - factor * v);
+                    }
+                }
+                ParamKind::Embedding => {
+                    let rows: Vec<u32> = grads.sparse(id).keys().copied().collect();
+                    let value = store.param_mut(id).value_mut();
+                    for r in rows {
+                        for v in value.row_mut(r as usize) {
+                            *v -= factor * *v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    /// L2 weight decay (λ of Eq. 15).
+    pub weight_decay: WeightDecay,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            weight_decay: WeightDecay(0.0),
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, lambda: f32) -> Self {
+        self.weight_decay = WeightDecay(lambda);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        for idx in 0..store.len() {
+            let id = ParamId(idx);
+            match store.param(id).kind() {
+                ParamKind::Dense => {
+                    if let Some(g) = grads.dense(id) {
+                        let g = g.clone();
+                        linalg::add_scaled(store.param_mut(id).value_mut(), -self.lr, &g);
+                    }
+                }
+                ParamKind::Embedding => {
+                    let sparse: Vec<(u32, Vec<f32>)> = grads
+                        .sparse(id)
+                        .iter()
+                        .map(|(&r, g)| (r, g.clone()))
+                        .collect();
+                    let value = store.param_mut(id).value_mut();
+                    for (r, g) in sparse {
+                        linalg::axpy(-self.lr, &g, value.row_mut(r as usize));
+                    }
+                }
+            }
+        }
+        self.weight_decay.apply(store, grads, self.lr);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    beta: f32,
+    /// L2 weight decay (λ of Eq. 15).
+    pub weight_decay: WeightDecay,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Momentum {
+    /// Momentum SGD with coefficient `beta` (typically 0.9).
+    pub fn new(lr: f32, beta: f32) -> Self {
+        Momentum {
+            lr,
+            beta,
+            weight_decay: WeightDecay(0.0),
+            velocity: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.velocity.len() != store.len() {
+            self.velocity = store
+                .iter()
+                .map(|(_, p)| {
+                    let (r, c) = p.value().shape();
+                    Some(Matrix::zeros(r, c))
+                })
+                .collect();
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        self.ensure_state(store);
+        for idx in 0..store.len() {
+            let id = ParamId(idx);
+            let vel = self.velocity[idx].as_mut().expect("state initialized");
+            match store.param(id).kind() {
+                ParamKind::Dense => {
+                    if let Some(g) = grads.dense(id) {
+                        // v = beta v + g ; θ -= lr v
+                        vel.map_inplace(|v| v * self.beta);
+                        linalg::add_scaled(vel, 1.0, g);
+                        let delta = vel.clone();
+                        linalg::add_scaled(store.param_mut(id).value_mut(), -self.lr, &delta);
+                    }
+                }
+                ParamKind::Embedding => {
+                    for (&r, g) in grads.sparse(id) {
+                        let vrow = vel.row_mut(r as usize);
+                        linalg::scale(self.beta, vrow);
+                        linalg::axpy(1.0, g, vrow);
+                        let vrow = vel.row(r as usize).to_vec();
+                        let value = store.param_mut(id).value_mut();
+                        linalg::axpy(-self.lr, &vrow, value.row_mut(r as usize));
+                    }
+                }
+            }
+        }
+        self.weight_decay.apply(store, grads, self.lr);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// RMSProp — the optimizer the paper uses (§5.3, citing Goodfellow et al.).
+///
+/// `cache = ρ·cache + (1-ρ)·g²; θ -= lr · g / (sqrt(cache) + ε)`.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    /// L2 weight decay (λ of Eq. 15).
+    pub weight_decay: WeightDecay,
+    cache: Vec<Option<Matrix>>,
+}
+
+impl RmsProp {
+    /// RMSProp with decay 0.9 and ε = 1e-8 (framework defaults).
+    pub fn new(lr: f32) -> Self {
+        RmsProp {
+            lr,
+            rho: 0.9,
+            eps: 1e-8,
+            weight_decay: WeightDecay(0.0),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Overrides the squared-gradient decay factor ρ.
+    pub fn with_rho(mut self, rho: f32) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Adds L2 weight decay (the λ grid of §5.3).
+    pub fn with_weight_decay(mut self, lambda: f32) -> Self {
+        self.weight_decay = WeightDecay(lambda);
+        self
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.cache.len() != store.len() {
+            self.cache = store
+                .iter()
+                .map(|(_, p)| {
+                    let (r, c) = p.value().shape();
+                    Some(Matrix::zeros(r, c))
+                })
+                .collect();
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        self.ensure_state(store);
+        let (rho, eps, lr) = (self.rho, self.eps, self.lr);
+        for idx in 0..store.len() {
+            let id = ParamId(idx);
+            let cache = self.cache[idx].as_mut().expect("state initialized");
+            match store.param(id).kind() {
+                ParamKind::Dense => {
+                    if let Some(g) = grads.dense(id) {
+                        let value = store.param_mut(id).value_mut();
+                        for ((c, &gv), v) in cache
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(g.as_slice())
+                            .zip(value.as_mut_slice())
+                        {
+                            *c = rho * *c + (1.0 - rho) * gv * gv;
+                            *v -= lr * gv / (c.sqrt() + eps);
+                        }
+                    }
+                }
+                ParamKind::Embedding => {
+                    for (&r, g) in grads.sparse(id) {
+                        let crow = cache.row_mut(r as usize);
+                        for (c, &gv) in crow.iter_mut().zip(g) {
+                            *c = rho * *c + (1.0 - rho) * gv * gv;
+                        }
+                        let crow = cache.row(r as usize).to_vec();
+                        let value = store.param_mut(id).value_mut();
+                        for ((v, &gv), c) in value
+                            .row_mut(r as usize)
+                            .iter_mut()
+                            .zip(g)
+                            .zip(crow)
+                        {
+                            *v -= lr * gv / (c.sqrt() + eps);
+                        }
+                    }
+                }
+            }
+        }
+        self.weight_decay.apply(store, grads, self.lr);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// L2 weight decay (λ of Eq. 15).
+    pub weight_decay: WeightDecay,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: WeightDecay(0.0),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, lambda: f32) -> Self {
+        self.weight_decay = WeightDecay(lambda);
+        self
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.m.len() != store.len() {
+            let zeros = |p: &crate::param::Param| {
+                let (r, c) = p.value().shape();
+                Some(Matrix::zeros(r, c))
+            };
+            self.m = store.iter().map(|(_, p)| zeros(p)).collect();
+            self.v = store.iter().map(|(_, p)| zeros(p)).collect();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &GradStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        for idx in 0..store.len() {
+            let id = ParamId(idx);
+            let m = self.m[idx].as_mut().expect("state initialized");
+            let v = self.v[idx].as_mut().expect("state initialized");
+            match store.param(id).kind() {
+                ParamKind::Dense => {
+                    if let Some(g) = grads.dense(id) {
+                        let value = store.param_mut(id).value_mut();
+                        for (((mv, vv), &gv), p) in m
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(v.as_mut_slice())
+                            .zip(g.as_slice())
+                            .zip(value.as_mut_slice())
+                        {
+                            *mv = b1 * *mv + (1.0 - b1) * gv;
+                            *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                            let mhat = *mv / bc1;
+                            let vhat = *vv / bc2;
+                            *p -= lr * mhat / (vhat.sqrt() + eps);
+                        }
+                    }
+                }
+                ParamKind::Embedding => {
+                    for (&r, g) in grads.sparse(id) {
+                        let mrow = m.row_mut(r as usize);
+                        for (mv, &gv) in mrow.iter_mut().zip(g) {
+                            *mv = b1 * *mv + (1.0 - b1) * gv;
+                        }
+                        let vrow = v.row_mut(r as usize);
+                        for (vv, &gv) in vrow.iter_mut().zip(g) {
+                            *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                        }
+                        let mrow = m.row(r as usize).to_vec();
+                        let vrow = v.row(r as usize).to_vec();
+                        let value = store.param_mut(id).value_mut();
+                        for ((p, mv), vv) in value
+                            .row_mut(r as usize)
+                            .iter_mut()
+                            .zip(mrow)
+                            .zip(vrow)
+                        {
+                            let mhat = mv / bc1;
+                            let vhat = vv / bc2;
+                            *p -= lr * mhat / (vhat.sqrt() + eps);
+                        }
+                    }
+                }
+            }
+        }
+        self.weight_decay.apply(store, grads, self.lr);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Clips gradients so the global norm does not exceed `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grads: &mut GradStore, max_norm: f32) -> f32 {
+    let norm = grads.global_norm();
+    if norm > max_norm && norm > 0.0 {
+        grads.scale(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use scenerec_tensor::Initializer;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimizes f(θ) = ‖θ - target‖² over a dense param and an embedding
+    /// row with the given optimizer; returns the final squared distance.
+    fn minimize(mut opt: impl Optimizer, steps: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let w = store.add_dense("w", 3, 1, Initializer::Uniform(1.0), &mut rng);
+        let e = store.add_embedding("e", 5, 3, Initializer::Uniform(1.0), &mut rng);
+        let target = [0.3f32, -0.2, 0.9];
+
+        let mut grads = GradStore::new(&store);
+        for _ in 0..steps {
+            grads.clear();
+            let mut g = Graph::new(&store);
+            let wv = g.embed_row_like_dense(w);
+            let ev = g.embed_row(e, 2);
+            let t = g.constant_vec(&target);
+            let d1 = g.sub(wv, t);
+            let d2 = g.sub(ev, t);
+            let n1 = g.squared_norm(d1);
+            let n2 = g.squared_norm(d2);
+            let loss = g.add(n1, n2);
+            g.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+
+        let wv = store.value(w).as_slice().to_vec();
+        let ev = store.value(e).row(2).to_vec();
+        let dist = |xs: &[f32]| -> f32 {
+            xs.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        dist(&wv) + dist(&ev)
+    }
+
+    // Helper: treat a 3x1 dense param as a differentiable vector by wiring
+    // it through an identity linear op. Implemented as an extension trait to
+    // keep Graph's public surface focused.
+    trait DenseAsVec {
+        fn embed_row_like_dense(&mut self, w: crate::param::ParamId) -> crate::graph::Var;
+    }
+    impl DenseAsVec for Graph<'_> {
+        fn embed_row_like_dense(&mut self, w: crate::param::ParamId) -> crate::graph::Var {
+            // y = W x with x = [1]: gradient flows into W as outer(g, 1) = g.
+            let one = self.constant_vec(&[1.0]);
+            self.linear(w, one)
+        }
+    }
+
+    #[test]
+    fn sgd_converges() {
+        assert!(minimize(Sgd::new(0.1), 200) < 1e-4);
+    }
+
+    #[test]
+    fn momentum_converges() {
+        assert!(minimize(Momentum::new(0.05, 0.9), 200) < 1e-4);
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        // RMSProp's effective step stays ~lr near the optimum, so use a
+        // small lr and a tolerance matched to lr².
+        assert!(minimize(RmsProp::new(0.01), 600) < 5e-3);
+    }
+
+    #[test]
+    fn adam_converges() {
+        assert!(minimize(Adam::new(0.05), 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.add_dense("w", 2, 2, Initializer::Constant(1.0), &mut rng);
+        let mut grads = GradStore::new(&store);
+        // Zero gradient but mark the param as touched.
+        grads.add_dense(w, &Matrix::zeros(2, 2));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut store, &grads);
+        // θ -= lr*2λθ = 1 - 0.1*1.0*1 = 0.9
+        for &v in store.value(w).as_slice() {
+            assert!((v - 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_decay_skips_untouched_embedding_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let e = store.add_embedding("e", 3, 2, Initializer::Constant(1.0), &mut rng);
+        let mut grads = GradStore::new(&store);
+        grads.add_row(e, 1, &[0.0, 0.0]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut store, &grads);
+        assert_eq!(store.value(e).row(0), &[1.0, 1.0]); // untouched
+        assert!((store.value(e).get(1, 0) - 0.9).abs() < 1e-6); // decayed
+    }
+
+    #[test]
+    fn clip_global_norm_caps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.add_dense("w", 1, 4, Initializer::Zeros, &mut rng);
+        let mut grads = GradStore::new(&store);
+        grads.add_dense(w, &Matrix::full(1, 4, 3.0)); // norm 6
+        let pre = clip_global_norm(&mut grads, 1.5);
+        assert!((pre - 6.0).abs() < 1e-5);
+        assert!((grads.global_norm() - 1.5).abs() < 1e-5);
+        // Below the cap: untouched.
+        let pre2 = clip_global_norm(&mut grads, 10.0);
+        assert!((pre2 - 1.5).abs() < 1e-5);
+        assert!((grads.global_norm() - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn set_learning_rate_round_trip() {
+        let mut o = RmsProp::new(0.01);
+        assert_eq!(o.learning_rate(), 0.01);
+        o.set_learning_rate(0.1);
+        assert_eq!(o.learning_rate(), 0.1);
+    }
+}

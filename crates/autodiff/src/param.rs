@@ -1,0 +1,458 @@
+//! Parameter and gradient storage.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model. Parameters come
+//! in two kinds:
+//!
+//! * **Dense** — weight matrices and bias vectors; every element gets a
+//!   gradient on every step.
+//! * **Embedding** — entity tables (users, items, categories, scenes) whose
+//!   rows are embeddings; a step only touches the rows gathered during the
+//!   forward pass, so gradients are stored as a sparse `row -> vec` map.
+
+use rand::Rng;
+use scenerec_tensor::{Initializer, Matrix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of the parameter within its store (stable for the store's
+    /// lifetime; useful for diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Whether a parameter receives dense or sparse (row-wise) gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Full-matrix gradients.
+    Dense,
+    /// Row-sparse gradients (embedding tables).
+    Embedding,
+}
+
+/// A single named parameter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    kind: ParamKind,
+    value: Matrix,
+}
+
+impl Param {
+    /// Human-readable name (unique within the store).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Gradient kind.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Mutable value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Matrix {
+        &mut self.value
+    }
+}
+
+/// Owns all trainable parameters of a model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dense parameter initialized with `init`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered — parameter names double as
+    /// checkpoint keys and must be unique.
+    pub fn add_dense(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        init: Initializer,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        self.add(name, ParamKind::Dense, init.init(rows, cols, rng))
+    }
+
+    /// Registers an embedding table of `entities x dim` rows.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn add_embedding(
+        &mut self,
+        name: &str,
+        entities: usize,
+        dim: usize,
+        init: Initializer,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        self.add(name, ParamKind::Embedding, init.init(entities, dim, rng))
+    }
+
+    /// Registers a parameter with an explicit value (checkpoint restore,
+    /// tests).
+    pub fn add(&mut self, name: &str, kind: ParamKind, value: Matrix) -> ParamId {
+        assert!(
+            self.lookup(name).is_none(),
+            "duplicate parameter name `{name}`"
+        );
+        let id = ParamId(self.params.len());
+        self.params.push(Param {
+            name: name.to_owned(),
+            kind,
+            value,
+        });
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Parameter metadata and value by id.
+    pub fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access (optimizers).
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Finds a parameter id by name.
+    pub fn lookup(&self, name: &str) -> Option<ParamId> {
+        self.params
+            .iter()
+            .position(|p| p.name == name)
+            .map(ParamId)
+    }
+
+    /// Iterates over `(id, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Sum of squared weights over **dense** parameters plus the given
+    /// embedding rows — the `λ‖Θ‖²` term of Eq. 15 restricted, as is
+    /// standard for BPR, to the parameters touched by the mini-batch.
+    pub fn l2_of(&self, embedding_rows: &[(ParamId, u32)]) -> f32 {
+        let dense: f32 = self
+            .params
+            .iter()
+            .filter(|p| p.kind == ParamKind::Dense)
+            .map(|p| p.value.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum();
+        let rows: f32 = embedding_rows
+            .iter()
+            .map(|&(id, row)| {
+                self.value(id)
+                    .row(row as usize)
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+            })
+            .sum();
+        dense + rows
+    }
+}
+
+/// Per-parameter gradient of an embedding table: touched rows only.
+pub type SparseRows = HashMap<u32, Vec<f32>>;
+
+/// Gradient accumulator mirroring a [`ParamStore`].
+///
+/// Dense parameters get a lazily allocated full matrix; embedding tables get
+/// a sparse row map. Reuse one `GradStore` across steps and call
+/// [`GradStore::clear`] between them to keep allocations warm.
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    dense: Vec<Option<Matrix>>,
+    sparse: Vec<SparseRows>,
+    kinds: Vec<ParamKind>,
+    shapes: Vec<(usize, usize)>,
+}
+
+impl GradStore {
+    /// Creates an empty gradient store shaped after `store`.
+    pub fn new(store: &ParamStore) -> Self {
+        GradStore {
+            dense: vec![None; store.len()],
+            sparse: vec![SparseRows::new(); store.len()],
+            kinds: store.params.iter().map(|p| p.kind).collect(),
+            shapes: store.params.iter().map(|p| p.value.shape()).collect(),
+        }
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when shaped after an empty store.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Zeroes all accumulated gradients while keeping allocations.
+    pub fn clear(&mut self) {
+        for g in self.dense.iter_mut().flatten() {
+            g.fill_zero();
+        }
+        for s in &mut self.sparse {
+            s.clear();
+        }
+    }
+
+    /// Gradient kind of parameter `id`.
+    pub fn kind(&self, id: ParamId) -> ParamKind {
+        self.kinds[id.0]
+    }
+
+    /// Accumulates a dense gradient contribution.
+    ///
+    /// # Panics
+    /// Panics if `id` is an embedding parameter or the shape mismatches.
+    pub fn add_dense(&mut self, id: ParamId, grad: &Matrix) {
+        assert_eq!(self.kinds[id.0], ParamKind::Dense, "expected dense param");
+        let slot = self.dense[id.0].get_or_insert_with(|| {
+            let (r, c) = self.shapes[id.0];
+            Matrix::zeros(r, c)
+        });
+        scenerec_tensor::linalg::add_scaled(slot, 1.0, grad);
+    }
+
+    /// Accumulates a sparse row gradient for an embedding table.
+    ///
+    /// # Panics
+    /// Panics if `id` is a dense parameter or `row_grad` has wrong length.
+    pub fn add_row(&mut self, id: ParamId, row: u32, row_grad: &[f32]) {
+        assert_eq!(
+            self.kinds[id.0],
+            ParamKind::Embedding,
+            "expected embedding param"
+        );
+        let dim = self.shapes[id.0].1;
+        assert_eq!(row_grad.len(), dim, "row gradient length mismatch");
+        let entry = self.sparse[id.0]
+            .entry(row)
+            .or_insert_with(|| vec![0.0; dim]);
+        scenerec_tensor::linalg::axpy(1.0, row_grad, entry);
+    }
+
+    /// Like [`GradStore::add_row`] but scales the contribution.
+    pub fn add_row_scaled(&mut self, id: ParamId, row: u32, alpha: f32, row_grad: &[f32]) {
+        assert_eq!(
+            self.kinds[id.0],
+            ParamKind::Embedding,
+            "expected embedding param"
+        );
+        let dim = self.shapes[id.0].1;
+        assert_eq!(row_grad.len(), dim, "row gradient length mismatch");
+        let entry = self.sparse[id.0]
+            .entry(row)
+            .or_insert_with(|| vec![0.0; dim]);
+        scenerec_tensor::linalg::axpy(alpha, row_grad, entry);
+    }
+
+    /// Dense gradient of a parameter, if any contribution was recorded.
+    pub fn dense(&self, id: ParamId) -> Option<&Matrix> {
+        self.dense[id.0].as_ref()
+    }
+
+    /// Sparse row gradients of an embedding parameter.
+    pub fn sparse(&self, id: ParamId) -> &SparseRows {
+        &self.sparse[id.0]
+    }
+
+    /// Global gradient norm across all accumulated gradients.
+    pub fn global_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for g in self.dense.iter().flatten() {
+            sq += g.as_slice().iter().map(|v| v * v).sum::<f32>();
+        }
+        for s in &self.sparse {
+            for row in s.values() {
+                sq += row.iter().map(|v| v * v).sum::<f32>();
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Scales every accumulated gradient by `alpha` (gradient clipping).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.dense.iter_mut().flatten() {
+            g.map_inplace(|v| v * alpha);
+        }
+        for s in &mut self.sparse {
+            for row in s.values_mut() {
+                scenerec_tensor::linalg::scale(alpha, row);
+            }
+        }
+    }
+
+    /// True when every accumulated gradient value is finite.
+    pub fn all_finite(&self) -> bool {
+        self.dense
+            .iter()
+            .flatten()
+            .all(scenerec_tensor::Matrix::all_finite)
+            && self
+                .sparse
+                .iter()
+                .all(|s| s.values().all(|r| r.iter().all(|v| v.is_finite())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with_two() -> (ParamStore, ParamId, ParamId) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = ParamStore::new();
+        let w = s.add_dense("w", 2, 3, Initializer::Constant(1.0), &mut rng);
+        let e = s.add_embedding("emb", 10, 4, Initializer::Constant(0.5), &mut rng);
+        (s, w, e)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (s, w, e) = store_with_two();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lookup("w"), Some(w));
+        assert_eq!(s.lookup("emb"), Some(e));
+        assert_eq!(s.lookup("missing"), None);
+        assert_eq!(s.param(w).kind(), ParamKind::Dense);
+        assert_eq!(s.param(e).kind(), ParamKind::Embedding);
+        assert_eq!(s.num_scalars(), 2 * 3 + 10 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let (mut s, ..) = store_with_two();
+        let mut rng = StdRng::seed_from_u64(0);
+        s.add_dense("w", 1, 1, Initializer::Zeros, &mut rng);
+    }
+
+    #[test]
+    fn l2_counts_dense_and_touched_rows() {
+        let (s, _w, e) = store_with_two();
+        // Dense: 6 ones => 6. One embedding row of 4 x 0.25 => 1.
+        let l2 = s.l2_of(&[(e, 3)]);
+        assert!((l2 - 7.0).abs() < 1e-6, "l2={l2}");
+        // No rows: dense only.
+        assert!((s.l2_of(&[]) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_store_dense_accumulates() {
+        let (s, w, _e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        assert!(g.dense(w).is_none());
+        let one = Matrix::full(2, 3, 1.0);
+        g.add_dense(w, &one);
+        g.add_dense(w, &one);
+        assert_eq!(g.dense(w).unwrap().as_slice(), &[2.0; 6]);
+    }
+
+    #[test]
+    fn grad_store_sparse_accumulates() {
+        let (s, _w, e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_row(e, 2, &[1.0, 0.0, 0.0, 0.0]);
+        g.add_row(e, 2, &[1.0, 2.0, 0.0, 0.0]);
+        g.add_row_scaled(e, 7, 0.5, &[2.0, 2.0, 2.0, 2.0]);
+        let rows = g.sparse(e);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[&2], vec![2.0, 2.0, 0.0, 0.0]);
+        assert_eq!(rows[&7], vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected dense param")]
+    fn dense_grad_on_embedding_panics() {
+        let (s, _w, e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_dense(e, &Matrix::zeros(10, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected embedding param")]
+    fn row_grad_on_dense_panics() {
+        let (s, w, _e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_row(w, 0, &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn clear_keeps_shape_but_zeroes() {
+        let (s, w, e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_dense(w, &Matrix::full(2, 3, 1.0));
+        g.add_row(e, 1, &[1.0; 4]);
+        g.clear();
+        assert_eq!(g.dense(w).unwrap().sum(), 0.0);
+        assert!(g.sparse(e).is_empty());
+    }
+
+    #[test]
+    fn global_norm_and_scale() {
+        let (s, w, e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_dense(w, &Matrix::full(2, 3, 2.0)); // 6 * 4 = 24
+        g.add_row(e, 0, &[3.0, 0.0, 0.0, 0.0]); // 9
+        assert!((g.global_norm() - (33.0f32).sqrt()).abs() < 1e-5);
+        g.scale(0.5);
+        assert!((g.global_norm() - (33.0f32).sqrt() / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn finite_check() {
+        let (s, w, _e) = store_with_two();
+        let mut g = GradStore::new(&s);
+        g.add_dense(w, &Matrix::full(2, 3, 1.0));
+        assert!(g.all_finite());
+        let mut bad = Matrix::zeros(2, 3);
+        bad.set(0, 0, f32::NAN);
+        g.add_dense(w, &bad);
+        assert!(!g.all_finite());
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared neighborhood plumbing for the baselines.
+
+use scenerec_core::NeighborCaps;
+use scenerec_graph::{BipartiteGraph, ItemId, UserId};
+
+/// Capped user↔item adjacency extracted once from the training graph.
+///
+/// Every baseline aggregates over these lists; building them once keeps the
+/// training hot path allocation-free on the adjacency side.
+#[derive(Debug, Clone)]
+pub struct Interactions {
+    /// `user_items[u]` — capped items of user `u`.
+    pub user_items: Vec<Vec<u32>>,
+    /// `item_users[i]` — capped users of item `i`.
+    pub item_users: Vec<Vec<u32>>,
+}
+
+impl Interactions {
+    /// Extracts capped adjacency from the training bipartite graph.
+    pub fn from_graph(graph: &BipartiteGraph, user_cap: usize, item_cap: usize) -> Self {
+        let user_items = (0..graph.num_users())
+            .map(|u| NeighborCaps::subsample(graph.items_of(UserId(u)), user_cap))
+            .collect();
+        let item_users = (0..graph.num_items())
+            .map(|i| NeighborCaps::subsample(graph.users_of(ItemId(i)), item_cap))
+            .collect();
+        Interactions {
+            user_items,
+            item_users,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.user_items.len()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.item_users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenerec_graph::BipartiteGraphBuilder;
+
+    #[test]
+    fn caps_are_applied() {
+        let mut b = BipartiteGraphBuilder::new(2, 10);
+        for i in 0..10 {
+            b.interact(UserId(0), ItemId(i));
+        }
+        b.interact(UserId(1), ItemId(0));
+        let g = b.build().unwrap();
+        let inter = Interactions::from_graph(&g, 4, 8);
+        assert_eq!(inter.num_users(), 2);
+        assert_eq!(inter.num_items(), 10);
+        assert_eq!(inter.user_items[0].len(), 4);
+        assert_eq!(inter.user_items[1].len(), 1);
+        assert_eq!(inter.item_users[0].len(), 2);
+    }
+}

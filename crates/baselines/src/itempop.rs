@@ -1,0 +1,60 @@
+//! Non-learning popularity baseline (not part of Table 2; a sanity
+//! reference): scores every item by its training interaction count.
+
+use scenerec_data::Dataset;
+use scenerec_eval::Scorer;
+use scenerec_graph::{ItemId, UserId};
+
+/// Ranks items by global popularity in the training split.
+pub struct ItemPop {
+    counts: Vec<f32>,
+}
+
+impl ItemPop {
+    /// Counts training interactions per item.
+    pub fn new(data: &Dataset) -> Self {
+        let mut counts = vec![0.0f32; data.num_items() as usize];
+        for &(_, i) in &data.split.train {
+            counts[i.index()] += 1.0;
+        }
+        ItemPop { counts }
+    }
+
+    /// Popularity of one item.
+    pub fn popularity(&self, i: ItemId) -> f32 {
+        self.counts[i.index()]
+    }
+}
+
+impl Scorer for ItemPop {
+    fn score_items(&self, _user: UserId, items: &[ItemId]) -> Vec<f32> {
+        items.iter().map(|&i| self.popularity(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenerec_data::{generate, GeneratorConfig};
+    use scenerec_eval::evaluate;
+
+    #[test]
+    fn counts_training_interactions() {
+        let data = generate(&GeneratorConfig::tiny(71)).unwrap();
+        let pop = ItemPop::new(&data);
+        let total: f32 = (0..data.num_items())
+            .map(|i| pop.popularity(ItemId(i)))
+            .sum();
+        assert_eq!(total as usize, data.split.num_train());
+    }
+
+    #[test]
+    fn popularity_beats_nothing_but_is_weak() {
+        let data = generate(&GeneratorConfig::tiny(72)).unwrap();
+        let pop = ItemPop::new(&data);
+        let summary = evaluate(&pop, &data.split.test, 10, 2);
+        // Non-degenerate output.
+        assert!(summary.metrics.ndcg >= 0.0);
+        assert!(summary.metrics.ndcg <= 1.0);
+    }
+}

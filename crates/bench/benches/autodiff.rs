@@ -1,0 +1,119 @@
+//! Tape construction and backward-sweep benchmarks: the cost model of one
+//! BPR training step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenerec_autodiff::nn::Mlp;
+use scenerec_autodiff::{Act, GradStore, Graph, ParamStore};
+use scenerec_tensor::Initializer;
+
+fn setup(d: usize) -> (ParamStore, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    store.add_embedding("emb", 10_000, d, Initializer::XavierUniform, &mut rng);
+    store.add_dense("w", d, d, Initializer::XavierUniform, &mut rng);
+    store.add_dense("b", d, 1, Initializer::Zeros, &mut rng);
+    let rows: Vec<u32> = (0..50).map(|i| i * 131 % 10_000).collect();
+    (store, rows)
+}
+
+fn bench_forward_only(c: &mut Criterion) {
+    let (store, rows) = setup(64);
+    let emb = store.lookup("emb").unwrap();
+    let w = store.lookup("w").unwrap();
+    let b = store.lookup("b").unwrap();
+    c.bench_function("forward_sum50_affine_relu_d64", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new(&store);
+            let s = g.embed_sum(emb, black_box(&rows));
+            let a = g.affine(w, b, s);
+            let r = g.activation(a, Act::Relu);
+            black_box(g.value(r).sum())
+        })
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let (store, rows) = setup(64);
+    let emb = store.lookup("emb").unwrap();
+    let w = store.lookup("w").unwrap();
+    let b = store.lookup("b").unwrap();
+    let mut grads = GradStore::new(&store);
+    c.bench_function("train_step_sum50_affine_d64", |bch| {
+        bch.iter(|| {
+            grads.clear();
+            let mut g = Graph::new(&store);
+            let s = g.embed_sum(emb, black_box(&rows));
+            let a = g.affine(w, b, s);
+            let r = g.activation(a, Act::Tanh);
+            let loss = g.squared_norm(r);
+            g.backward(loss, &mut grads);
+            black_box(grads.global_norm())
+        })
+    });
+}
+
+fn bench_attention_block(c: &mut Criterion) {
+    // The scene-attention pattern of Eqs. 4-6 / 9-11: k cosine scores ->
+    // softmax -> weighted embedding sum.
+    let (store, rows) = setup(64);
+    let emb = store.lookup("emb").unwrap();
+    let mut grads = GradStore::new(&store);
+    let neighbors: Vec<u32> = rows.iter().take(24).copied().collect();
+    c.bench_function("attention_24_neighbors_d64", |bch| {
+        bch.iter(|| {
+            grads.clear();
+            let mut g = Graph::new(&store);
+            let anchor = g.embed_sum(emb, &rows[..4]);
+            let scores: Vec<_> = neighbors
+                .iter()
+                .map(|&q| {
+                    let sq = g.embed_row(emb, q);
+                    g.cosine(anchor, sq)
+                })
+                .collect();
+            let stacked = g.stack_scalars(&scores);
+            let alphas = g.softmax(stacked);
+            let out = g.weighted_embed_sum(emb, &neighbors, alphas);
+            let loss = g.squared_norm(out);
+            g.backward(loss, &mut grads);
+            black_box(grads.global_norm())
+        })
+    });
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(
+        &mut store,
+        "m",
+        &[128, 64, 32, 1],
+        Act::Relu,
+        Act::Identity,
+        &mut rng,
+    );
+    let x: Vec<f32> = (0..128).map(|i| (i as f32 * 0.13).sin()).collect();
+    let mut grads = GradStore::new(&store);
+    c.bench_function("mlp_128_64_32_1_train_step", |bch| {
+        bch.iter(|| {
+            grads.clear();
+            let mut g = Graph::new(&store);
+            let xin = g.constant_vec(black_box(&x));
+            let y = mlp.forward(&mut g, xin);
+            let loss = g.squared_norm(y);
+            g.backward(loss, &mut grads);
+            black_box(grads.global_norm())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward_only,
+    bench_forward_backward,
+    bench_attention_block,
+    bench_mlp
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Dataset-generation benchmarks: the cost of regenerating the Table 1
+//! datasets at each scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scenerec_data::{generate, DatasetProfile, Scale};
+
+fn bench_tiny(c: &mut Criterion) {
+    let cfg = DatasetProfile::Electronics.config(Scale::Tiny, 1);
+    c.bench_function("generate_electronics_tiny", |b| {
+        b.iter(|| black_box(generate(black_box(&cfg)).unwrap()))
+    });
+}
+
+fn bench_laptop(c: &mut Criterion) {
+    let cfg = DatasetProfile::Electronics.config(Scale::Laptop, 1);
+    let mut group = c.benchmark_group("generate_laptop");
+    group.sample_size(10);
+    group.bench_function("electronics", |b| {
+        b.iter(|| black_box(generate(black_box(&cfg)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_split_only(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scenerec_data::split::LeaveOneOutSplit;
+    // 300 users x 30 positives.
+    let positives: Vec<Vec<u32>> = (0..300)
+        .map(|u| (0..30).map(|k| (u * 31 + k * 17) % 1500).collect())
+        .collect();
+    c.bench_function("leave_one_out_300users_100negs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(LeaveOneOutSplit::build(&positives, 1500, 100, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tiny, bench_laptop, bench_split_only);
+criterion_main!(benches);

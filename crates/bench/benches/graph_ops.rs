@@ -1,0 +1,67 @@
+//! Graph-substrate benchmarks: CSR construction, pruning, neighbor access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenerec_graph::CsrGraph;
+
+fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(u32, u32, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0.1f32..10.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let edges = random_edges(10_000, 200_000, 1);
+    c.bench_function("csr_build_10k_nodes_200k_edges", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(10_000, 10_000, edges.clone()).unwrap()))
+    });
+}
+
+fn bench_top_k_prune(c: &mut Criterion) {
+    let edges = random_edges(5_000, 150_000, 2);
+    let g = CsrGraph::from_edges(5_000, 5_000, edges).unwrap();
+    c.bench_function("csr_prune_top20_150k_edges", |b| {
+        b.iter(|| black_box(g.prune_top_k(20)))
+    });
+}
+
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let edges = random_edges(10_000, 300_000, 3);
+    let g = CsrGraph::from_edges(10_000, 10_000, edges).unwrap();
+    c.bench_function("csr_full_neighbor_scan_300k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in 0..g.num_src() {
+                for (_, w) in g.edges_of(v) {
+                    acc += w as f64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let edges = random_edges(10_000, 200_000, 4);
+    let g = CsrGraph::from_edges(10_000, 10_000, edges).unwrap();
+    c.bench_function("csr_transpose_200k_edges", |b| {
+        b.iter(|| black_box(g.transpose()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_csr_build,
+    bench_top_k_prune,
+    bench_neighbor_scan,
+    bench_transpose
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Model-level benchmarks: one SceneRec scoring pass, one BPR training
+//! step, and one evaluation instance (101 candidates) — the quantities
+//! behind the wall-clock numbers the `table2` binary reports.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scenerec_autodiff::{GradStore, Graph};
+use scenerec_baselines::{BprMf, Ngcf};
+use scenerec_core::{PairwiseModel, SceneRec, SceneRecConfig, Variant};
+use scenerec_data::{generate, DatasetProfile, Scale};
+use scenerec_graph::{ItemId, UserId};
+
+fn data() -> scenerec_data::Dataset {
+    generate(&DatasetProfile::Electronics.config(Scale::Tiny, 9)).unwrap()
+}
+
+fn bench_scenerec_score(c: &mut Criterion) {
+    let d = data();
+    let model = SceneRec::new(SceneRecConfig::default().with_dim(32), &d);
+    c.bench_function("scenerec_single_score_d32", |b| {
+        b.iter(|| black_box(model.score_values(UserId(0), &[ItemId(0)])))
+    });
+    let candidates: Vec<ItemId> = (0..101).map(|i| ItemId(i % d.num_items())).collect();
+    c.bench_function("scenerec_eval_instance_101_candidates_d32", |b| {
+        b.iter(|| black_box(model.score_values(UserId(0), black_box(&candidates))))
+    });
+}
+
+fn bench_scenerec_train_step(c: &mut Criterion) {
+    let d = data();
+    let model = SceneRec::new(SceneRecConfig::default().with_dim(32), &d);
+    let mut grads = GradStore::new(model.store());
+    c.bench_function("scenerec_bpr_step_d32", |b| {
+        b.iter(|| {
+            grads.clear();
+            let mut g = Graph::new(model.store());
+            let p = model.build_score(&mut g, UserId(0), ItemId(0));
+            let n = model.build_score(&mut g, UserId(0), ItemId(1));
+            let loss = g.bpr_loss(p, n);
+            g.backward(loss, &mut grads);
+            black_box(grads.global_norm())
+        })
+    });
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let d = data();
+    let mut group = c.benchmark_group("variant_single_score_d32");
+    for variant in [
+        Variant::Full,
+        Variant::NoItem,
+        Variant::NoScene,
+        Variant::NoAttention,
+    ] {
+        let model = SceneRec::new(
+            SceneRecConfig::default().with_dim(32).with_variant(variant),
+            &d,
+        );
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| black_box(model.score_values(UserId(0), &[ItemId(0)])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_scores(c: &mut Criterion) {
+    let d = data();
+    let mf = BprMf::new(&d, 32, 1);
+    c.bench_function("bprmf_single_score_d32", |b| {
+        b.iter(|| black_box(mf.score_values(UserId(0), &[ItemId(0)])))
+    });
+    let ngcf = Ngcf::new(&d, 32, 2, 6, 1);
+    c.bench_function("ngcf_depth2_single_score_d32", |b| {
+        b.iter(|| black_box(ngcf.score_values(UserId(0), &[ItemId(0)])))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scenerec_score,
+    bench_scenerec_train_step,
+    bench_variants,
+    bench_baseline_scores
+);
+criterion_main!(benches);

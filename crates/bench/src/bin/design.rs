@@ -1,0 +1,114 @@
+//! Design-choice ablations beyond the paper's own variants: embedding
+//! dimension, neighborhood caps and hidden activation. These quantify the
+//! implementation decisions DESIGN.md documents (the paper fixes d = 64
+//! and does not report these axes).
+//!
+//! ```text
+//! cargo run --release -p scenerec-bench --bin design -- \
+//!     --axis dim|caps|act [--dataset electronics] [--scale tiny|laptop] [--epochs N]
+//! ```
+
+use scenerec_bench::cli::Args;
+use scenerec_bench::HarnessConfig;
+use scenerec_core::config::ActChoice;
+use scenerec_core::trainer::{test, train};
+use scenerec_core::{NeighborCaps, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, DatasetProfile, Scale};
+
+fn main() {
+    let args = Args::from_env();
+    let hc = HarnessConfig {
+        scale: args.get_or("scale", Scale::Laptop),
+        data_seed: args.get_or("seed", 2021),
+        epochs: args.get_or("epochs", 10),
+        dim: args.get_or("dim", 32),
+        verbose: args.has("verbose"),
+        ..HarnessConfig::default()
+    };
+    let axis = args.get("axis").unwrap_or("dim").to_owned();
+    let profile = match args.get("dataset").unwrap_or("electronics") {
+        "baby" | "babytoy" => DatasetProfile::BabyToy,
+        "electronics" => DatasetProfile::Electronics,
+        "fashion" => DatasetProfile::Fashion,
+        "food" | "fooddrink" => DatasetProfile::FoodDrink,
+        other => panic!("unknown dataset `{other}`"),
+    };
+
+    eprintln!("[design] generating {} ...", profile.name());
+    let data = generate(&profile.config(hc.scale, hc.data_seed)).expect("generate");
+    let tc = hc.train_config();
+
+    let run = |label: String, cfg: SceneRecConfig| {
+        eprintln!("[design] {label} ...");
+        let mut model = SceneRec::new(cfg, &data);
+        let report = train(&mut model, &data, &tc);
+        let s = test(&model, &data, &tc);
+        println!(
+            "{:<28} NDCG@10 {:.4}  HR@10 {:.4}  ({} epochs)",
+            label,
+            s.metrics.ndcg,
+            s.metrics.hr,
+            report.epochs.len()
+        );
+    };
+
+    println!(
+        "Design ablation `{axis}` on {} (scale {:?}, epochs ≤ {})\n",
+        profile.name(),
+        hc.scale,
+        hc.epochs
+    );
+    match axis.as_str() {
+        "dim" => {
+            for d in [8usize, 16, 32, 64] {
+                run(
+                    format!("dim={d}"),
+                    SceneRecConfig::default().with_dim(d).with_seed(hc.model_seed),
+                );
+            }
+        }
+        "caps" => {
+            for (label, caps) in [
+                (
+                    "caps=tight (16/16/8/8)",
+                    NeighborCaps {
+                        user_items: 16,
+                        item_users: 16,
+                        item_item: 8,
+                        category_category: 8,
+                    },
+                ),
+                ("caps=default (64/64/24/24)", NeighborCaps::default()),
+                (
+                    "caps=wide (128/128/64/64)",
+                    NeighborCaps {
+                        user_items: 128,
+                        item_users: 128,
+                        item_item: 64,
+                        category_category: 64,
+                    },
+                ),
+            ] {
+                let mut cfg = SceneRecConfig::default()
+                    .with_dim(hc.dim)
+                    .with_seed(hc.model_seed);
+                cfg.caps = caps;
+                run(label.to_owned(), cfg);
+            }
+        }
+        "act" => {
+            for (label, act) in [
+                ("act=relu", ActChoice::Relu),
+                ("act=tanh", ActChoice::Tanh),
+                ("act=sigmoid", ActChoice::Sigmoid),
+            ] {
+                let mut cfg = SceneRecConfig::default()
+                    .with_dim(hc.dim)
+                    .with_seed(hc.model_seed);
+                cfg.activation = act;
+                run(label.to_owned(), cfg);
+            }
+        }
+        other => panic!("unknown axis `{other}` (dim|caps|act)"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Protocol study: the paper's sampled-negative evaluation (§5.3, 100
+//! negatives) vs full-catalog ranking, on the same trained model.
+//!
+//! Sampled-negative metrics are upward-biased estimators of full-ranking
+//! metrics (Krichene & Rendle, KDD 2020); this binary quantifies the gap
+//! on the generated datasets.
+//!
+//! ```text
+//! cargo run --release -p scenerec-bench --bin full_ranking -- \
+//!     [--dataset electronics] [--scale tiny|laptop] [--epochs N] [--dim D]
+//! ```
+
+use scenerec_bench::cli::Args;
+use scenerec_bench::HarnessConfig;
+use scenerec_core::trainer::{test, train};
+use scenerec_core::{ModelScorer, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, DatasetProfile, Scale};
+use scenerec_eval::{evaluate_full_ranking, instances_from_split};
+
+fn main() {
+    let args = Args::from_env();
+    let hc = HarnessConfig {
+        scale: args.get_or("scale", Scale::Laptop),
+        data_seed: args.get_or("seed", 2021),
+        epochs: args.get_or("epochs", 10),
+        dim: args.get_or("dim", 32),
+        verbose: args.has("verbose"),
+        ..HarnessConfig::default()
+    };
+    let profile = match args.get("dataset").unwrap_or("electronics") {
+        "baby" | "babytoy" => DatasetProfile::BabyToy,
+        "electronics" => DatasetProfile::Electronics,
+        "fashion" => DatasetProfile::Fashion,
+        "food" | "fooddrink" => DatasetProfile::FoodDrink,
+        other => panic!("unknown dataset `{other}`"),
+    };
+
+    eprintln!("[full_ranking] generating {} ...", profile.name());
+    let data = generate(&profile.config(hc.scale, hc.data_seed)).expect("generate");
+
+    eprintln!("[full_ranking] training SceneRec ...");
+    let mut model = SceneRec::new(
+        SceneRecConfig::default()
+            .with_dim(hc.dim)
+            .with_seed(hc.model_seed),
+        &data,
+    );
+    let tc = hc.train_config();
+    train(&mut model, &data, &tc);
+
+    let sampled = test(&model, &data, &tc);
+    eprintln!("[full_ranking] full-catalog ranking ({} items) ...", data.num_items());
+    let instances = instances_from_split(&data.split, &data.interactions);
+    let full = evaluate_full_ranking(
+        &ModelScorer(&model),
+        &instances,
+        data.num_items(),
+        tc.k,
+        tc.threads,
+    );
+
+    println!(
+        "Protocol comparison on {} (scale {:?}, {} eval users)\n",
+        profile.name(),
+        hc.scale,
+        sampled.num_instances
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>9}",
+        "protocol", "NDCG@10", "HR@10", "MRR"
+    );
+    println!(
+        "{:<28} {:>9.4} {:>9.4} {:>9.4}",
+        format!("sampled ({} negatives)", data.config.eval_negatives),
+        sampled.metrics.ndcg,
+        sampled.metrics.hr,
+        sampled.metrics.mrr
+    );
+    println!(
+        "{:<28} {:>9.4} {:>9.4} {:>9.4}",
+        "full catalog",
+        full.metrics.ndcg,
+        full.metrics.hr,
+        full.metrics.mrr
+    );
+    println!(
+        "\nreading: the sampled protocol overstates absolute metrics (more\n\
+         competitors push the positive down under full ranking); model\n\
+         *orderings* in Table 2 are unaffected because every model faces the\n\
+         same candidate sets."
+    );
+}

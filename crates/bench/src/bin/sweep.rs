@@ -1,0 +1,100 @@
+//! The §5.3 hyper-parameter grid search: learning rate over
+//! {1e-4, 1e-3, 1e-2, 1e-1} and λ over {0, 1e-6, 1e-4, 1e-2}, selected on
+//! validation NDCG@10.
+//!
+//! ```text
+//! cargo run -p scenerec-bench --bin sweep --release -- \
+//!     [--dataset electronics] [--scale tiny|laptop] [--epochs N] [--dim D] [--fast]
+//! ```
+//!
+//! `--fast` restricts the grid to 2x2 (the middle of each published grid).
+
+use scenerec_bench::cli::Args;
+use scenerec_bench::HarnessConfig;
+use scenerec_core::tuning::{grid_search, PAPER_LAMBDA_GRID, PAPER_LR_GRID};
+use scenerec_core::{SceneRec, SceneRecConfig};
+use scenerec_data::{generate, DatasetProfile, Scale};
+
+fn main() {
+    let args = Args::from_env();
+    let hc = HarnessConfig {
+        scale: args.get_or("scale", Scale::Laptop),
+        data_seed: args.get_or("seed", 2021),
+        epochs: args.get_or("epochs", 6),
+        dim: args.get_or("dim", 32),
+        verbose: args.has("verbose"),
+        ..HarnessConfig::default()
+    };
+    let profile = match args.get("dataset").unwrap_or("electronics") {
+        "baby" | "babytoy" => DatasetProfile::BabyToy,
+        "electronics" => DatasetProfile::Electronics,
+        "fashion" => DatasetProfile::Fashion,
+        "food" | "fooddrink" => DatasetProfile::FoodDrink,
+        other => panic!("unknown dataset `{other}`"),
+    };
+
+    let (lr_grid, lambda_grid): (&[f32], &[f32]) = if args.has("fast") {
+        (&[1e-3, 1e-2], &[1e-6, 1e-4])
+    } else {
+        (&PAPER_LR_GRID, &PAPER_LAMBDA_GRID)
+    };
+
+    eprintln!("[sweep] generating {} ...", profile.name());
+    let data = generate(&profile.config(hc.scale, hc.data_seed)).expect("generate");
+
+    let mut tc = hc.train_config();
+    tc.eval_every = 0; // evaluated once per cell by grid_search
+    tc.patience = 0;
+
+    eprintln!(
+        "[sweep] {} cells x {} epochs ...",
+        lr_grid.len() * lambda_grid.len(),
+        tc.epochs
+    );
+    let report = grid_search(
+        || {
+            SceneRec::new(
+                SceneRecConfig::default()
+                    .with_dim(hc.dim)
+                    .with_seed(hc.model_seed),
+                &data,
+            )
+        },
+        &data,
+        &tc,
+        lr_grid,
+        lambda_grid,
+    );
+
+    println!(
+        "Grid search on {} (validation NDCG@10, scale {:?}, dim {}, {} epochs/cell)\n",
+        profile.name(),
+        hc.scale,
+        hc.dim,
+        tc.epochs
+    );
+    println!("{:>10} {:>10} {:>10} {:>10}", "lr", "lambda", "NDCG@10", "HR@10");
+    for p in &report.points {
+        println!(
+            "{:>10} {:>10} {:>10.4} {:>10.4}",
+            format!("{:.0e}", p.learning_rate),
+            if p.lambda == 0.0 {
+                "0".to_owned()
+            } else {
+                format!("{:.0e}", p.lambda)
+            },
+            p.val_ndcg,
+            p.val_hr
+        );
+    }
+    let best = report.best();
+    println!(
+        "\nbest cell: lr={:.0e} λ={} (paper tunes over the same grids, §5.3)",
+        best.learning_rate,
+        if best.lambda == 0.0 {
+            "0".to_owned()
+        } else {
+            format!("{:.0e}", best.lambda)
+        }
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 1**: statistics of the four datasets, printed next
+//! to the paper's published values.
+//!
+//! ```text
+//! cargo run -p scenerec-bench --bin table1 --release -- [--scale tiny|laptop|paper] [--seed N]
+//! ```
+
+use scenerec_bench::cli::Args;
+use scenerec_bench::render_table1;
+use scenerec_data::{generate, DatasetProfile, Scale};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: Scale = args.get_or("scale", Scale::Laptop);
+    let seed: u64 = args.get_or("seed", 2021);
+
+    println!("Table 1 — dataset statistics (scale: {scale:?}, seed: {seed})");
+    println!("Each relation A-B shows: count(A)-count(B) (edges). Item-Item and");
+    println!("Category-Category counts are directed (paper counts are directed too).");
+    println!();
+    for profile in DatasetProfile::ALL {
+        let cfg = profile.config(scale, seed);
+        let data = generate(&cfg).unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
+        println!("{}", render_table1(profile, &data));
+    }
+    println!(
+        "note: generated scales mirror the paper's structural ratios; absolute\n\
+         magnitudes match only at --scale paper (see DESIGN.md substitutions)."
+    );
+}

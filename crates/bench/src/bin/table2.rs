@@ -1,0 +1,97 @@
+//! Regenerates **Table 2**: the full comparison of 6 baselines, 3 SceneRec
+//! variants and SceneRec on the four datasets, next to the paper's
+//! published numbers.
+//!
+//! ```text
+//! cargo run -p scenerec-bench --bin table2 --release -- \
+//!     [--scale tiny|laptop|paper] [--epochs N] [--dim D] [--depth L] \
+//!     [--datasets electronics,fashion] [--models scenerec,ngcf,...] [--extras] \
+//!     [--seed N] [--out results.json] [--verbose]
+//! ```
+//!
+//! Absolute values differ from the paper (synthetic data, laptop scale);
+//! the *shape* — SceneRec > variants > GNN baselines > MF > NCF/PinSAGE —
+//! is the reproduction target (see EXPERIMENTS.md).
+
+use scenerec_bench::cli::Args;
+use scenerec_bench::{render_comparison, run_model, HarnessConfig, ModelKind, ModelResult};
+use scenerec_data::{generate, DatasetProfile, Scale};
+
+fn main() {
+    let args = Args::from_env();
+    let mut hc = HarnessConfig {
+        scale: args.get_or("scale", Scale::Laptop),
+        data_seed: args.get_or("seed", 2021),
+        epochs: args.get_or("epochs", 12),
+        dim: args.get_or("dim", 32),
+        depth: args.get_or("depth", 2),
+        fanout: args.get_or("fanout", 6),
+        learning_rate: args.get_or("lr", 5e-3f32),
+        lambda: args.get_or("lambda", 1e-6f32),
+        verbose: args.has("verbose"),
+        ..HarnessConfig::default()
+    };
+    if let Some(o) = args.get("optimizer") {
+        hc.optimizer = o.parse().expect("--optimizer rmsprop|adam|sgd|permodel");
+    }
+    if let Some(t) = args.get("threads") {
+        hc.threads = t.parse().expect("--threads");
+    }
+
+    let profiles: Vec<DatasetProfile> = match args.get("datasets") {
+        None => DatasetProfile::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| match s.trim().to_ascii_lowercase().as_str() {
+                "baby" | "babytoy" | "baby-toy" => DatasetProfile::BabyToy,
+                "electronics" => DatasetProfile::Electronics,
+                "fashion" => DatasetProfile::Fashion,
+                "food" | "fooddrink" | "food-drink" => DatasetProfile::FoodDrink,
+                other => panic!("unknown dataset `{other}`"),
+            })
+            .collect(),
+    };
+    let models: Vec<ModelKind> = match args.get("models") {
+        None => ModelKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| ModelKind::parse(s.trim()).unwrap_or_else(|| panic!("unknown model `{s}`")))
+            .collect(),
+    };
+
+    println!(
+        "Table 2 — NDCG@10 / HR@10 (scale {:?}, dim {}, epochs ≤ {}, depth {}, lr {}, λ {})",
+        hc.scale, hc.dim, hc.epochs, hc.depth, hc.learning_rate, hc.lambda
+    );
+    println!();
+
+    let mut all_results: Vec<ModelResult> = Vec::new();
+    for profile in &profiles {
+        let cfg = profile.config(hc.scale, hc.data_seed);
+        eprintln!("[table2] generating {} ...", profile.name());
+        let data = generate(&cfg).unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
+        let mut results = Vec::new();
+        for &kind in &models {
+            eprintln!("[table2] training {} on {} ...", kind.name(), profile.name());
+            let r = run_model(kind, &data, &hc);
+            eprintln!(
+                "[table2]   NDCG@10 {:.4}  HR@10 {:.4}  ({:.1}s, {} epochs)",
+                r.ndcg, r.hr, r.train_seconds, r.epochs_run
+            );
+            results.push(r);
+        }
+        if args.has("extras") {
+            eprintln!("[table2] running extras (ItemPop, LightGCN) ...");
+            // Rows marked `*` are extensions outside the paper's Table 2.
+            results.extend(scenerec_bench::harness::run_extras(&data, &hc));
+        }
+        println!("{}", render_comparison(*profile, &results));
+        all_results.extend(results);
+    }
+
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&all_results).expect("serialize results");
+        std::fs::write(path, json).expect("write results file");
+        eprintln!("[table2] wrote {path}");
+    }
+}

@@ -1,0 +1,112 @@
+//! A minimal `--flag value` argument parser for the experiment binaries
+//! (the approved offline dependency set has no CLI crate; the needs here
+//! are four or five typed flags per binary).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` pairs become values;
+    /// bare `--key` (followed by another flag or nothing) become boolean
+    /// flags.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let list: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < list.len() {
+            let a = &list[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let next_is_value = list
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    values.insert(key.to_owned(), list[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of a flag, or `default` when absent.
+    ///
+    /// # Panics
+    /// Panics with a usage message when the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value for --{key}: {raw}")),
+        }
+    }
+
+    /// True when a bare `--key` flag was present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse("--epochs 12 --scale laptop");
+        assert_eq!(a.get("epochs"), Some("12"));
+        assert_eq!(a.get_or("epochs", 0usize), 12);
+        assert_eq!(a.get("scale"), Some("laptop"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_or("missing", 5usize), 5);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("--verbose --dim 16 --fast");
+        assert!(a.has("verbose"));
+        assert!(a.has("fast"));
+        assert!(!a.has("dim"));
+        assert_eq!(a.get_or("dim", 0usize), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value for --epochs")]
+    fn bad_value_panics() {
+        let a = parse("--epochs twelve");
+        let _: usize = a.get_or("epochs", 0);
+    }
+
+    #[test]
+    fn non_flag_tokens_ignored() {
+        let a = parse("positional --k 10");
+        assert_eq!(a.get_or("k", 0usize), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! # scenerec-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures (see DESIGN.md §3 for the experiment index).
+//!
+//! Binaries:
+//!
+//! * `table1` — dataset statistics for the four presets, printed next to
+//!   the paper's published Table 1;
+//! * `table2` — the full model comparison (6 baselines, 3 variants,
+//!   SceneRec) on all four datasets, printed next to the paper's Table 2;
+//! * `figure3` — the attention/prediction case study;
+//! * `ablation` — variant-vs-full deltas (§5.4.2);
+//! * `sweep` — the §5.3 hyper-parameter grid search.
+//!
+//! Criterion micro-benchmarks (in `benches/`) cover the substrate hot
+//! paths: tensor kernels, tape forward/backward, attention, graph
+//! construction and dataset generation.
+
+pub mod cli;
+pub mod harness;
+pub mod reference;
+pub mod table;
+
+pub use harness::{run_model, HarnessConfig, ModelKind, ModelResult};
+pub use reference::{paper_table2, PaperCell};
+pub use table::{render_comparison, render_table1};

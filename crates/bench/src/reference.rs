@@ -1,0 +1,176 @@
+//! The paper's published numbers (Tables 1 and 2), kept verbatim so every
+//! harness binary can print paper-vs-measured side by side.
+
+use scenerec_data::DatasetProfile;
+
+/// One (NDCG@10, HR@10) cell of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperCell {
+    /// NDCG@10 as published.
+    pub ndcg: f32,
+    /// HR@10 as published.
+    pub hr: f32,
+}
+
+/// Row labels of Table 2 in publication order.
+pub const TABLE2_ROWS: [&str; 10] = [
+    "BPR-MF",
+    "NCF",
+    "CMN",
+    "PinSAGE",
+    "NGCF",
+    "KGAT",
+    "SceneRec-noitem",
+    "SceneRec-nosce",
+    "SceneRec-noatt",
+    "SceneRec",
+];
+
+/// The paper's Table 2 cell for `(model, dataset)`; `None` for model names
+/// outside the table (e.g. the ItemPop sanity baseline).
+pub fn paper_table2(model: &str, dataset: DatasetProfile) -> Option<PaperCell> {
+    let row = match model {
+        "BPR-MF" => [
+            (0.3117, 0.5213),
+            (0.4005, 0.6082),
+            (0.3142, 0.5294),
+            (0.3663, 0.5445),
+        ],
+        "NCF" => [
+            (0.2232, 0.3800),
+            (0.3324, 0.5364),
+            (0.1518, 0.3090),
+            (0.3068, 0.4628),
+        ],
+        "CMN" => [
+            (0.2136, 0.3840),
+            (0.4447, 0.6725),
+            (0.2616, 0.4516),
+            (0.4028, 0.5854),
+        ],
+        "PinSAGE" => [
+            (0.2124, 0.4145),
+            (0.2954, 0.5200),
+            (0.1770, 0.3724),
+            (0.2791, 0.4798),
+        ],
+        "NGCF" => [
+            (0.3679, 0.6000),
+            (0.4308, 0.6559),
+            (0.3361, 0.5749),
+            (0.3487, 0.5228),
+        ],
+        "KGAT" => [
+            (0.3055, 0.5421),
+            (0.3616, 0.6172),
+            (0.3115, 0.5580),
+            (0.3221, 0.5093),
+        ],
+        "SceneRec-noitem" => [
+            (0.3977, 0.6475),
+            (0.4748, 0.7007),
+            (0.3936, 0.6454),
+            (0.4080, 0.6029),
+        ],
+        "SceneRec-nosce" => [
+            (0.4193, 0.6617),
+            (0.4715, 0.7156),
+            (0.3933, 0.6499),
+            (0.4156, 0.6074),
+        ],
+        "SceneRec-noatt" => [
+            (0.3950, 0.6357),
+            (0.4665, 0.7053),
+            (0.3953, 0.6410),
+            (0.4138, 0.6154),
+        ],
+        "SceneRec" => [
+            (0.4298, 0.6771),
+            (0.4926, 0.7524),
+            (0.4220, 0.6763),
+            (0.4266, 0.6211),
+        ],
+        _ => return None,
+    };
+    let idx = match dataset {
+        DatasetProfile::BabyToy => 0,
+        DatasetProfile::Electronics => 1,
+        DatasetProfile::Fashion => 2,
+        DatasetProfile::FoodDrink => 3,
+    };
+    let (ndcg, hr) = row[idx];
+    Some(PaperCell { ndcg, hr })
+}
+
+/// The paper's Table 1 rows for a dataset: `(relation, "A-B (edges)")`.
+pub fn paper_table1(dataset: DatasetProfile) -> [(&'static str, &'static str); 5] {
+    match dataset {
+        DatasetProfile::BabyToy => [
+            ("User-Item", "4,521-51,759 (481,831)"),
+            ("Item-Item", "51,759-51,759 (3,002,806)"),
+            ("Item-Category", "51,759-103 (51,759)"),
+            ("Category-Category", "103-103 (1,791)"),
+            ("Scene-Category", "323-103 (1,370)"),
+        ],
+        DatasetProfile::Electronics => [
+            ("User-Item", "3,842-52,025 (539,066)"),
+            ("Item-Item", "52,025-52,025 (2,992,333)"),
+            ("Item-Category", "52,025-78 (52,025)"),
+            ("Category-Category", "78-78 (825)"),
+            ("Scene-Category", "54-78 (281)"),
+        ],
+        DatasetProfile::Fashion => [
+            ("User-Item", "3,959-53,005 (541,238)"),
+            ("Item-Item", "53,005-53,005 (2,750,495)"),
+            ("Item-Category", "53,005-91 (53,005)"),
+            ("Category-Category", "91-91 (1,058)"),
+            ("Scene-Category", "438-91 (1,646)"),
+        ],
+        DatasetProfile::FoodDrink => [
+            ("User-Item", "3,236-47,402 (463,391)"),
+            ("Item-Item", "47,402-47,402 (2,606,003)"),
+            ("Item-Category", "47,402-105 (47,402)"),
+            ("Category-Category", "105-105 (1,628)"),
+            ("Scene-Category", "136-105 (630)"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_has_all_datasets() {
+        for row in TABLE2_ROWS {
+            for p in DatasetProfile::ALL {
+                let cell = paper_table2(row, p).unwrap();
+                assert!(cell.ndcg > 0.0 && cell.ndcg < 1.0);
+                assert!(cell.hr > cell.ndcg, "{row}: HR should exceed NDCG");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        assert!(paper_table2("ItemPop", DatasetProfile::Fashion).is_none());
+    }
+
+    #[test]
+    fn scenerec_wins_every_dataset_in_paper() {
+        for p in DatasetProfile::ALL {
+            let ours = paper_table2("SceneRec", p).unwrap();
+            for row in TABLE2_ROWS.iter().take(9) {
+                let other = paper_table2(row, p).unwrap();
+                assert!(ours.ndcg > other.ndcg, "{row} beats SceneRec on {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_has_five_relations() {
+        for p in DatasetProfile::ALL {
+            assert_eq!(paper_table1(p).len(), 5);
+        }
+    }
+}

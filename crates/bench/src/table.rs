@@ -1,0 +1,150 @@
+//! Text-table rendering for the experiment binaries: measured values
+//! printed next to the paper's published numbers.
+
+use crate::harness::ModelResult;
+use crate::reference::{paper_table1, paper_table2};
+use scenerec_data::{Dataset, DatasetProfile};
+
+/// Renders a Table-2-style comparison for one dataset: each row shows the
+/// measured NDCG@10 / HR@10 and the paper's numbers in parentheses.
+pub fn render_comparison(profile: DatasetProfile, results: &[ModelResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ==\n{:<18} {:>22} {:>22} {:>8} {:>7}\n",
+        profile.name(),
+        "model",
+        "NDCG@10 (paper)",
+        "HR@10 (paper)",
+        "epochs",
+        "sec"
+    ));
+    for r in results {
+        let paper = paper_table2(&r.model, profile);
+        let (pn, ph) = paper.map_or(("--".into(), "--".into()), |c| {
+            (format!("{:.4}", c.ndcg), format!("{:.4}", c.hr))
+        });
+        out.push_str(&format!(
+            "{:<18} {:>12.4} ({:>7}) {:>12.4} ({:>7}) {:>8} {:>7.1}\n",
+            r.model, r.ndcg, pn, r.hr, ph, r.epochs_run, r.train_seconds
+        ));
+    }
+    // Shape checks the reader cares about.
+    if let (Some(ours), Some(best_baseline)) = (
+        results.iter().find(|r| r.model == "SceneRec"),
+        results
+            .iter()
+            // Variants and `*`-marked extension rows are not Table-2
+            // baselines.
+            .filter(|r| !r.model.starts_with("SceneRec") && !r.model.ends_with('*'))
+            .max_by(|a, b| a.ndcg.partial_cmp(&b.ndcg).unwrap_or(std::cmp::Ordering::Equal)),
+    ) {
+        let boost = if best_baseline.ndcg > 0.0 {
+            (ours.ndcg - best_baseline.ndcg) / best_baseline.ndcg * 100.0
+        } else {
+            f32::NAN
+        };
+        out.push_str(&format!(
+            "-- SceneRec vs best baseline ({}): NDCG {}{:.1}%",
+            best_baseline.model,
+            if boost >= 0.0 { "+" } else { "" },
+            boost
+        ));
+        if ours.ranks.len() == best_baseline.ranks.len() && !ours.ranks.is_empty() {
+            let report = scenerec_eval::significance::paired_bootstrap(
+                &ours.ranks,
+                &best_baseline.ranks,
+                10,
+                1000,
+                7,
+            );
+            let (wa, wb, p) =
+                scenerec_eval::significance::sign_test(&ours.ranks, &best_baseline.ranks, 10);
+            out.push_str(&format!(
+                "  [bootstrap P(win)={:.3}; sign test {}:{} p={:.3}]",
+                report.prob_a_beats_b, wa, wb, p
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Table-1-style statistics block for one generated dataset next
+/// to the paper's published statistics.
+pub fn render_table1(profile: DatasetProfile, data: &Dataset) -> String {
+    let stats = data.stats();
+    let paper = paper_table1(profile);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ==\n{:<20} {:>28} {:>32}\n",
+        profile.name(),
+        "relation",
+        "generated",
+        "paper"
+    ));
+    for ((rel, generated), (_, published)) in stats.to_rows().iter().zip(paper.iter()) {
+        out.push_str(&format!("{rel:<20} {generated:>28} {published:>32}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenerec_data::{generate, Scale};
+
+    fn fake_result(model: &str, ndcg: f32, hr: f32) -> ModelResult {
+        ModelResult {
+            model: model.to_owned(),
+            dataset: "X".into(),
+            ndcg,
+            hr,
+            mrr: 0.0,
+            train_seconds: 1.0,
+            epochs_run: 5,
+            ranks: vec![],
+        }
+    }
+
+    #[test]
+    fn comparison_contains_all_rows_and_boost_line() {
+        let results = vec![
+            fake_result("BPR-MF", 0.3, 0.5),
+            fake_result("NGCF", 0.35, 0.55),
+            fake_result("SceneRec", 0.42, 0.65),
+        ];
+        let s = render_comparison(DatasetProfile::Electronics, &results);
+        assert!(s.contains("BPR-MF"));
+        assert!(s.contains("SceneRec"));
+        assert!(s.contains("0.4005")); // paper BPR-MF NDCG on Electronics
+        assert!(s.contains("best baseline (NGCF)"));
+        assert!(s.contains("+20.0%"));
+    }
+
+    #[test]
+    fn unknown_models_get_dashes() {
+        let results = vec![fake_result("ItemPop", 0.2, 0.4)];
+        let s = render_comparison(DatasetProfile::Fashion, &results);
+        assert!(s.contains("--"));
+    }
+
+    #[test]
+    fn extension_rows_are_not_best_baseline() {
+        let results = vec![
+            fake_result("BPR-MF", 0.3, 0.5),
+            fake_result("LightGCN*", 0.5, 0.7), // extension, must be skipped
+            fake_result("SceneRec", 0.42, 0.65),
+        ];
+        let s = render_comparison(DatasetProfile::Electronics, &results);
+        assert!(s.contains("best baseline (BPR-MF)"), "{s}");
+    }
+
+    #[test]
+    fn table1_rendering_includes_both_columns() {
+        let data = generate(&DatasetProfile::Electronics.config(Scale::Tiny, 5)).unwrap();
+        let s = render_table1(DatasetProfile::Electronics, &data);
+        assert!(s.contains("User-Item"));
+        assert!(s.contains("Scene-Category"));
+        assert!(s.contains("3,842-52,025")); // paper column present
+    }
+}

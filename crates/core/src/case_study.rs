@@ -1,0 +1,191 @@
+//! The Figure 3 case study (§5.4.3, RQ3).
+//!
+//! The paper picks a user, their interacted items and a candidate set,
+//! then shows that the **average scene-based attention score** between a
+//! candidate and the user's interacted items correlates with the model's
+//! prediction score — the mechanism by which scene information boosts
+//! recommendation ("Keyboard" complements the user's PC purchases within
+//! the "Peripheral Devices" scene).
+
+use crate::api::PairwiseModel;
+use crate::model::SceneRec;
+use scenerec_data::Dataset;
+use scenerec_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One candidate row of the Figure 3 table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateProbe {
+    /// The candidate item.
+    pub item: ItemId,
+    /// The candidate's category.
+    pub category: u32,
+    /// Model prediction score `r'(u, item)`.
+    pub prediction: f32,
+    /// Average raw scene-attention score (Eq. 10 cosine) between the
+    /// candidate and each of the user's interacted items.
+    pub avg_attention: f32,
+    /// True when this candidate is a held-out positive of the user.
+    pub is_positive: bool,
+}
+
+/// A full case-study record for one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudy {
+    /// The probed user.
+    pub user: UserId,
+    /// Items the user interacted with (training split).
+    pub interacted: Vec<ItemId>,
+    /// Scored candidates, sorted by descending prediction.
+    pub candidates: Vec<CandidateProbe>,
+}
+
+impl CaseStudy {
+    /// Pearson correlation between prediction and average attention over
+    /// the candidates (NaN-free; 0 when degenerate).
+    pub fn attention_prediction_correlation(&self) -> f32 {
+        let n = self.candidates.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f32> = self.candidates.iter().map(|c| c.prediction).collect();
+        let ys: Vec<f32> = self.candidates.iter().map(|c| c.avg_attention).collect();
+        pearson(&xs, &ys)
+    }
+}
+
+fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    let n = xs.len() as f32;
+    let mx = xs.iter().sum::<f32>() / n;
+    let my = ys.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    let denom = (vx * vy).sqrt();
+    if denom <= f32::EPSILON {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// Runs the case study for `user`: scores the user's held-out test positive
+/// plus that instance's sampled negatives, and computes each candidate's
+/// average scene-attention to the user's interacted items.
+///
+/// Returns `None` when the user has no test instance.
+pub fn run_case_study(model: &SceneRec, data: &Dataset, user: UserId) -> Option<CaseStudy> {
+    let inst = data.split.test.iter().find(|t| t.user == user)?;
+    let interacted: Vec<ItemId> = data
+        .train_graph
+        .items_of(user)
+        .iter()
+        .map(|&i| ItemId(i))
+        .collect();
+
+    let candidates_items = inst.candidates();
+    let scores = model.score_values(user, &candidates_items);
+
+    let mut candidates: Vec<CandidateProbe> = candidates_items
+        .iter()
+        .zip(&scores)
+        .map(|(&item, &prediction)| {
+            let avg_attention = if interacted.is_empty() {
+                0.0
+            } else {
+                interacted
+                    .iter()
+                    .map(|&j| model.scene_attention_score(item, j))
+                    .sum::<f32>()
+                    / interacted.len() as f32
+            };
+            CandidateProbe {
+                item,
+                category: data.scene_graph.category_of(item).raw(),
+                prediction,
+                avg_attention,
+                is_positive: item == inst.positive,
+            }
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.prediction
+            .partial_cmp(&a.prediction)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    Some(CaseStudy {
+        user,
+        interacted,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneRecConfig;
+    use scenerec_data::{generate, GeneratorConfig};
+
+    fn setup() -> (SceneRec, Dataset) {
+        let data = generate(&GeneratorConfig::tiny(41)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        (model, data)
+    }
+
+    #[test]
+    fn case_study_covers_all_candidates() {
+        let (model, data) = setup();
+        let user = data.split.test[0].user;
+        let cs = run_case_study(&model, &data, user).unwrap();
+        assert_eq!(cs.user, user);
+        assert_eq!(
+            cs.candidates.len(),
+            1 + data.split.test[0].negatives.len()
+        );
+        assert_eq!(cs.candidates.iter().filter(|c| c.is_positive).count(), 1);
+        // Sorted by descending prediction.
+        for w in cs.candidates.windows(2) {
+            assert!(w[0].prediction >= w[1].prediction);
+        }
+    }
+
+    #[test]
+    fn attention_scores_in_cosine_range() {
+        let (model, data) = setup();
+        let user = data.split.test[0].user;
+        let cs = run_case_study(&model, &data, user).unwrap();
+        for c in &cs.candidates {
+            assert!((-1.0..=1.0).contains(&c.avg_attention));
+        }
+    }
+
+    #[test]
+    fn missing_user_returns_none() {
+        let (model, data) = setup();
+        // A user id beyond the universe cannot have a test instance.
+        let ghost = UserId(data.num_users() + 100);
+        assert!(run_case_study(&model, &data, ghost).is_none());
+    }
+
+    #[test]
+    fn correlation_is_bounded() {
+        let (model, data) = setup();
+        let user = data.split.test[0].user;
+        let cs = run_case_study(&model, &data, user).unwrap();
+        let r = cs.attention_prediction_correlation();
+        assert!((-1.0..=1.0).contains(&r), "r={r}");
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-6);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // degenerate
+    }
+}

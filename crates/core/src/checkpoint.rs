@@ -1,0 +1,194 @@
+//! Model checkpointing: persist a trained model's parameters and
+//! configuration, restore them into a freshly constructed model.
+//!
+//! A checkpoint stores the [`SceneRecConfig`] alongside the raw
+//! [`ParamStore`]; on load, the topology is rebuilt from the dataset and
+//! the stored parameters are validated against it (names, shapes, order)
+//! before being swapped in — a mismatched dataset or config fails loudly
+//! instead of silently mis-indexing embeddings.
+
+use crate::config::SceneRecConfig;
+use crate::model::SceneRec;
+use crate::PairwiseModel;
+use scenerec_autodiff::ParamStore;
+use scenerec_data::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A serializable snapshot of a trained SceneRec model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The model configuration (variant, dim, caps, seed).
+    pub config: SceneRecConfig,
+    /// All trained parameters.
+    pub params: ParamStore,
+}
+
+/// Errors raised on checkpoint load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem or JSON failure.
+    Io(String),
+    /// Unknown format version.
+    BadVersion(u32),
+    /// The stored parameters do not match the freshly built topology.
+    TopologyMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::TopologyMismatch(e) => {
+                write!(f, "checkpoint does not match the dataset/config: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Saves `model` to `path` as JSON.
+///
+/// # Errors
+/// Filesystem and serialization failures.
+pub fn save(model: &SceneRec, path: &Path) -> Result<(), CheckpointError> {
+    let ckpt = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        config: model.config().clone(),
+        params: model.store().clone(),
+    };
+    let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Loads a checkpoint from `path` and reconstructs the model over `data`.
+///
+/// # Errors
+/// See [`CheckpointError`]; in particular, loading against a dataset with
+/// different universe sizes is rejected.
+pub fn load(path: &Path, data: &Dataset) -> Result<SceneRec, CheckpointError> {
+    let json = fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let ckpt: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion(ckpt.version));
+    }
+    let mut model = SceneRec::new(ckpt.config, data);
+    validate_topology(model.store(), &ckpt.params)?;
+    *model.store_mut() = ckpt.params;
+    Ok(model)
+}
+
+fn validate_topology(fresh: &ParamStore, stored: &ParamStore) -> Result<(), CheckpointError> {
+    if fresh.len() != stored.len() {
+        return Err(CheckpointError::TopologyMismatch(format!(
+            "parameter count {} vs {}",
+            stored.len(),
+            fresh.len()
+        )));
+    }
+    for ((_, a), (_, b)) in fresh.iter().zip(stored.iter()) {
+        if a.name() != b.name() {
+            return Err(CheckpointError::TopologyMismatch(format!(
+                "parameter order differs: `{}` vs `{}`",
+                b.name(),
+                a.name()
+            )));
+        }
+        if a.value().shape() != b.value().shape() {
+            return Err(CheckpointError::TopologyMismatch(format!(
+                "`{}` shape {:?} vs {:?}",
+                a.name(),
+                b.value().shape(),
+                a.value().shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{test as eval_test, train, TrainConfig};
+    use scenerec_data::{generate, GeneratorConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("scenerec-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_reproduces_rankings() {
+        let data = generate(&GeneratorConfig::tiny(71)).unwrap();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let cfg = TrainConfig {
+            epochs: 2,
+            eval_every: 0,
+            patience: 0,
+            threads: 2,
+            ..TrainConfig::default()
+        };
+        train(&mut model, &data, &cfg);
+        let before = eval_test(&model, &data, &cfg);
+
+        let path = tmp("model.json");
+        save(&model, &path).unwrap();
+        let restored = load(&path, &data).unwrap();
+        let after = eval_test(&restored, &data, &cfg);
+        assert_eq!(before.ranks, after.ranks);
+        assert_eq!(restored.config().dim, 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_different_dataset() {
+        let data = generate(&GeneratorConfig::tiny(72)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let path = tmp("model2.json");
+        save(&model, &path).unwrap();
+
+        let mut other_cfg = GeneratorConfig::tiny(73);
+        other_cfg.num_items += 10; // different item universe
+        let other = generate(&other_cfg).unwrap();
+        let err = load(&path, &other).unwrap_err();
+        assert!(matches!(err, CheckpointError::TopologyMismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_bad_version() {
+        let data = generate(&GeneratorConfig::tiny(74)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let ckpt = Checkpoint {
+            version: 99,
+            config: model.config().clone(),
+            params: model.store().clone(),
+        };
+        let path = tmp("model3.json");
+        std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
+        assert!(matches!(
+            load(&path, &data).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let data = generate(&GeneratorConfig::tiny(75)).unwrap();
+        let err = load(Path::new("/nonexistent/model.json"), &data).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,222 @@
+//! SceneRec model configuration.
+
+use scenerec_autodiff::Act;
+use serde::{Deserialize, Serialize};
+
+/// Which published variant of SceneRec to instantiate (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full model.
+    Full,
+    /// `SceneRec-noitem`: no item-item subnetwork in the scene-based graph.
+    NoItem,
+    /// `SceneRec-nosce`: no category/scene layers; scene-based space keeps
+    /// only item-item relations with uniform aggregation.
+    NoScene,
+    /// `SceneRec-noatt`: attention replaced by uniform averaging on both
+    /// item-item and category-category relations.
+    NoAttention,
+}
+
+impl Variant {
+    /// Display name matching Table 2's row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "SceneRec",
+            Variant::NoItem => "SceneRec-noitem",
+            Variant::NoScene => "SceneRec-nosce",
+            Variant::NoAttention => "SceneRec-noatt",
+        }
+    }
+}
+
+/// Upper bounds on aggregated neighborhood sizes.
+///
+/// The paper trains on neighborhoods pruned at dataset-construction time
+/// (top-300 item co-views, top-100 category relations); these caps bound
+/// the per-example compute the same way at model level. Lists longer than
+/// a cap are subsampled deterministically with an even stride, preserving
+/// the weight-sorted head of each list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborCaps {
+    /// Max interacted items aggregated per user (Eq. 1).
+    pub user_items: usize,
+    /// Max engaged users aggregated per item (Eq. 2).
+    pub item_users: usize,
+    /// Max item-item neighbors attended over (Eq. 9).
+    pub item_item: usize,
+    /// Max category-category neighbors attended over (Eq. 4).
+    pub category_category: usize,
+}
+
+impl Default for NeighborCaps {
+    fn default() -> Self {
+        NeighborCaps {
+            user_items: 64,
+            item_users: 64,
+            item_item: 24,
+            category_category: 24,
+        }
+    }
+}
+
+impl NeighborCaps {
+    /// Applies a cap by even-stride subsampling: indices
+    /// `0, ceil(n/k), 2*ceil(n/k), …` of the original list.
+    pub fn subsample(list: &[u32], cap: usize) -> Vec<u32> {
+        if list.len() <= cap {
+            return list.to_vec();
+        }
+        let stride = list.len() as f64 / cap as f64;
+        (0..cap)
+            .map(|i| list[(i as f64 * stride) as usize])
+            .collect()
+    }
+}
+
+/// Hyper-parameters of the SceneRec network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneRecConfig {
+    /// Embedding dimension `d` (paper: 64).
+    pub dim: usize,
+    /// Variant to instantiate.
+    pub variant: Variant,
+    /// Hidden activation `σ` for Eqs. 1, 2, 7, 12 (paper leaves it
+    /// unspecified; ReLU by default).
+    pub activation: ActChoice,
+    /// Hidden sizes of the fusion MLP `F` of Eq. 13 (input is `2d`,
+    /// output `d`).
+    pub fusion_hidden: Vec<usize>,
+    /// Hidden sizes of the rating MLP `F` of Eq. 14 (input `2d`,
+    /// output 1).
+    pub rating_hidden: Vec<usize>,
+    /// Neighborhood caps.
+    pub caps: NeighborCaps,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+/// Serializable activation choice (maps onto [`Act`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ActChoice {
+    /// ReLU (default).
+    #[default]
+    Relu,
+    /// Sigmoid.
+    Sigmoid,
+    /// Tanh.
+    Tanh,
+}
+
+impl From<ActChoice> for Act {
+    fn from(c: ActChoice) -> Act {
+        match c {
+            ActChoice::Relu => Act::Relu,
+            ActChoice::Sigmoid => Act::Sigmoid,
+            ActChoice::Tanh => Act::Tanh,
+        }
+    }
+}
+
+impl Default for SceneRecConfig {
+    fn default() -> Self {
+        SceneRecConfig {
+            dim: 32,
+            variant: Variant::Full,
+            activation: ActChoice::Relu,
+            fusion_hidden: vec![],
+            rating_hidden: vec![32],
+            caps: NeighborCaps::default(),
+            seed: 7,
+        }
+    }
+}
+
+impl SceneRecConfig {
+    /// Paper-faithful configuration: `d = 64` (§5.3).
+    pub fn paper() -> Self {
+        SceneRecConfig {
+            dim: 64,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the variant.
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the embedding dimension.
+    pub fn with_dim(mut self, d: usize) -> Self {
+        self.dim = d;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_table2() {
+        assert_eq!(Variant::Full.name(), "SceneRec");
+        assert_eq!(Variant::NoItem.name(), "SceneRec-noitem");
+        assert_eq!(Variant::NoScene.name(), "SceneRec-nosce");
+        assert_eq!(Variant::NoAttention.name(), "SceneRec-noatt");
+    }
+
+    #[test]
+    fn subsample_short_list_is_identity() {
+        let v = vec![1, 2, 3];
+        assert_eq!(NeighborCaps::subsample(&v, 5), v);
+        assert_eq!(NeighborCaps::subsample(&v, 3), v);
+    }
+
+    #[test]
+    fn subsample_long_list_strides() {
+        let v: Vec<u32> = (0..10).collect();
+        let s = NeighborCaps::subsample(&v, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], 0);
+        // Strictly increasing, all members of the original.
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn subsample_cap_one_keeps_head() {
+        let v: Vec<u32> = (0..10).collect();
+        assert_eq!(NeighborCaps::subsample(&v, 1), vec![0]);
+    }
+
+    #[test]
+    fn paper_config_dim() {
+        assert_eq!(SceneRecConfig::paper().dim, 64);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = SceneRecConfig::default()
+            .with_variant(Variant::NoItem)
+            .with_dim(16)
+            .with_seed(3);
+        assert_eq!(c.variant, Variant::NoItem);
+        assert_eq!(c.dim, 16);
+        assert_eq!(c.seed, 3);
+    }
+
+    #[test]
+    fn act_choice_maps() {
+        assert_eq!(Act::from(ActChoice::Relu), Act::Relu);
+        assert_eq!(Act::from(ActChoice::Tanh), Act::Tanh);
+        assert_eq!(Act::from(ActChoice::Sigmoid), Act::Sigmoid);
+    }
+}

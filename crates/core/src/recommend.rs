@@ -1,0 +1,132 @@
+//! Top-K recommendation: the serving-side API a downstream user calls
+//! once a model is trained.
+
+use crate::api::PairwiseModel;
+use scenerec_graph::{ItemId, UserId};
+use std::collections::HashSet;
+
+/// One ranked recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The recommended item.
+    pub item: ItemId,
+    /// The model's preference score.
+    pub score: f32,
+}
+
+/// Scores every item in `0..num_items` for `user`, excluding `seen`, and
+/// returns the `k` highest-scoring items in descending score order.
+///
+/// Candidates are scored in chunks so tape memory stays bounded even at
+/// paper-scale catalogs.
+pub fn top_k_for_user<M: PairwiseModel + Sync>(
+    model: &M,
+    user: UserId,
+    num_items: u32,
+    k: usize,
+    seen: &HashSet<u32>,
+) -> Vec<Recommendation> {
+    const CHUNK: usize = 512;
+    let candidates: Vec<ItemId> = (0..num_items)
+        .filter(|i| !seen.contains(i))
+        .map(ItemId)
+        .collect();
+    let mut scored: Vec<Recommendation> = Vec::with_capacity(candidates.len());
+    for chunk in candidates.chunks(CHUNK) {
+        let scores = model.score_values(user, chunk);
+        scored.extend(
+            chunk
+                .iter()
+                .zip(scores)
+                .map(|(&item, score)| Recommendation { item, score }),
+        );
+    }
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// Convenience: top-K excluding the user's training interactions.
+pub fn top_k_unseen<M: PairwiseModel + Sync>(
+    model: &M,
+    data: &scenerec_data::Dataset,
+    user: UserId,
+    k: usize,
+) -> Vec<Recommendation> {
+    let seen: HashSet<u32> = data
+        .train_graph
+        .items_of(user)
+        .iter()
+        .copied()
+        .collect();
+    top_k_for_user(model, user, data.num_items(), k, &seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneRecConfig;
+    use crate::model::SceneRec;
+    use scenerec_data::{generate, GeneratorConfig};
+
+    fn setup() -> (SceneRec, scenerec_data::Dataset) {
+        let data = generate(&GeneratorConfig::tiny(61)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        (model, data)
+    }
+
+    #[test]
+    fn returns_k_sorted_unseen_items() {
+        let (model, data) = setup();
+        let user = UserId(0);
+        let recs = top_k_unseen(&model, &data, user, 5);
+        assert_eq!(recs.len(), 5);
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let seen: HashSet<u32> = data.train_graph.items_of(user).iter().copied().collect();
+        for r in &recs {
+            assert!(!seen.contains(&r.item.raw()), "recommended a seen item");
+        }
+    }
+
+    #[test]
+    fn exclusion_set_is_respected() {
+        let (model, data) = setup();
+        let exclude: HashSet<u32> = (0..data.num_items() - 3).collect();
+        let recs = top_k_for_user(&model, UserId(1), data.num_items(), 10, &exclude);
+        // Only 3 candidates remain.
+        assert_eq!(recs.len(), 3);
+        for r in &recs {
+            assert!(r.item.raw() >= data.num_items() - 3);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_catalog_returns_all() {
+        let (model, data) = setup();
+        let recs = top_k_for_user(
+            &model,
+            UserId(2),
+            data.num_items(),
+            10_000,
+            &HashSet::new(),
+        );
+        assert_eq!(recs.len(), data.num_items() as usize);
+    }
+
+    #[test]
+    fn scores_match_direct_scoring() {
+        let (model, data) = setup();
+        use crate::api::PairwiseModel as _;
+        let recs = top_k_unseen(&model, &data, UserId(3), 3);
+        for r in &recs {
+            let direct = model.score_values(UserId(3), &[r.item]);
+            assert!((direct[0] - r.score).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The §5.3 hyper-parameter grid search.
+//!
+//! The paper tunes the learning rate over {1e-4, 1e-3, 1e-2, 1e-1} and the
+//! L2 coefficient λ over {0, 1e-6, 1e-4, 1e-2} on the validation split.
+//! [`grid_search`] reproduces that procedure for any model constructor.
+
+use crate::api::PairwiseModel;
+use crate::trainer::{train, validate, TrainConfig};
+use scenerec_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The paper's learning-rate grid.
+pub const PAPER_LR_GRID: [f32; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+/// The paper's λ grid.
+pub const PAPER_LAMBDA_GRID: [f32; 4] = [0.0, 1e-6, 1e-4, 1e-2];
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Learning rate of this cell.
+    pub learning_rate: f32,
+    /// λ of this cell.
+    pub lambda: f32,
+    /// Validation NDCG@K after training.
+    pub val_ndcg: f32,
+    /// Validation HR@K after training.
+    pub val_hr: f32,
+}
+
+/// Full sweep outcome, sorted by descending validation NDCG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSearchReport {
+    /// Every evaluated cell.
+    pub points: Vec<GridPoint>,
+}
+
+impl GridSearchReport {
+    /// The winning cell.
+    ///
+    /// # Panics
+    /// Panics when the sweep was empty.
+    pub fn best(&self) -> &GridPoint {
+        self.points.first().expect("non-empty grid")
+    }
+}
+
+/// Runs the grid search: `make_model` constructs a fresh model per cell
+/// (same seed ⇒ same initialization, isolating the hyper-parameter
+/// effect), trains it with `base` (lr and λ overridden per cell), and
+/// scores the validation split.
+pub fn grid_search<M, F>(
+    make_model: F,
+    data: &Dataset,
+    base: &TrainConfig,
+    lr_grid: &[f32],
+    lambda_grid: &[f32],
+) -> GridSearchReport
+where
+    M: PairwiseModel + Sync,
+    F: Fn() -> M,
+{
+    let mut points = Vec::with_capacity(lr_grid.len() * lambda_grid.len());
+    for &lr in lr_grid {
+        for &lambda in lambda_grid {
+            let mut cfg = base.clone();
+            cfg.learning_rate = lr;
+            cfg.lambda = lambda;
+            let mut model = make_model();
+            train(&mut model, data, &cfg);
+            let summary = validate(&model, data, &cfg);
+            points.push(GridPoint {
+                learning_rate: lr,
+                lambda,
+                val_ndcg: summary.metrics.ndcg,
+                val_hr: summary.metrics.hr,
+            });
+        }
+    }
+    points.sort_by(|a, b| {
+        b.val_ndcg
+            .partial_cmp(&a.val_ndcg)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    GridSearchReport { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SceneRecConfig;
+    use crate::model::SceneRec;
+    use crate::trainer::OptimizerKind;
+    use scenerec_data::{generate, GeneratorConfig};
+
+    #[test]
+    fn grid_search_ranks_cells() {
+        let data = generate(&GeneratorConfig::tiny(51)).unwrap();
+        let base = TrainConfig {
+            epochs: 1,
+            eval_every: 0,
+            patience: 0,
+            optimizer: OptimizerKind::RmsProp,
+            threads: 2,
+            ..TrainConfig::default()
+        };
+        let report = grid_search(
+            || SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(1), &data),
+            &data,
+            &base,
+            &[1e-3, 1e-2],
+            &[0.0],
+        );
+        assert_eq!(report.points.len(), 2);
+        // Sorted descending.
+        assert!(report.points[0].val_ndcg >= report.points[1].val_ndcg);
+        let best = report.best();
+        assert!(best.val_ndcg >= 0.0);
+    }
+
+    #[test]
+    fn paper_grids_have_right_sizes() {
+        assert_eq!(PAPER_LR_GRID.len(), 4);
+        assert_eq!(PAPER_LAMBDA_GRID.len(), 4);
+        assert!(PAPER_LAMBDA_GRID.contains(&0.0));
+    }
+}

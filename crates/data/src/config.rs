@@ -1,0 +1,218 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the synthetic dataset generator.
+///
+/// Defaults produce a laptop-scale dataset that trains every model in the
+/// comparison within seconds while preserving the structural ratios of the
+/// paper's Table 1 (items ≫ users, a few dozen-to-hundred categories, a
+/// few dozen-to-hundred scenes, dense item-item co-view lists).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// RNG seed; everything downstream is deterministic in this seed.
+    pub seed: u64,
+    /// Number of users.
+    pub num_users: u32,
+    /// Number of items.
+    pub num_items: u32,
+    /// Number of item categories.
+    pub num_categories: u32,
+    /// Number of scenes.
+    pub num_scenes: u32,
+    /// Minimum categories per scene (Definition 3.1 requires ≥ 1).
+    pub scene_size_min: u32,
+    /// Maximum categories per scene.
+    pub scene_size_max: u32,
+    /// Minimum interactions (clicks) drawn per user.
+    pub interactions_min: u32,
+    /// Maximum interactions drawn per user.
+    pub interactions_max: u32,
+    /// Number of preferred scenes per user.
+    pub scenes_per_user: u32,
+    /// Number of latent taste categories per user.
+    pub tastes_per_user: u32,
+    /// Mixture weight of scene-coherent choices (the signal SceneRec
+    /// exploits). Must sum with the other two weights to ~1.
+    pub p_scene: f32,
+    /// Mixture weight of latent-taste choices (the collaborative signal).
+    pub p_taste: f32,
+    /// Mixture weight of popularity noise.
+    pub p_noise: f32,
+    /// Zipf exponent for within-category item popularity.
+    pub popularity_exponent: f64,
+    /// Items viewed (not necessarily clicked) per session, driving the
+    /// co-view graph.
+    pub session_length: u32,
+    /// Extra view-only sessions per user.
+    pub extra_sessions_per_user: u32,
+    /// Top-K pruning of per-item co-view lists (paper: 300).
+    pub item_top_k: usize,
+    /// Top-K pruning of per-category relevance lists (paper: 100).
+    pub category_top_k: usize,
+    /// Negatives sampled per evaluation instance (paper: 100).
+    pub eval_negatives: u32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            name: "synthetic".to_owned(),
+            seed: 42,
+            num_users: 300,
+            num_items: 1500,
+            num_categories: 40,
+            num_scenes: 25,
+            scene_size_min: 2,
+            scene_size_max: 6,
+            interactions_min: 15,
+            interactions_max: 40,
+            scenes_per_user: 2,
+            tastes_per_user: 3,
+            p_scene: 0.5,
+            p_taste: 0.35,
+            p_noise: 0.15,
+            popularity_exponent: 1.0,
+            session_length: 8,
+            extra_sessions_per_user: 2,
+            item_top_k: 50,
+            category_top_k: 20,
+            eval_negatives: 100,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A tiny configuration for unit tests (trains in milliseconds).
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            name: "tiny".to_owned(),
+            seed,
+            num_users: 40,
+            num_items: 120,
+            num_categories: 10,
+            num_scenes: 6,
+            scene_size_min: 2,
+            scene_size_max: 4,
+            interactions_min: 8,
+            interactions_max: 16,
+            scenes_per_user: 2,
+            tastes_per_user: 2,
+            p_scene: 0.5,
+            p_taste: 0.35,
+            p_noise: 0.15,
+            popularity_exponent: 1.0,
+            session_length: 5,
+            extra_sessions_per_user: 1,
+            item_top_k: 15,
+            category_top_k: 6,
+            eval_negatives: 20,
+        }
+    }
+
+    /// Validates internal consistency; returns a human-readable reason on
+    /// failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_users == 0 || self.num_items == 0 {
+            return Err("users and items must be non-zero".into());
+        }
+        if self.num_categories == 0 || self.num_scenes == 0 {
+            return Err("categories and scenes must be non-zero".into());
+        }
+        if self.scene_size_min == 0 {
+            return Err("scene_size_min must be >= 1 (Definition 3.1)".into());
+        }
+        if self.scene_size_min > self.scene_size_max {
+            return Err("scene_size_min > scene_size_max".into());
+        }
+        if self.scene_size_max > self.num_categories {
+            return Err("scene_size_max exceeds number of categories".into());
+        }
+        if self.interactions_min == 0 || self.interactions_min > self.interactions_max {
+            return Err("invalid interactions range".into());
+        }
+        // Need enough leftover positives for train after holding out 2.
+        if self.interactions_min < 3 {
+            return Err("interactions_min must be >= 3 for leave-one-out".into());
+        }
+        let psum = self.p_scene + self.p_taste + self.p_noise;
+        if (psum - 1.0).abs() > 1e-3 {
+            return Err(format!("mixture weights sum to {psum}, expected 1.0"));
+        }
+        if self.eval_negatives == 0 {
+            return Err("eval_negatives must be >= 1".into());
+        }
+        if (self.eval_negatives as u64) >= self.num_items as u64 {
+            return Err("eval_negatives must be < num_items".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        GeneratorConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        GeneratorConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_users() {
+        let mut c = GeneratorConfig::default();
+        c.num_users = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_scene_bound() {
+        let mut c = GeneratorConfig::default();
+        c.scene_size_min = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_mixture() {
+        let mut c = GeneratorConfig::default();
+        c.p_scene = 0.9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_scene_larger_than_universe() {
+        let mut c = GeneratorConfig::default();
+        c.scene_size_max = c.num_categories + 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_negatives() {
+        let mut c = GeneratorConfig::tiny(0);
+        c.eval_negatives = c.num_items;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_interactions() {
+        let mut c = GeneratorConfig::default();
+        c.interactions_min = 2;
+        c.interactions_max = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = GeneratorConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,128 @@
+//! The assembled dataset: graphs, split and generator ground truth.
+
+use crate::config::GeneratorConfig;
+use crate::split::LeaveOneOutSplit;
+use scenerec_graph::{BipartiteGraph, DatasetStats, SceneGraph};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Latent profiles the simulator drew for each user — retained so tests and
+/// case studies can verify that learned attention correlates with the
+/// planted scene structure. Models must never read this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// `user_scenes[u]` = scenes user `u` prefers.
+    pub user_scenes: Vec<Vec<u32>>,
+    /// `user_tastes[u]` = latent taste categories of user `u`.
+    pub user_tastes: Vec<Vec<u32>>,
+}
+
+/// A complete generated dataset, mirroring what the paper builds from
+/// JD.com logs (§5.1): the user-item bipartite graph plus the scene-based
+/// graph, with the leave-one-out split applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Display name ("Electronics", …).
+    pub name: String,
+    /// The generator configuration that produced this dataset.
+    pub config: GeneratorConfig,
+    /// All user-item interactions (train + held-out).
+    pub interactions: BipartiteGraph,
+    /// Training interactions only — **models must train and aggregate
+    /// neighborhoods on this graph**, never on `interactions`.
+    pub train_graph: BipartiteGraph,
+    /// The 3-layer scene-based graph `H`.
+    pub scene_graph: SceneGraph,
+    /// Leave-one-out split with sampled negatives.
+    pub split: LeaveOneOutSplit,
+    /// Simulator ground truth (diagnostics only).
+    pub ground_truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Table-1 statistics of this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.name, &self.interactions, &self.scene_graph)
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.interactions.num_users()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.interactions.num_items()
+    }
+
+    /// Returns a copy of the dataset with the scene layer replaced (used
+    /// by scene mining to evaluate mined scenes end-to-end against the
+    /// expert taxonomy).
+    ///
+    /// # Errors
+    /// Propagates scene-graph validation failures as strings.
+    pub fn with_scene_layer(&self, scenes: &[Vec<u32>]) -> Result<Dataset, String> {
+        let scene_graph = self
+            .scene_graph
+            .with_scenes(scenes)
+            .map_err(|e| e.to_string())?;
+        Ok(Dataset {
+            scene_graph,
+            ..self.clone()
+        })
+    }
+
+    /// Serializes the dataset to pretty JSON at `path`.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Loads a dataset previously written by [`Dataset::save_json`].
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    fn dataset() -> Dataset {
+        generate(&GeneratorConfig::tiny(3)).unwrap()
+    }
+
+    #[test]
+    fn stats_reflect_graphs() {
+        let d = dataset();
+        let s = d.stats();
+        assert_eq!(s.user_item.num_a, d.num_users() as u64);
+        assert_eq!(s.user_item.num_b, d.num_items() as u64);
+        assert_eq!(
+            s.user_item.num_edges,
+            d.interactions.num_interactions() as u64
+        );
+        assert_eq!(s.item_category.num_edges, d.num_items() as u64);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = dataset();
+        let dir = std::env::temp_dir().join("scenerec-data-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        d.save_json(&path).unwrap();
+        let back = Dataset::load_json(&path).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = Dataset::load_json(Path::new("/nonexistent/nope.json"));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Zipf-distributed popularity sampling.
+//!
+//! E-commerce item popularity is heavy-tailed; the simulator draws items
+//! with probability ∝ `1 / rank^s` inside each category, and globally for
+//! the noise mixture component. Sampling is O(log n) by binary search over
+//! a cumulative weight table.
+
+use rand::Rng;
+
+/// A discrete distribution sampled by inverse CDF binary search.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    /// Cumulative weights; `cumulative.last()` is the total mass.
+    cumulative: Vec<f64>,
+    /// Values aligned with `cumulative`.
+    values: Vec<u32>,
+}
+
+impl WeightedSampler {
+    /// Builds a sampler over `(value, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics when `pairs` is empty or any weight is non-positive.
+    pub fn new(pairs: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let mut cumulative = Vec::new();
+        let mut values = Vec::new();
+        let mut total = 0.0f64;
+        for (v, w) in pairs {
+            assert!(w > 0.0, "weights must be positive");
+            total += w;
+            cumulative.push(total);
+            values.push(v);
+        }
+        assert!(!values.is_empty(), "sampler needs at least one value");
+        WeightedSampler { cumulative, values }
+    }
+
+    /// Builds a Zipf sampler over `values` in the given order: the first
+    /// value has rank 1 (most popular), weight `1 / rank^s`.
+    pub fn zipf(values: impl IntoIterator<Item = u32>, exponent: f64) -> Self {
+        Self::new(
+            values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v, 1.0 / ((i + 1) as f64).powf(exponent))),
+        )
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false (construction rejects empty samplers).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Probability mass of the value at `index`.
+    pub fn probability_at(&self, index: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if index == 0 {
+            0.0
+        } else {
+            self.cumulative[index - 1]
+        };
+        (self.cumulative[index] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_matches_weights() {
+        let s = WeightedSampler::new(vec![(10, 1.0), (20, 3.0)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let hits20 = (0..n).filter(|_| s.sample(&mut rng) == 20).count();
+        let frac = hits20 as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn zipf_head_is_heavier() {
+        let s = WeightedSampler::zipf(0..100, 1.0);
+        assert!(s.probability_at(0) > s.probability_at(50));
+        assert!(s.probability_at(1) > s.probability_at(99));
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let s = WeightedSampler::zipf(0..4, 0.0);
+        for i in 0..4 {
+            assert!((s.probability_at(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_value_sampler() {
+        let s = WeightedSampler::new(vec![(7, 2.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler needs at least one value")]
+    fn empty_sampler_panics() {
+        let _ = WeightedSampler::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_weight_panics() {
+        let _ = WeightedSampler::new(vec![(1, 0.0)]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = WeightedSampler::zipf(0..50, 1.2);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

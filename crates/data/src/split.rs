@@ -1,0 +1,245 @@
+//! Leave-one-out evaluation split (§5.3 of the paper).
+//!
+//! For each user: hold out one positive for validation and one for test,
+//! each paired with `eval_negatives` (paper: 100) items the user never
+//! interacted with; the remaining positives form the training set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use scenerec_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One ranked evaluation instance: a held-out positive plus sampled
+/// negatives. The model ranks `positive` against `negatives`; HR@K /
+/// NDCG@K score the position of the positive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalInstance {
+    /// The evaluated user.
+    pub user: UserId,
+    /// The held-out positive item.
+    pub positive: ItemId,
+    /// Sampled unobserved items.
+    pub negatives: Vec<ItemId>,
+}
+
+impl EvalInstance {
+    /// All candidate items: the positive followed by the negatives.
+    pub fn candidates(&self) -> Vec<ItemId> {
+        let mut v = Vec::with_capacity(1 + self.negatives.len());
+        v.push(self.positive);
+        v.extend_from_slice(&self.negatives);
+        v
+    }
+}
+
+/// The full leave-one-out split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaveOneOutSplit {
+    /// Training interactions `(user, item)`.
+    pub train: Vec<(UserId, ItemId)>,
+    /// One validation instance per eligible user.
+    pub validation: Vec<EvalInstance>,
+    /// One test instance per eligible user.
+    pub test: Vec<EvalInstance>,
+}
+
+impl LeaveOneOutSplit {
+    /// Builds the split from per-user positive lists.
+    ///
+    /// Users with fewer than 3 positives contribute all their interactions
+    /// to training and are skipped in evaluation (they cannot spare two
+    /// held-out items), mirroring common practice.
+    ///
+    /// `num_items` is the item universe for negative sampling. When a
+    /// user has interacted with so much of the catalog that fewer than
+    /// `eval_negatives` unseen items remain, the instance gets all of the
+    /// remaining unseen items instead (relevant only for degenerate
+    /// configurations).
+    pub fn build(
+        user_positives: &[Vec<u32>],
+        num_items: u32,
+        eval_negatives: u32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut train = Vec::new();
+        let mut validation = Vec::new();
+        let mut test = Vec::new();
+
+        for (u, positives) in user_positives.iter().enumerate() {
+            let user = UserId(u as u32);
+            if positives.len() < 3 {
+                for &i in positives {
+                    train.push((user, ItemId(i)));
+                }
+                continue;
+            }
+            let mut pool = positives.clone();
+            pool.shuffle(rng);
+            let test_pos = pool.pop().expect("len >= 3");
+            let valid_pos = pool.pop().expect("len >= 3");
+            for &i in &pool {
+                train.push((user, ItemId(i)));
+            }
+
+            let seen: HashSet<u32> = positives.iter().copied().collect();
+            // The pool of unseen items bounds how many distinct negatives
+            // exist; clamp so degenerate configs (tiny catalogs, heavy
+            // users) terminate instead of spinning.
+            let available = (num_items as usize).saturating_sub(seen.len());
+            let target = (eval_negatives as usize).min(available);
+            let sample_negs = |rng: &mut dyn rand::RngCore| -> Vec<ItemId> {
+                let mut negs = Vec::with_capacity(target);
+                let mut taken = HashSet::new();
+                while negs.len() < target {
+                    let cand = rng.gen_range(0..num_items);
+                    if !seen.contains(&cand) && taken.insert(cand) {
+                        negs.push(ItemId(cand));
+                    }
+                }
+                negs
+            };
+
+            validation.push(EvalInstance {
+                user,
+                positive: ItemId(valid_pos),
+                negatives: sample_negs(rng),
+            });
+            test.push(EvalInstance {
+                user,
+                positive: ItemId(test_pos),
+                negatives: sample_negs(rng),
+            });
+        }
+
+        LeaveOneOutSplit {
+            train,
+            validation,
+            test,
+        }
+    }
+
+    /// Number of training interactions.
+    pub fn num_train(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of evaluated users.
+    pub fn num_eval_users(&self) -> usize {
+        self.test.len()
+    }
+
+    /// Training positives per user, as adjacency lists over `num_users`.
+    pub fn train_adjacency(&self, num_users: u32) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); num_users as usize];
+        for &(u, i) in &self.train {
+            adj[u.index()].push(i.raw());
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn positives() -> Vec<Vec<u32>> {
+        vec![
+            vec![0, 1, 2, 3, 4], // eligible
+            vec![5, 6],          // too few -> train only
+            vec![7, 8, 9],       // eligible (minimum)
+        ]
+    }
+
+    #[test]
+    fn holds_out_two_per_eligible_user() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = LeaveOneOutSplit::build(&positives(), 50, 10, &mut rng);
+        assert_eq!(s.validation.len(), 2);
+        assert_eq!(s.test.len(), 2);
+        // total = 10 positives, 4 held out.
+        assert_eq!(s.num_train(), 6);
+    }
+
+    #[test]
+    fn held_out_items_do_not_appear_in_train() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = LeaveOneOutSplit::build(&positives(), 50, 10, &mut rng);
+        for inst in s.validation.iter().chain(&s.test) {
+            assert!(!s
+                .train
+                .iter()
+                .any(|&(u, i)| u == inst.user && i == inst.positive));
+        }
+    }
+
+    #[test]
+    fn validation_and_test_positives_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = LeaveOneOutSplit::build(&positives(), 50, 10, &mut rng);
+        for (v, t) in s.validation.iter().zip(&s.test) {
+            assert_eq!(v.user, t.user);
+            assert_ne!(v.positive, t.positive);
+        }
+    }
+
+    #[test]
+    fn negatives_are_unseen_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = LeaveOneOutSplit::build(&positives(), 50, 25, &mut rng);
+        let pos = positives();
+        for inst in s.validation.iter().chain(&s.test) {
+            assert_eq!(inst.negatives.len(), 25);
+            let seen: HashSet<u32> = pos[inst.user.index()].iter().copied().collect();
+            let mut uniq = HashSet::new();
+            for n in &inst.negatives {
+                assert!(!seen.contains(&n.raw()), "negative was a positive");
+                assert!(uniq.insert(n.raw()), "duplicate negative");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_puts_positive_first() {
+        let inst = EvalInstance {
+            user: UserId(0),
+            positive: ItemId(9),
+            negatives: vec![ItemId(1), ItemId(2)],
+        };
+        assert_eq!(
+            inst.candidates(),
+            vec![ItemId(9), ItemId(1), ItemId(2)]
+        );
+    }
+
+    #[test]
+    fn train_adjacency_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = LeaveOneOutSplit::build(&positives(), 50, 5, &mut rng);
+        let adj = s.train_adjacency(3);
+        assert_eq!(adj.len(), 3);
+        assert_eq!(adj[1], vec![5, 6]);
+        assert_eq!(adj.iter().map(Vec::len).sum::<usize>(), s.num_train());
+    }
+
+    #[test]
+    fn small_catalog_clamps_negatives_instead_of_hanging() {
+        // User knows 5 of 8 items; only 3 unseen remain but 10 negatives
+        // are requested — the split must clamp, not spin.
+        let positives = vec![vec![0, 1, 2, 3, 4]];
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = LeaveOneOutSplit::build(&positives, 8, 10, &mut rng);
+        assert_eq!(s.validation.len(), 1);
+        assert_eq!(s.validation[0].negatives.len(), 3);
+        assert_eq!(s.test[0].negatives.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s1 = LeaveOneOutSplit::build(&positives(), 50, 10, &mut StdRng::seed_from_u64(7));
+        let s2 = LeaveOneOutSplit::build(&positives(), 50, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(s1, s2);
+    }
+}

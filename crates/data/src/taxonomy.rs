@@ -1,0 +1,211 @@
+//! Scene taxonomy generation: scenes as overlapping sets of categories,
+//! plus the item → category assignment.
+//!
+//! In the paper this structure is curated by an expert team ("about 10
+//! operations staff" proposing scenes, refined by 3 labeling engineers).
+//! The generator replaces that manual step with a stochastic construction
+//! that matches its observable output: every scene holds `scene_size_min
+//! ..= scene_size_max` distinct categories, categories may belong to
+//! several scenes, and item counts per category are roughly balanced with
+//! Zipf-ish skew.
+
+use crate::config::GeneratorConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use scenerec_graph::{CategoryId, ItemId, SceneId};
+use serde::{Deserialize, Serialize};
+
+/// A generated scene taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Taxonomy {
+    /// `scene_categories[s]` = member categories of scene `s` (sorted).
+    pub scene_categories: Vec<Vec<u32>>,
+    /// `item_category[i]` = the category of item `i`.
+    pub item_category: Vec<u32>,
+    /// `category_items[c]` = items of category `c`, ordered by descending
+    /// within-category popularity rank.
+    pub category_items: Vec<Vec<u32>>,
+}
+
+impl Taxonomy {
+    /// Generates a taxonomy from the configuration.
+    pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Self {
+        // --- scenes: sample distinct categories per scene -----------------
+        let all_categories: Vec<u32> = (0..cfg.num_categories).collect();
+        let mut scene_categories = Vec::with_capacity(cfg.num_scenes as usize);
+        for _ in 0..cfg.num_scenes {
+            let size = rng.gen_range(cfg.scene_size_min..=cfg.scene_size_max) as usize;
+            let mut cats: Vec<u32> = all_categories
+                .choose_multiple(rng, size)
+                .copied()
+                .collect();
+            cats.sort_unstable();
+            scene_categories.push(cats);
+        }
+
+        // --- items: assign categories with mild skew ----------------------
+        // Categories get weights ∝ 1/rank^0.5 so some categories are large
+        // (like "Mobile Phone") and some small, then every category is
+        // guaranteed at least one item by round-robin seeding.
+        let mut item_category = vec![0u32; cfg.num_items as usize];
+        let mut category_items: Vec<Vec<u32>> =
+            vec![Vec::new(); cfg.num_categories as usize];
+        let cat_sampler =
+            crate::popularity::WeightedSampler::zipf(0..cfg.num_categories, 0.5);
+        for i in 0..cfg.num_items {
+            let c = if i < cfg.num_categories {
+                i // seed each category with one item
+            } else {
+                cat_sampler.sample(rng)
+            };
+            item_category[i as usize] = c;
+            category_items[c as usize].push(i);
+        }
+        // Popularity order within each category: shuffle once so that item
+        // index does not correlate with popularity.
+        for items in &mut category_items {
+            items.shuffle(rng);
+        }
+
+        Taxonomy {
+            scene_categories,
+            item_category,
+            category_items,
+        }
+    }
+
+    /// Number of scenes.
+    pub fn num_scenes(&self) -> u32 {
+        self.scene_categories.len() as u32
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> u32 {
+        self.category_items.len() as u32
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.item_category.len() as u32
+    }
+
+    /// The category of an item.
+    pub fn category_of(&self, i: ItemId) -> CategoryId {
+        CategoryId(self.item_category[i.index()])
+    }
+
+    /// Member categories of a scene.
+    pub fn categories_of(&self, s: SceneId) -> &[u32] {
+        &self.scene_categories[s.index()]
+    }
+
+    /// Scenes containing a category (linear scan; used during generation
+    /// only).
+    pub fn scenes_containing(&self, c: CategoryId) -> Vec<u32> {
+        self.scene_categories
+            .iter()
+            .enumerate()
+            .filter(|(_, cats)| cats.binary_search(&c.raw()).is_ok())
+            .map(|(s, _)| s as u32)
+            .collect()
+    }
+
+    /// True when two categories share at least one scene — the ground-truth
+    /// relevance used to "label" category-category edges.
+    pub fn share_scene(&self, a: CategoryId, b: CategoryId) -> bool {
+        self.scene_categories.iter().any(|cats| {
+            cats.binary_search(&a.raw()).is_ok() && cats.binary_search(&b.raw()).is_ok()
+        })
+    }
+
+    /// Total scene-category membership edges.
+    pub fn num_memberships(&self) -> usize {
+        self.scene_categories.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn taxonomy() -> Taxonomy {
+        let cfg = GeneratorConfig::tiny(5);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        Taxonomy::generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn scene_sizes_respect_bounds() {
+        let cfg = GeneratorConfig::tiny(5);
+        let t = taxonomy();
+        assert_eq!(t.num_scenes(), cfg.num_scenes);
+        for s in &t.scene_categories {
+            assert!(s.len() >= cfg.scene_size_min as usize);
+            assert!(s.len() <= cfg.scene_size_max as usize);
+            // distinct & sorted
+            let mut sorted = s.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, s);
+        }
+    }
+
+    #[test]
+    fn every_item_has_a_category_and_every_category_an_item() {
+        let cfg = GeneratorConfig::tiny(5);
+        let t = taxonomy();
+        assert_eq!(t.num_items(), cfg.num_items);
+        for &c in &t.item_category {
+            assert!(c < cfg.num_categories);
+        }
+        for items in &t.category_items {
+            assert!(!items.is_empty(), "category with no items");
+        }
+        // category_items is the inverse of item_category.
+        let total: usize = t.category_items.iter().map(Vec::len).sum();
+        assert_eq!(total, cfg.num_items as usize);
+    }
+
+    #[test]
+    fn scenes_containing_is_consistent() {
+        let t = taxonomy();
+        for (s, cats) in t.scene_categories.iter().enumerate() {
+            for &c in cats {
+                assert!(t
+                    .scenes_containing(CategoryId(c))
+                    .contains(&(s as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn share_scene_symmetry() {
+        let t = taxonomy();
+        for a in 0..t.num_categories() {
+            for b in 0..t.num_categories() {
+                assert_eq!(
+                    t.share_scene(CategoryId(a), CategoryId(b)),
+                    t.share_scene(CategoryId(b), CategoryId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::tiny(5);
+        let t1 = Taxonomy::generate(&cfg, &mut StdRng::seed_from_u64(3));
+        let t2 = Taxonomy::generate(&cfg, &mut StdRng::seed_from_u64(3));
+        let t3 = Taxonomy::generate(&cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn membership_count() {
+        let t = taxonomy();
+        let expected: usize = t.scene_categories.iter().map(Vec::len).sum();
+        assert_eq!(t.num_memberships(), expected);
+    }
+}

@@ -1,0 +1,197 @@
+//! Ranking metrics for single-positive evaluation instances.
+
+use serde::{Deserialize, Serialize};
+
+/// Rank of the positive among the candidates, given the positive's score
+/// and the negatives' scores.
+///
+/// Rank 0 means the positive scored highest. Ties are broken
+/// *pessimistically* for ranks (a tied negative is counted as beating the
+/// positive); this avoids inflating metrics for degenerate models that
+/// output a constant score — such a model gets rank = #negatives, HR = 0,
+/// rather than a perfect score.
+///
+/// ```
+/// use scenerec_eval::{rank_of_positive, hit_at_k, ndcg_at_k};
+///
+/// let rank = rank_of_positive(0.8, &[0.9, 0.5, 0.1]); // one negative wins
+/// assert_eq!(rank, 1);
+/// assert_eq!(hit_at_k(rank, 10), 1.0);
+/// assert!(ndcg_at_k(rank, 10) < 1.0);
+/// ```
+pub fn rank_of_positive(positive_score: f32, negative_scores: &[f32]) -> usize {
+    if positive_score.is_nan() {
+        // A diverged model (NaN scores) must not be rewarded: NaN
+        // comparisons are all false, which would otherwise yield rank 0.
+        return negative_scores.len();
+    }
+    negative_scores
+        .iter()
+        .filter(|&&s| s >= positive_score || s.is_nan())
+        .count()
+}
+
+/// HR@K for a single instance: 1 when `rank < k`.
+pub fn hit_at_k(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG@K for a single positive: `1 / log2(rank + 2)` if `rank < k`, else
+/// 0. (With one relevant item the ideal DCG is 1, so DCG is already
+/// normalized.)
+pub fn ndcg_at_k(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0 / ((rank as f32) + 2.0).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank `1 / (rank + 1)` (not truncated).
+pub fn reciprocal_rank(rank: usize) -> f32 {
+    1.0 / (rank as f32 + 1.0)
+}
+
+/// Aggregated metric values at one cutoff K.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSet {
+    /// Cutoff K.
+    pub k: usize,
+    /// Mean HR@K over users.
+    pub hr: f32,
+    /// Mean NDCG@K over users.
+    pub ndcg: f32,
+    /// Mean reciprocal rank over users.
+    pub mrr: f32,
+    /// Mean precision@K (for single-positive instances = HR@K / K).
+    pub precision: f32,
+    /// Mean recall@K (= HR@K for single-positive instances).
+    pub recall: f32,
+}
+
+impl MetricSet {
+    /// Computes all metrics from per-user ranks.
+    pub fn from_ranks(ranks: &[usize], k: usize) -> Self {
+        if ranks.is_empty() {
+            return MetricSet {
+                k,
+                hr: 0.0,
+                ndcg: 0.0,
+                mrr: 0.0,
+                precision: 0.0,
+                recall: 0.0,
+            };
+        }
+        let n = ranks.len() as f32;
+        let hr = ranks.iter().map(|&r| hit_at_k(r, k)).sum::<f32>() / n;
+        let ndcg = ranks.iter().map(|&r| ndcg_at_k(r, k)).sum::<f32>() / n;
+        let mrr = ranks.iter().map(|&r| reciprocal_rank(r)).sum::<f32>() / n;
+        MetricSet {
+            k,
+            hr,
+            ndcg,
+            mrr,
+            precision: hr / k as f32,
+            recall: hr,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NDCG@{} = {:.4}  HR@{} = {:.4}  MRR = {:.4}",
+            self.k, self.ndcg, self.k, self.hr, self.mrr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn rank_counts_strictly_better_and_ties() {
+        assert_eq!(rank_of_positive(1.0, &[0.5, 0.2]), 0);
+        assert_eq!(rank_of_positive(1.0, &[2.0, 0.2]), 1);
+        assert_eq!(rank_of_positive(1.0, &[1.0, 1.0]), 2); // pessimistic ties
+        assert_eq!(rank_of_positive(1.0, &[]), 0);
+    }
+
+    #[test]
+    fn nan_scores_are_worst_case() {
+        // Diverged positive: bottom rank.
+        assert_eq!(rank_of_positive(f32::NAN, &[0.1, 0.2]), 2);
+        // Diverged negative: counted as beating the positive.
+        assert_eq!(rank_of_positive(0.5, &[f32::NAN, 0.1]), 1);
+    }
+
+    #[test]
+    fn hit_boundary() {
+        assert_eq!(hit_at_k(9, 10), 1.0);
+        assert_eq!(hit_at_k(10, 10), 0.0);
+        assert_eq!(hit_at_k(0, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_values() {
+        assert!(close(ndcg_at_k(0, 10), 1.0)); // 1/log2(2)
+        assert!(close(ndcg_at_k(1, 10), 1.0 / 3f32.log2()));
+        assert_eq!(ndcg_at_k(10, 10), 0.0);
+        // NDCG decreases with rank.
+        for r in 0..9 {
+            assert!(ndcg_at_k(r, 10) > ndcg_at_k(r + 1, 10));
+        }
+    }
+
+    #[test]
+    fn ndcg_bounded_by_one() {
+        for r in 0..100 {
+            let v = ndcg_at_k(r, 100);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn reciprocal_rank_values() {
+        assert!(close(reciprocal_rank(0), 1.0));
+        assert!(close(reciprocal_rank(3), 0.25));
+    }
+
+    #[test]
+    fn metric_set_aggregates() {
+        // Ranks 0, 5, 20 at K=10: HR = 2/3; NDCG = (1 + 1/log2(7))/3.
+        let m = MetricSet::from_ranks(&[0, 5, 20], 10);
+        assert!(close(m.hr, 2.0 / 3.0));
+        let expected_ndcg = (1.0 + 1.0 / 7f32.log2()) / 3.0;
+        assert!(close(m.ndcg, expected_ndcg));
+        assert!(close(m.recall, m.hr));
+        assert!(close(m.precision, m.hr / 10.0));
+        let expected_mrr = (1.0 + 1.0 / 6.0 + 1.0 / 21.0) / 3.0;
+        assert!(close(m.mrr, expected_mrr));
+    }
+
+    #[test]
+    fn empty_ranks_are_zero() {
+        let m = MetricSet::from_ranks(&[], 10);
+        assert_eq!(m.hr, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = MetricSet::from_ranks(&[0], 10);
+        let s = m.to_string();
+        assert!(s.contains("NDCG@10"));
+        assert!(s.contains("HR@10"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The leave-one-out ranking evaluator.
+
+use crate::metrics::{rank_of_positive, MetricSet};
+use scenerec_data::EvalInstance;
+use scenerec_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Anything that can score `(user, item)` pairs.
+///
+/// `score_items` scores one user against a candidate list; implementations
+/// are expected to be deterministic and pure (evaluation may run them from
+/// multiple threads).
+pub trait Scorer: Sync {
+    /// Preference scores for `user` against each candidate, higher = more
+    /// preferred. Must return exactly `items.len()` scores.
+    fn score_items(&self, user: UserId, items: &[ItemId]) -> Vec<f32>;
+}
+
+impl<F> Scorer for F
+where
+    F: Fn(UserId, &[ItemId]) -> Vec<f32> + Sync,
+{
+    fn score_items(&self, user: UserId, items: &[ItemId]) -> Vec<f32> {
+        self(user, items)
+    }
+}
+
+/// Evaluation outcome over a set of instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Aggregated metrics at the requested cutoff.
+    pub metrics: MetricSet,
+    /// Per-instance rank of the positive (aligned with the input order).
+    pub ranks: Vec<usize>,
+    /// Number of evaluated instances.
+    pub num_instances: usize,
+}
+
+impl EvalSummary {
+    fn from_ranks(ranks: Vec<usize>, k: usize) -> Self {
+        let metrics = MetricSet::from_ranks(&ranks, k);
+        EvalSummary {
+            metrics,
+            num_instances: ranks.len(),
+            ranks,
+        }
+    }
+}
+
+/// Evaluates `scorer` on `instances` at cutoff `k`, serially.
+pub fn evaluate_serial(
+    scorer: &dyn Scorer,
+    instances: &[EvalInstance],
+    k: usize,
+) -> EvalSummary {
+    let ranks: Vec<usize> = instances.iter().map(|inst| rank_one(scorer, inst)).collect();
+    EvalSummary::from_ranks(ranks, k)
+}
+
+/// Evaluates `scorer` on `instances` at cutoff `k`, fanning users out over
+/// `threads` crossbeam scoped threads (clamped to at least 1). Results are
+/// identical to [`evaluate_serial`] regardless of thread count.
+pub fn evaluate(
+    scorer: &(dyn Scorer + Sync),
+    instances: &[EvalInstance],
+    k: usize,
+    threads: usize,
+) -> EvalSummary {
+    let threads = threads.max(1).min(instances.len().max(1));
+    if threads == 1 || instances.len() < 2 {
+        return evaluate_serial(scorer, instances, k);
+    }
+    let chunk = instances.len().div_ceil(threads);
+    let mut ranks = vec![0usize; instances.len()];
+    crossbeam::scope(|scope| {
+        for (slot, part) in ranks.chunks_mut(chunk).zip(instances.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (r, inst) in slot.iter_mut().zip(part) {
+                    *r = rank_one(scorer, inst);
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    EvalSummary::from_ranks(ranks, k)
+}
+
+fn rank_one(scorer: &dyn Scorer, inst: &EvalInstance) -> usize {
+    let candidates = inst.candidates();
+    let scores = scorer.score_items(inst.user, &candidates);
+    assert_eq!(
+        scores.len(),
+        candidates.len(),
+        "scorer returned wrong number of scores"
+    );
+    rank_of_positive(scores[0], &scores[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scorer that prefers items with smaller raw index.
+    fn inverse_index_scorer() -> impl Scorer {
+        |_u: UserId, items: &[ItemId]| -> Vec<f32> {
+            items.iter().map(|i| -(i.raw() as f32)).collect()
+        }
+    }
+
+    fn instances() -> Vec<EvalInstance> {
+        vec![
+            // positive 0 beats negatives 5, 9 -> rank 0
+            EvalInstance {
+                user: UserId(0),
+                positive: ItemId(0),
+                negatives: vec![ItemId(5), ItemId(9)],
+            },
+            // positive 7 loses to 1, 2 -> rank 2
+            EvalInstance {
+                user: UserId(1),
+                positive: ItemId(7),
+                negatives: vec![ItemId(1), ItemId(2)],
+            },
+            // positive 3 beats 8, loses to 1 -> rank 1
+            EvalInstance {
+                user: UserId(2),
+                positive: ItemId(3),
+                negatives: vec![ItemId(8), ItemId(1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn serial_ranks_are_correct() {
+        let s = inverse_index_scorer();
+        let summary = evaluate_serial(&s, &instances(), 2);
+        assert_eq!(summary.ranks, vec![0, 2, 1]);
+        assert_eq!(summary.num_instances, 3);
+        // HR@2: ranks 0 and 1 hit -> 2/3.
+        assert!((summary.metrics.hr - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = inverse_index_scorer();
+        let insts = instances();
+        let serial = evaluate_serial(&s, &insts, 2);
+        for threads in [1, 2, 3, 8] {
+            let par = evaluate(&s, &insts, 2, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_instances() {
+        let s = inverse_index_scorer();
+        let summary = evaluate(&s, &[], 10, 4);
+        assert_eq!(summary.num_instances, 0);
+        assert_eq!(summary.metrics.hr, 0.0);
+    }
+
+    #[test]
+    fn perfect_scorer_gets_perfect_metrics() {
+        // Scores the positive (index 0 in candidates) highest by marking it.
+        struct Oracle;
+        impl Scorer for Oracle {
+            fn score_items(&self, _u: UserId, items: &[ItemId]) -> Vec<f32> {
+                // The first candidate is the positive by construction.
+                (0..items.len()).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect()
+            }
+        }
+        let summary = evaluate(&Oracle, &instances(), 10, 2);
+        assert_eq!(summary.metrics.hr, 1.0);
+        assert_eq!(summary.metrics.ndcg, 1.0);
+        assert_eq!(summary.metrics.mrr, 1.0);
+    }
+
+    #[test]
+    fn constant_scorer_scores_zero() {
+        // Pessimistic tie-breaking sends the positive to the bottom.
+        let s = |_u: UserId, items: &[ItemId]| vec![0.5; items.len()];
+        let summary = evaluate_serial(&s, &instances(), 2);
+        assert_eq!(summary.metrics.hr, 0.0);
+        assert_eq!(summary.metrics.ndcg, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of scores")]
+    fn wrong_score_count_panics() {
+        let s = |_u: UserId, _items: &[ItemId]| vec![1.0];
+        let _ = evaluate_serial(&s, &instances(), 2);
+    }
+}

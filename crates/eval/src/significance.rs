@@ -1,0 +1,178 @@
+//! Paired significance tests over per-user evaluation outcomes.
+//!
+//! Table-2-style claims ("SceneRec beats the best baseline") deserve more
+//! than a point estimate: both models are evaluated on the *same* users
+//! and candidate sets, so paired tests apply. Two are provided:
+//!
+//! * [`paired_bootstrap`] — resamples users with replacement and reports
+//!   the fraction of resamples where model A's mean NDCG@K beats model
+//!   B's (a one-sided bootstrap confidence level);
+//! * [`sign_test`] — the distribution-free sign test on per-user NDCG
+//!   differences, returning the two-sided binomial p-value.
+
+use crate::metrics::ndcg_at_k;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a paired bootstrap comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapReport {
+    /// Mean NDCG@K of model A.
+    pub mean_a: f32,
+    /// Mean NDCG@K of model B.
+    pub mean_b: f32,
+    /// Fraction of bootstrap resamples where A's mean exceeded B's.
+    pub prob_a_beats_b: f32,
+    /// Number of resamples drawn.
+    pub resamples: usize,
+}
+
+/// Paired bootstrap over per-user ranks (one rank per user, aligned
+/// between models).
+///
+/// # Panics
+/// Panics when the rank vectors have different lengths or are empty.
+pub fn paired_bootstrap(
+    ranks_a: &[usize],
+    ranks_b: &[usize],
+    k: usize,
+    resamples: usize,
+    seed: u64,
+) -> BootstrapReport {
+    assert_eq!(ranks_a.len(), ranks_b.len(), "unaligned rank vectors");
+    assert!(!ranks_a.is_empty(), "no users to compare");
+    let n = ranks_a.len();
+    let ndcg_a: Vec<f32> = ranks_a.iter().map(|&r| ndcg_at_k(r, k)).collect();
+    let ndcg_b: Vec<f32> = ranks_b.iter().map(|&r| ndcg_at_k(r, k)).collect();
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wins = 0usize;
+    for _ in 0..resamples {
+        let mut sa = 0.0f32;
+        let mut sb = 0.0f32;
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            sa += ndcg_a[i];
+            sb += ndcg_b[i];
+        }
+        if sa > sb {
+            wins += 1;
+        }
+    }
+    BootstrapReport {
+        mean_a: mean(&ndcg_a),
+        mean_b: mean(&ndcg_b),
+        prob_a_beats_b: wins as f32 / resamples as f32,
+        resamples,
+    }
+}
+
+/// Two-sided sign test on per-user NDCG@K differences. Ties are dropped
+/// (standard practice). Returns `(wins_a, wins_b, p_value)`.
+///
+/// # Panics
+/// Panics when the rank vectors have different lengths.
+pub fn sign_test(ranks_a: &[usize], ranks_b: &[usize], k: usize) -> (usize, usize, f64) {
+    assert_eq!(ranks_a.len(), ranks_b.len(), "unaligned rank vectors");
+    let mut wins_a = 0usize;
+    let mut wins_b = 0usize;
+    for (&ra, &rb) in ranks_a.iter().zip(ranks_b) {
+        let da = ndcg_at_k(ra, k);
+        let db = ndcg_at_k(rb, k);
+        if da > db {
+            wins_a += 1;
+        } else if db > da {
+            wins_b += 1;
+        }
+    }
+    let n = wins_a + wins_b;
+    if n == 0 {
+        return (0, 0, 1.0);
+    }
+    // Two-sided binomial tail: P(X <= min) + P(X >= max) under p = 0.5.
+    let min_w = wins_a.min(wins_b);
+    let p = 2.0 * binomial_cdf(min_w, n, 0.5);
+    (wins_a, wins_b, p.min(1.0))
+}
+
+/// `P(X <= x)` for `X ~ Binomial(n, p)`, computed in log space for
+/// stability at large `n`.
+fn binomial_cdf(x: usize, n: usize, p: f64) -> f64 {
+    let mut total = 0.0f64;
+    for i in 0..=x {
+        total += binomial_pmf(i, n, p);
+    }
+    total.min(1.0)
+}
+
+fn binomial_pmf(x: usize, n: usize, p: f64) -> f64 {
+    (ln_choose(n, x) + x as f64 * p.ln() + (n - x) as f64 * (1.0 - p).ln()).exp()
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_models_are_a_coin_flip() {
+        let ranks = vec![0usize, 3, 7, 12, 1, 5, 9, 2];
+        let report = paired_bootstrap(&ranks, &ranks, 10, 500, 1);
+        assert_eq!(report.mean_a, report.mean_b);
+        // Ties in every resample => A never strictly beats B.
+        assert_eq!(report.prob_a_beats_b, 0.0);
+        let (wa, wb, p) = sign_test(&ranks, &ranks, 10);
+        assert_eq!((wa, wb), (0, 0));
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn dominant_model_wins_with_confidence() {
+        // A ranks the positive top everywhere; B never hits the cutoff.
+        let a = vec![0usize; 40];
+        let b = vec![30usize; 40];
+        let report = paired_bootstrap(&a, &b, 10, 500, 2);
+        assert!(report.mean_a > report.mean_b);
+        assert_eq!(report.prob_a_beats_b, 1.0);
+        let (wa, wb, p) = sign_test(&a, &b, 10);
+        assert_eq!(wa, 40);
+        assert_eq!(wb, 0);
+        assert!(p < 1e-9, "p={p}");
+    }
+
+    #[test]
+    fn noisy_small_gap_is_not_significant() {
+        // Nearly identical: one user differs.
+        let a = vec![0, 5, 11, 3, 20, 0, 9, 15];
+        let mut b = a.clone();
+        b[0] = 1;
+        let (wa, wb, p) = sign_test(&a, &b, 10);
+        assert_eq!(wa + wb, 1);
+        assert!(p > 0.5, "a single discordant pair cannot be significant, p={p}");
+    }
+
+    #[test]
+    fn binomial_pieces() {
+        // P(X <= 1 | n=2, p=0.5) = 0.75.
+        assert!((binomial_cdf(1, 2, 0.5) - 0.75).abs() < 1e-12);
+        // pmf sums to 1.
+        let total: f64 = (0..=10).map(|x| binomial_pmf(x, 10, 0.5)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // ln_choose symmetry.
+        assert!((ln_choose(10, 3) - ln_choose(10, 7)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned rank vectors")]
+    fn unaligned_inputs_panic() {
+        let _ = sign_test(&[0, 1], &[0], 10);
+    }
+}

@@ -1,0 +1,223 @@
+//! The user-item bipartite interaction graph `G` (Definition 3.2).
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::ids::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable user-item bipartite graph with both adjacency directions
+/// materialized: `UI(u)` (Eq. 1) and `IU(i)` (Eq. 2) are O(1) slice
+/// lookups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    user_items: CsrGraph,
+    item_users: CsrGraph,
+}
+
+impl BipartiteGraph {
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.user_items.num_src()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.user_items.num_dst()
+    }
+
+    /// Number of user-item interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.user_items.num_edges()
+    }
+
+    /// `UI(u)`: the items user `u` has interacted with.
+    pub fn items_of(&self, u: UserId) -> &[u32] {
+        self.user_items.neighbors(u.raw())
+    }
+
+    /// `IU(i)`: the users that interacted with item `i`.
+    pub fn users_of(&self, i: ItemId) -> &[u32] {
+        self.item_users.neighbors(i.raw())
+    }
+
+    /// Interaction weights aligned with [`BipartiteGraph::items_of`].
+    pub fn item_weights_of(&self, u: UserId) -> &[f32] {
+        self.user_items.weights_of(u.raw())
+    }
+
+    /// True when user `u` interacted with item `i`.
+    pub fn has_interaction(&self, u: UserId, i: ItemId) -> bool {
+        self.user_items.has_edge(u.raw(), i.raw())
+    }
+
+    /// Degree of user `u`.
+    pub fn user_degree(&self, u: UserId) -> usize {
+        self.user_items.degree(u.raw())
+    }
+
+    /// Degree of item `i`.
+    pub fn item_degree(&self, i: ItemId) -> usize {
+        self.item_users.degree(i.raw())
+    }
+
+    /// Iterates all `(user, item, weight)` interactions.
+    pub fn iter_interactions(&self) -> impl Iterator<Item = (UserId, ItemId, f32)> + '_ {
+        self.user_items
+            .iter_edges()
+            .map(|(u, i, w)| (UserId(u), ItemId(i), w))
+    }
+
+    /// Graph density: interactions / (users × items).
+    pub fn density(&self) -> f64 {
+        let cells = self.num_users() as f64 * self.num_items() as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.num_interactions() as f64 / cells
+        }
+    }
+
+    /// Items with no interactions (cold items).
+    pub fn num_cold_items(&self) -> usize {
+        self.item_users.num_isolated()
+    }
+}
+
+/// Validating builder for [`BipartiteGraph`].
+#[derive(Debug, Clone)]
+pub struct BipartiteGraphBuilder {
+    num_users: u32,
+    num_items: u32,
+    edges: Vec<(u32, u32, f32)>,
+}
+
+impl BipartiteGraphBuilder {
+    /// Starts a builder over fixed user/item universes.
+    pub fn new(num_users: u32, num_items: u32) -> Self {
+        BipartiteGraphBuilder {
+            num_users,
+            num_items,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Records an interaction with weight 1 (a click).
+    pub fn interact(&mut self, u: UserId, i: ItemId) -> &mut Self {
+        self.edges.push((u.raw(), i.raw(), 1.0));
+        self
+    }
+
+    /// Records an interaction with an explicit frequency weight.
+    pub fn interact_weighted(&mut self, u: UserId, i: ItemId, w: f32) -> &mut Self {
+        self.edges.push((u.raw(), i.raw(), w));
+        self
+    }
+
+    /// Number of recorded (pre-merge) interactions.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no interactions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    /// Propagates range and weight violations from CSR construction.
+    pub fn build(self) -> Result<BipartiteGraph, GraphError> {
+        let user_items =
+            CsrGraph::from_edges(self.num_users, self.num_items, self.edges)?;
+        let item_users = user_items.transpose();
+        Ok(BipartiteGraph {
+            user_items,
+            item_users,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        let mut b = BipartiteGraphBuilder::new(3, 4);
+        b.interact(UserId(0), ItemId(0))
+            .interact(UserId(0), ItemId(1))
+            .interact(UserId(1), ItemId(1))
+            .interact_weighted(UserId(2), ItemId(3), 2.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.num_users(), 3);
+        assert_eq!(g.num_items(), 4);
+        assert_eq!(g.num_interactions(), 4);
+    }
+
+    #[test]
+    fn both_directions_agree() {
+        let g = sample();
+        assert_eq!(g.items_of(UserId(0)), &[0, 1]);
+        assert_eq!(g.users_of(ItemId(1)), &[0, 1]);
+        assert_eq!(g.users_of(ItemId(2)), &[] as &[u32]);
+        assert!(g.has_interaction(UserId(2), ItemId(3)));
+        assert!(!g.has_interaction(UserId(2), ItemId(0)));
+    }
+
+    #[test]
+    fn degrees_and_cold_items() {
+        let g = sample();
+        assert_eq!(g.user_degree(UserId(0)), 2);
+        assert_eq!(g.item_degree(ItemId(1)), 2);
+        assert_eq!(g.num_cold_items(), 1); // item 2
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = sample();
+        assert_eq!(g.item_weights_of(UserId(2)), &[2.5]);
+    }
+
+    #[test]
+    fn density() {
+        let g = sample();
+        assert!((g.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_interactions_merge() {
+        let mut b = BipartiteGraphBuilder::new(1, 1);
+        b.interact(UserId(0), ItemId(0)).interact(UserId(0), ItemId(0));
+        let g = b.build().unwrap();
+        assert_eq!(g.num_interactions(), 1);
+        assert_eq!(g.item_weights_of(UserId(0)), &[2.0]);
+    }
+
+    #[test]
+    fn out_of_range_user_fails() {
+        let mut b = BipartiteGraphBuilder::new(1, 1);
+        b.interact(UserId(5), ItemId(0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn iter_interactions_typed() {
+        let g = sample();
+        let all: Vec<_> = g.iter_interactions().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&(UserId(2), ItemId(3), 2.5)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = sample();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: BipartiteGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, g);
+    }
+}

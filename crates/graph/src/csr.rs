@@ -1,0 +1,336 @@
+//! Compressed-sparse-row adjacency with optional edge weights.
+//!
+//! Every relation in the reproduction — user→item, item→item co-view,
+//! category→category relevance, category→scene membership — is stored as a
+//! `CsrGraph`. Neighbor lists are contiguous slices, which is exactly the
+//! access pattern of the neighbor aggregations in Eqs. (1)–(4) and (9).
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// A directed graph in CSR form with `f32` edge weights.
+///
+/// For undirected relations the builder inserts both directions, so
+/// `neighbors(v)` always yields the full neighborhood.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for node `v`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f32>,
+    /// Number of destination-universe nodes (== source universe for
+    /// homogeneous relations; differs for bipartite ones).
+    num_dst: u32,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from `(src, dst, weight)` triples.
+    ///
+    /// * `num_src` / `num_dst` declare the two node universes (equal for
+    ///   homogeneous relations).
+    /// * Parallel edges are merged by **summing** weights (co-view counts
+    ///   accumulate, matching §5.1's edge-weight definition).
+    /// * Neighbor lists are sorted by destination index.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] when an endpoint exceeds its universe;
+    /// [`GraphError::BadWeight`] for non-positive or non-finite weights.
+    pub fn from_edges(
+        num_src: u32,
+        num_dst: u32,
+        edges: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> Result<Self, GraphError> {
+        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); num_src as usize];
+        for (s, d, w) in edges {
+            if s >= num_src {
+                return Err(GraphError::NodeOutOfRange {
+                    entity: "source",
+                    index: s,
+                    count: num_src,
+                });
+            }
+            if d >= num_dst {
+                return Err(GraphError::NodeOutOfRange {
+                    entity: "destination",
+                    index: d,
+                    count: num_dst,
+                });
+            }
+            if !(w > 0.0) || !w.is_finite() {
+                return Err(GraphError::BadWeight {
+                    relation: "csr",
+                    weight: w,
+                });
+            }
+            adj[s as usize].push((d, w));
+        }
+
+        let mut offsets = Vec::with_capacity(num_src as usize + 1);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0u32);
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(d, _)| d);
+            // Merge parallel edges by summing weights.
+            let mut merged: Vec<(u32, f32)> = Vec::with_capacity(list.len());
+            for &(d, w) in list.iter() {
+                match merged.last_mut() {
+                    Some((last_d, last_w)) if *last_d == d => *last_w += w,
+                    _ => merged.push((d, w)),
+                }
+            }
+            for (d, w) in merged {
+                targets.push(d);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+
+        Ok(CsrGraph {
+            offsets,
+            targets,
+            weights,
+            num_dst,
+        })
+    }
+
+    /// An empty graph over the given universes.
+    pub fn empty(num_src: u32, num_dst: u32) -> Self {
+        CsrGraph {
+            offsets: vec![0; num_src as usize + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+            num_dst,
+        }
+    }
+
+    /// Number of source nodes.
+    #[inline]
+    pub fn num_src(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of destination nodes.
+    #[inline]
+    pub fn num_dst(&self) -> u32 {
+        self.num_dst
+    }
+
+    /// Total number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbor indices of node `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Edge weights aligned with [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, v: u32) -> &[f32] {
+        let v = v as usize;
+        &self.weights[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// `(neighbor, weight)` pairs of node `v`.
+    pub fn edges_of(&self, v: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
+    }
+
+    /// True when an edge `src -> dst` exists (binary search).
+    pub fn has_edge(&self, src: u32, dst: u32) -> bool {
+        self.neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Weight of edge `src -> dst`, if present.
+    pub fn edge_weight(&self, src: u32, dst: u32) -> Option<f32> {
+        self.neighbors(src)
+            .binary_search(&dst)
+            .ok()
+            .map(|i| self.weights_of(src)[i])
+    }
+
+    /// Iterates over all `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.num_src()).flat_map(move |v| {
+            self.edges_of(v).map(move |(d, w)| (v, d, w))
+        })
+    }
+
+    /// Keeps only the `k` highest-weight out-edges of each node (ties broken
+    /// by smaller destination index), as the paper does for the item-item
+    /// (top 300) and category-category (top 100) relations.
+    pub fn prune_top_k(&self, k: usize) -> CsrGraph {
+        let num_src = self.num_src();
+        let mut edges = Vec::new();
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for v in 0..num_src {
+            scratch.clear();
+            scratch.extend(self.edges_of(v));
+            scratch.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            for &(d, w) in scratch.iter().take(k) {
+                edges.push((v, d, w));
+            }
+        }
+        CsrGraph::from_edges(num_src, self.num_dst, edges)
+            .expect("pruning preserves validity")
+    }
+
+    /// Reverses every edge, producing the transpose graph (used to derive
+    /// item→user adjacency from user→item interactions).
+    pub fn transpose(&self) -> CsrGraph {
+        let edges: Vec<(u32, u32, f32)> = self
+            .iter_edges()
+            .map(|(s, d, w)| (d, s, w))
+            .collect();
+        CsrGraph::from_edges(self.num_dst, self.num_src(), edges)
+            .expect("transposing preserves validity")
+    }
+
+    /// Mean out-degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_src() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.num_src() as f64
+    }
+
+    /// Number of source nodes with zero out-degree.
+    pub fn num_isolated(&self) -> usize {
+        (0..self.num_src()).filter(|&v| self.degree(v) == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(
+            4,
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 0, 1.0),
+                (2, 3, 0.5),
+                (0, 1, 3.0), // parallel; merges to weight 4
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_topology() {
+        let g = sample();
+        assert_eq!(g.num_src(), 4);
+        assert_eq!(g.num_dst(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.num_isolated(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_merge_by_sum() {
+        let g = sample();
+        assert_eq!(g.edge_weight(0, 1), Some(4.0));
+        assert_eq!(g.edge_weight(0, 2), Some(2.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = sample();
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let e = CsrGraph::from_edges(2, 2, vec![(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(e, GraphError::NodeOutOfRange { index: 5, .. }));
+        let e = CsrGraph::from_edges(2, 2, vec![(7, 0, 1.0)]).unwrap_err();
+        assert!(matches!(e, GraphError::NodeOutOfRange { index: 7, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(CsrGraph::from_edges(2, 2, vec![(0, 1, 0.0)]).is_err());
+        assert!(CsrGraph::from_edges(2, 2, vec![(0, 1, -1.0)]).is_err());
+        assert!(CsrGraph::from_edges(2, 2, vec![(0, 1, f32::NAN)]).is_err());
+        assert!(CsrGraph::from_edges(2, 2, vec![(0, 1, f32::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3, 5);
+        assert_eq!(g.num_src(), 3);
+        assert_eq!(g.num_dst(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn prune_top_k_keeps_heaviest() {
+        let g = CsrGraph::from_edges(
+            1,
+            5,
+            vec![(0, 1, 1.0), (0, 2, 5.0), (0, 3, 3.0), (0, 4, 5.0)],
+        )
+        .unwrap();
+        let p = g.prune_top_k(2);
+        // Weight 5 ties between dst 2 and 4; smaller index wins first but
+        // both fit in k=2.
+        assert_eq!(p.neighbors(0), &[2, 4]);
+        let p1 = g.prune_top_k(3);
+        assert_eq!(p1.neighbors(0), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = sample();
+        let t = g.transpose();
+        assert_eq!(t.num_src(), 4);
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(3, 2));
+        assert_eq!(t.edge_weight(1, 0), Some(4.0));
+        assert_eq!(t.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn iter_edges_complete() {
+        let g = sample();
+        let all: Vec<_> = g.iter_edges().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.contains(&(0, 1, 4.0)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = sample();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: CsrGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,130 @@
+//! Validation errors raised by graph builders.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint exceeded the declared node count.
+    NodeOutOfRange {
+        /// Which side of the relation the bad endpoint belongs to.
+        entity: &'static str,
+        /// The offending index.
+        index: u32,
+        /// The declared universe size.
+        count: u32,
+    },
+    /// An item was given no category, or more than one.
+    ItemCategoryArity {
+        /// The item index.
+        item: u32,
+        /// How many categories it was assigned.
+        got: usize,
+    },
+    /// A scene with no member categories (Definition 3.1 requires |s| ≥ 1).
+    EmptyScene {
+        /// The scene index.
+        scene: u32,
+    },
+    /// A self-loop in a relation that forbids them.
+    SelfLoop {
+        /// Relation name.
+        relation: &'static str,
+        /// Node index.
+        node: u32,
+    },
+    /// Duplicate edge in a relation that forbids multi-edges.
+    DuplicateEdge {
+        /// Relation name.
+        relation: &'static str,
+        /// Source index.
+        src: u32,
+        /// Destination index.
+        dst: u32,
+    },
+    /// An edge carried a non-positive weight where weights must be positive.
+    BadWeight {
+        /// Relation name.
+        relation: &'static str,
+        /// The offending weight.
+        weight: f32,
+    },
+}
+
+// f32 weight is never NaN in the Eq-compared variants we construct in
+// practice; PartialEq on the enum is sufficient for tests.
+impl Eq for GraphError {}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange {
+                entity,
+                index,
+                count,
+            } => write!(
+                f,
+                "{entity} index {index} out of range (universe size {count})"
+            ),
+            GraphError::ItemCategoryArity { item, got } => write!(
+                f,
+                "item {item} must have exactly one category, got {got}"
+            ),
+            GraphError::EmptyScene { scene } => {
+                write!(f, "scene {scene} has no member categories (|s| >= 1 required)")
+            }
+            GraphError::SelfLoop { relation, node } => {
+                write!(f, "self-loop on node {node} in relation {relation}")
+            }
+            GraphError::DuplicateEdge { relation, src, dst } => {
+                write!(f, "duplicate edge {src}->{dst} in relation {relation}")
+            }
+            GraphError::BadWeight { relation, weight } => {
+                write!(f, "non-positive weight {weight} in relation {relation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            entity: "item",
+            index: 10,
+            count: 5,
+        };
+        assert!(e.to_string().contains("item index 10"));
+        let e = GraphError::EmptyScene { scene: 3 };
+        assert!(e.to_string().contains("scene 3"));
+        let e = GraphError::SelfLoop {
+            relation: "item-item",
+            node: 2,
+        };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge {
+            relation: "category-category",
+            src: 1,
+            dst: 2,
+        };
+        assert!(e.to_string().contains("duplicate edge 1->2"));
+        let e = GraphError::ItemCategoryArity { item: 4, got: 0 };
+        assert!(e.to_string().contains("exactly one category"));
+        let e = GraphError::BadWeight {
+            relation: "item-item",
+            weight: -1.0,
+        };
+        assert!(e.to_string().contains("non-positive weight"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::EmptyScene { scene: 0 });
+    }
+}

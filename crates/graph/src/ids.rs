@@ -1,0 +1,112 @@
+//! Typed entity identifiers.
+//!
+//! The scene-based graph mixes four entity universes — users, items,
+//! categories, scenes — whose raw indices are all dense `u32`s. Newtype ids
+//! make it a compile error to index a category table with an item id, a
+//! class of bug that plagued early prototypes of heterogeneous GNN code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// A user in the user-item bipartite graph.
+    UserId,
+    "u"
+);
+entity_id!(
+    /// An item; present in both the bipartite graph and the scene-based
+    /// graph's item layer.
+    ItemId,
+    "i"
+);
+entity_id!(
+    /// A fine-grained item category (each item has exactly one).
+    CategoryId,
+    "c"
+);
+entity_id!(
+    /// A scene: a set of categories that co-occur in a real-life situation.
+    SceneId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips() {
+        let u = UserId::from(7u32);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u.raw(), 7);
+        assert_eq!(u32::from(u), 7);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(UserId(1).to_string(), "u1");
+        assert_eq!(ItemId(2).to_string(), "i2");
+        assert_eq!(CategoryId(3).to_string(), "c3");
+        assert_eq!(SceneId(4).to_string(), "s4");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ItemId(1));
+        set.insert(ItemId(1));
+        set.insert(ItemId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ItemId(1) < ItemId(2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = serde_json::to_string(&SceneId(9)).unwrap();
+        let back: SceneId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, SceneId(9));
+    }
+}

@@ -1,0 +1,30 @@
+//! # scenerec-graph
+//!
+//! Graph storage for the SceneRec reproduction: typed entity ids, a
+//! compressed-sparse-row adjacency structure, the **user-item bipartite
+//! graph** `G` (Definition 3.2) and the 3-layer **scene-based graph** `H`
+//! (Definition 3.3) with its item, category and scene layers.
+//!
+//! The scene-based graph is the paper's structural contribution: each item
+//! belongs to exactly one category; categories link to related categories;
+//! scenes are sets of categories that co-occur in real-life situations
+//! ("Peripheral Devices" = {Keyboard, Mouse, Mouse Pad, …}). SceneRec
+//! propagates information scene → category → item over this structure.
+//!
+//! All graphs here are immutable after construction (built through
+//! validating builders) and are shared by models, the data generator and
+//! the evaluation harness.
+
+pub mod bipartite;
+pub mod csr;
+pub mod error;
+pub mod ids;
+pub mod scene;
+pub mod stats;
+
+pub use bipartite::{BipartiteGraph, BipartiteGraphBuilder};
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use ids::{CategoryId, ItemId, SceneId, UserId};
+pub use scene::{SceneGraph, SceneGraphBuilder};
+pub use stats::{DatasetStats, RelationStats};

@@ -1,0 +1,504 @@
+//! The 3-layer scene-based graph `H` (Definition 3.3).
+//!
+//! Layers, bottom-up:
+//!
+//! 1. **Item layer** `L_item` — items linked by co-view similarity
+//!    (weighted, undirected, pruned to the top-K heaviest per item).
+//! 2. **Category layer** `L_cate` — categories linked by relevance
+//!    (undirected). Each item maps to exactly one category (`L_ic`).
+//! 3. **Scene layer** — scenes are sets of categories (`L_cs`); Definition
+//!    3.1 requires every scene to contain at least one category.
+//!
+//! SceneRec reads the following neighborhoods from this structure (the
+//! notation matches the paper):
+//!
+//! * `II(i)`  — item neighbors of item `i` (Eq. 9)
+//! * `C(i)`   — the single category of item `i` (Eq. 8)
+//! * `CC(c)`  — category neighbors of category `c` (Eq. 4)
+//! * `CS(c)`  — scenes containing category `c` (Eq. 3)
+//! * `IS(i)`  — scenes containing item `i`'s category, i.e. `CS(C(i))`
+//!   (Eq. 10)
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::ids::{CategoryId, ItemId, SceneId};
+use serde::{Deserialize, Serialize};
+
+/// Immutable scene-based graph.
+///
+/// ```
+/// use scenerec_graph::{SceneGraphBuilder, ItemId, CategoryId, SceneId};
+///
+/// // Two items in one category, one scene containing it.
+/// let mut b = SceneGraphBuilder::new(2, 1, 1);
+/// b.set_category(ItemId(0), CategoryId(0))
+///  .set_category(ItemId(1), CategoryId(0))
+///  .link_items(ItemId(0), ItemId(1), 3.0)
+///  .add_scene_member(SceneId(0), CategoryId(0));
+/// let graph = b.build().unwrap();
+///
+/// assert_eq!(graph.category_of(ItemId(1)), CategoryId(0));
+/// assert_eq!(graph.item_neighbors(ItemId(0)), &[1]);
+/// assert_eq!(graph.scenes_of_item(ItemId(0)), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneGraph {
+    item_item: CsrGraph,
+    /// `item_category[i]` is the category of item `i`.
+    item_category: Vec<u32>,
+    category_category: CsrGraph,
+    category_scenes: CsrGraph,
+    scene_categories: CsrGraph,
+    num_categories: u32,
+    num_scenes: u32,
+}
+
+impl SceneGraph {
+    /// Number of items in the item layer.
+    pub fn num_items(&self) -> u32 {
+        self.item_item.num_src()
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> u32 {
+        self.num_categories
+    }
+
+    /// Number of scenes.
+    pub fn num_scenes(&self) -> u32 {
+        self.num_scenes
+    }
+
+    /// `II(i)`: item neighbors of item `i` in the co-view layer.
+    pub fn item_neighbors(&self, i: ItemId) -> &[u32] {
+        self.item_item.neighbors(i.raw())
+    }
+
+    /// Co-view weights aligned with [`SceneGraph::item_neighbors`].
+    pub fn item_neighbor_weights(&self, i: ItemId) -> &[f32] {
+        self.item_item.weights_of(i.raw())
+    }
+
+    /// `C(i)`: the category of item `i`.
+    pub fn category_of(&self, i: ItemId) -> CategoryId {
+        CategoryId(self.item_category[i.index()])
+    }
+
+    /// `CC(c)`: related categories of category `c`.
+    pub fn category_neighbors(&self, c: CategoryId) -> &[u32] {
+        self.category_category.neighbors(c.raw())
+    }
+
+    /// `CS(c)`: scenes that category `c` belongs to.
+    pub fn scenes_of_category(&self, c: CategoryId) -> &[u32] {
+        self.category_scenes.neighbors(c.raw())
+    }
+
+    /// `IS(i)`: scenes containing item `i`'s category.
+    pub fn scenes_of_item(&self, i: ItemId) -> &[u32] {
+        self.scenes_of_category(self.category_of(i))
+    }
+
+    /// Member categories of scene `s` (Definition 3.1's category set).
+    pub fn categories_of_scene(&self, s: SceneId) -> &[u32] {
+        self.scene_categories.neighbors(s.raw())
+    }
+
+    /// All items assigned to category `c` (linear scan; used by tooling
+    /// and the case study, not the training hot path).
+    pub fn items_of_category(&self, c: CategoryId) -> Vec<ItemId> {
+        self.item_category
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cat)| cat == c.raw())
+            .map(|(i, _)| ItemId(i as u32))
+            .collect()
+    }
+
+    /// Number of undirected item-item edges stored (directed count / 2
+    /// when symmetric).
+    pub fn num_item_item_edges(&self) -> usize {
+        self.item_item.num_edges()
+    }
+
+    /// Number of directed category-category edges stored.
+    pub fn num_category_category_edges(&self) -> usize {
+        self.category_category.num_edges()
+    }
+
+    /// Number of scene-category membership edges.
+    pub fn num_scene_category_edges(&self) -> usize {
+        self.category_scenes.num_edges()
+    }
+
+    /// The raw item-item CSR (used by `SceneRec-nosce` which keeps only
+    /// this layer).
+    pub fn item_item_csr(&self) -> &CsrGraph {
+        &self.item_item
+    }
+
+    /// Returns a copy of this graph with the scene layer replaced by
+    /// `scenes` (each entry the category set of one scene) — the item and
+    /// category layers are preserved verbatim. Used by scene mining to
+    /// swap expert-curated scenes for automatically mined ones.
+    ///
+    /// # Errors
+    /// [`GraphError::EmptyScene`] for an empty scene set;
+    /// [`GraphError::NodeOutOfRange`] for unknown categories.
+    pub fn with_scenes(&self, scenes: &[Vec<u32>]) -> Result<SceneGraph, GraphError> {
+        let num_scenes = scenes.len() as u32;
+        let mut memberships = Vec::new();
+        for (s, cats) in scenes.iter().enumerate() {
+            if cats.is_empty() {
+                return Err(GraphError::EmptyScene { scene: s as u32 });
+            }
+            for &c in cats {
+                memberships.push((s as u32, c, 1.0));
+            }
+        }
+        let scene_categories =
+            CsrGraph::from_edges(num_scenes, self.num_categories, memberships)?;
+        let category_scenes = scene_categories.transpose();
+        Ok(SceneGraph {
+            item_item: self.item_item.clone(),
+            item_category: self.item_category.clone(),
+            category_category: self.category_category.clone(),
+            category_scenes,
+            scene_categories,
+            num_categories: self.num_categories,
+            num_scenes,
+        })
+    }
+
+    /// The raw category-category CSR.
+    pub fn category_category_csr(&self) -> &CsrGraph {
+        &self.category_category
+    }
+}
+
+/// Validating builder for [`SceneGraph`].
+///
+/// Relations may be inserted in any order; [`SceneGraphBuilder::build`]
+/// validates Definition 3.1/3.3 invariants:
+///
+/// * every item has exactly one category (enforced by construction),
+/// * no self-loops in the item-item or category-category layers,
+/// * every scene contains at least one category,
+/// * all indices within their declared universes.
+#[derive(Debug, Clone)]
+pub struct SceneGraphBuilder {
+    num_items: u32,
+    num_categories: u32,
+    num_scenes: u32,
+    item_category: Vec<Option<u32>>,
+    item_item: Vec<(u32, u32, f32)>,
+    category_category: Vec<(u32, u32, f32)>,
+    scene_category: Vec<(u32, u32)>,
+    item_item_top_k: Option<usize>,
+    category_top_k: Option<usize>,
+}
+
+impl SceneGraphBuilder {
+    /// Starts a builder over fixed item/category/scene universes.
+    pub fn new(num_items: u32, num_categories: u32, num_scenes: u32) -> Self {
+        SceneGraphBuilder {
+            num_items,
+            num_categories,
+            num_scenes,
+            item_category: vec![None; num_items as usize],
+            item_item: Vec::new(),
+            category_category: Vec::new(),
+            scene_category: Vec::new(),
+            item_item_top_k: None,
+            category_top_k: None,
+        }
+    }
+
+    /// Assigns item `i` to category `c` (exactly once per item).
+    pub fn set_category(&mut self, i: ItemId, c: CategoryId) -> &mut Self {
+        self.item_category[i.index()] = Some(c.raw());
+        self
+    }
+
+    /// Adds an undirected co-view edge between two items with the given
+    /// co-occurrence weight.
+    pub fn link_items(&mut self, a: ItemId, b: ItemId, weight: f32) -> &mut Self {
+        self.item_item.push((a.raw(), b.raw(), weight));
+        self.item_item.push((b.raw(), a.raw(), weight));
+        self
+    }
+
+    /// Adds an undirected relevance edge between two categories.
+    pub fn link_categories(&mut self, a: CategoryId, b: CategoryId, weight: f32) -> &mut Self {
+        self.category_category.push((a.raw(), b.raw(), weight));
+        self.category_category.push((b.raw(), a.raw(), weight));
+        self
+    }
+
+    /// Declares that category `c` belongs to scene `s`.
+    pub fn add_scene_member(&mut self, s: SceneId, c: CategoryId) -> &mut Self {
+        self.scene_category.push((s.raw(), c.raw()));
+        self
+    }
+
+    /// Prunes each item's co-view list to its `k` heaviest edges after
+    /// merging (the paper keeps the top 300).
+    pub fn with_item_top_k(&mut self, k: usize) -> &mut Self {
+        self.item_item_top_k = Some(k);
+        self
+    }
+
+    /// Prunes each category's relevance list to its `k` heaviest edges
+    /// (the paper keeps the top 100).
+    pub fn with_category_top_k(&mut self, k: usize) -> &mut Self {
+        self.category_top_k = Some(k);
+        self
+    }
+
+    /// Validates invariants and freezes the graph.
+    ///
+    /// # Errors
+    /// See the type-level docs for the invariant list.
+    pub fn build(self) -> Result<SceneGraph, GraphError> {
+        // Every item has exactly one category.
+        let mut item_category = Vec::with_capacity(self.num_items as usize);
+        for (i, c) in self.item_category.iter().enumerate() {
+            match c {
+                Some(c) if *c < self.num_categories => item_category.push(*c),
+                Some(c) => {
+                    return Err(GraphError::NodeOutOfRange {
+                        entity: "category",
+                        index: *c,
+                        count: self.num_categories,
+                    })
+                }
+                None => {
+                    return Err(GraphError::ItemCategoryArity {
+                        item: i as u32,
+                        got: 0,
+                    })
+                }
+            }
+        }
+
+        // No self loops.
+        for &(a, b, _) in &self.item_item {
+            if a == b {
+                return Err(GraphError::SelfLoop {
+                    relation: "item-item",
+                    node: a,
+                });
+            }
+        }
+        for &(a, b, _) in &self.category_category {
+            if a == b {
+                return Err(GraphError::SelfLoop {
+                    relation: "category-category",
+                    node: a,
+                });
+            }
+        }
+
+        let mut item_item =
+            CsrGraph::from_edges(self.num_items, self.num_items, self.item_item)?;
+        if let Some(k) = self.item_item_top_k {
+            item_item = item_item.prune_top_k(k);
+        }
+        let mut category_category = CsrGraph::from_edges(
+            self.num_categories,
+            self.num_categories,
+            self.category_category,
+        )?;
+        if let Some(k) = self.category_top_k {
+            category_category = category_category.prune_top_k(k);
+        }
+
+        let scene_categories = CsrGraph::from_edges(
+            self.num_scenes,
+            self.num_categories,
+            self.scene_category.iter().map(|&(s, c)| (s, c, 1.0)),
+        )?;
+        // Definition 3.1: |s| >= 1.
+        for s in 0..self.num_scenes {
+            if scene_categories.degree(s) == 0 {
+                return Err(GraphError::EmptyScene { scene: s });
+            }
+        }
+        let category_scenes = scene_categories.transpose();
+
+        Ok(SceneGraph {
+            item_item,
+            item_category,
+            category_category,
+            category_scenes,
+            scene_categories,
+            num_categories: self.num_categories,
+            num_scenes: self.num_scenes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// items: 0,1 in cat 0; 2 in cat 1; 3 in cat 2.
+    /// scenes: s0 = {c0, c1}, s1 = {c1, c2}.
+    fn sample() -> SceneGraph {
+        let mut b = SceneGraphBuilder::new(4, 3, 2);
+        b.set_category(ItemId(0), CategoryId(0))
+            .set_category(ItemId(1), CategoryId(0))
+            .set_category(ItemId(2), CategoryId(1))
+            .set_category(ItemId(3), CategoryId(2))
+            .link_items(ItemId(0), ItemId(1), 3.0)
+            .link_items(ItemId(0), ItemId(2), 1.0)
+            .link_categories(CategoryId(0), CategoryId(1), 5.0)
+            .link_categories(CategoryId(1), CategoryId(2), 2.0)
+            .add_scene_member(SceneId(0), CategoryId(0))
+            .add_scene_member(SceneId(0), CategoryId(1))
+            .add_scene_member(SceneId(1), CategoryId(1))
+            .add_scene_member(SceneId(1), CategoryId(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn universes() {
+        let g = sample();
+        assert_eq!(g.num_items(), 4);
+        assert_eq!(g.num_categories(), 3);
+        assert_eq!(g.num_scenes(), 2);
+    }
+
+    #[test]
+    fn neighborhoods_match_paper_notation() {
+        let g = sample();
+        assert_eq!(g.item_neighbors(ItemId(0)), &[1, 2]); // II
+        assert_eq!(g.category_of(ItemId(2)), CategoryId(1)); // C
+        assert_eq!(g.category_neighbors(CategoryId(1)), &[0, 2]); // CC
+        assert_eq!(g.scenes_of_category(CategoryId(1)), &[0, 1]); // CS
+        assert_eq!(g.scenes_of_item(ItemId(3)), &[1]); // IS = CS(C(i))
+        assert_eq!(g.categories_of_scene(SceneId(0)), &[0, 1]);
+    }
+
+    #[test]
+    fn undirected_links_are_symmetric() {
+        let g = sample();
+        assert_eq!(g.item_neighbors(ItemId(1)), &[0]);
+        assert_eq!(g.item_neighbor_weights(ItemId(1)), &[3.0]);
+        assert_eq!(g.category_neighbors(CategoryId(2)), &[1]);
+    }
+
+    #[test]
+    fn items_of_category_scan() {
+        let g = sample();
+        assert_eq!(g.items_of_category(CategoryId(0)), vec![ItemId(0), ItemId(1)]);
+        assert_eq!(g.items_of_category(CategoryId(2)), vec![ItemId(3)]);
+    }
+
+    #[test]
+    fn edge_counts() {
+        let g = sample();
+        assert_eq!(g.num_item_item_edges(), 4); // 2 undirected
+        assert_eq!(g.num_category_category_edges(), 4);
+        assert_eq!(g.num_scene_category_edges(), 4);
+    }
+
+    #[test]
+    fn missing_category_rejected() {
+        let mut b = SceneGraphBuilder::new(1, 1, 1);
+        b.add_scene_member(SceneId(0), CategoryId(0));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GraphError::ItemCategoryArity { item: 0, got: 0 }));
+    }
+
+    #[test]
+    fn category_out_of_range_rejected() {
+        let mut b = SceneGraphBuilder::new(1, 1, 1);
+        b.set_category(ItemId(0), CategoryId(9));
+        b.add_scene_member(SceneId(0), CategoryId(0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::NodeOutOfRange { index: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_scene_rejected() {
+        let mut b = SceneGraphBuilder::new(1, 1, 2);
+        b.set_category(ItemId(0), CategoryId(0));
+        b.add_scene_member(SceneId(0), CategoryId(0));
+        // Scene 1 left empty.
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::EmptyScene { scene: 1 }
+        ));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = SceneGraphBuilder::new(2, 1, 1);
+        b.set_category(ItemId(0), CategoryId(0))
+            .set_category(ItemId(1), CategoryId(0))
+            .add_scene_member(SceneId(0), CategoryId(0))
+            .link_items(ItemId(1), ItemId(1), 1.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::SelfLoop { .. }
+        ));
+    }
+
+    #[test]
+    fn top_k_pruning_applied() {
+        let mut b = SceneGraphBuilder::new(4, 1, 1);
+        for i in 0..4 {
+            b.set_category(ItemId(i), CategoryId(0));
+        }
+        b.add_scene_member(SceneId(0), CategoryId(0));
+        b.link_items(ItemId(0), ItemId(1), 1.0)
+            .link_items(ItemId(0), ItemId(2), 5.0)
+            .link_items(ItemId(0), ItemId(3), 3.0)
+            .with_item_top_k(2);
+        let g = b.build().unwrap();
+        assert_eq!(g.item_neighbors(ItemId(0)), &[2, 3]);
+        // Reverse directions survive independently (each endpoint keeps its
+        // own top-k list).
+        assert_eq!(g.item_neighbors(ItemId(1)), &[0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = sample();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: SceneGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn with_scenes_swaps_only_the_scene_layer() {
+        let g = sample();
+        let swapped = g.with_scenes(&[vec![0, 2], vec![1]]).unwrap();
+        assert_eq!(swapped.num_scenes(), 2);
+        assert_eq!(swapped.categories_of_scene(SceneId(0)), &[0, 2]);
+        assert_eq!(swapped.scenes_of_category(CategoryId(1)), &[1]);
+        // Item and category layers unchanged.
+        assert_eq!(swapped.item_neighbors(ItemId(0)), g.item_neighbors(ItemId(0)));
+        assert_eq!(
+            swapped.category_neighbors(CategoryId(1)),
+            g.category_neighbors(CategoryId(1))
+        );
+        assert_eq!(swapped.category_of(ItemId(3)), g.category_of(ItemId(3)));
+    }
+
+    #[test]
+    fn with_scenes_rejects_empty_and_bad_scenes() {
+        let g = sample();
+        assert!(matches!(
+            g.with_scenes(&[vec![]]).unwrap_err(),
+            GraphError::EmptyScene { scene: 0 }
+        ));
+        assert!(matches!(
+            g.with_scenes(&[vec![99]]).unwrap_err(),
+            GraphError::NodeOutOfRange { .. }
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! Dataset statistics in the format of **Table 1** of the paper.
+//!
+//! Table 1 reports each relation `A-B` as three numbers: the count of `A`
+//! nodes, the count of `B` nodes, and the number of `A-B` edges. The
+//! `table1` bench binary prints a [`DatasetStats`] for each generated
+//! dataset next to the paper's published values.
+
+use crate::bipartite::BipartiteGraph;
+use crate::scene::SceneGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One `A-B` row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationStats {
+    /// Number of `A` nodes.
+    pub num_a: u64,
+    /// Number of `B` nodes.
+    pub num_b: u64,
+    /// Number of `A-B` edges.
+    pub num_edges: u64,
+}
+
+impl fmt::Display for RelationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{} ({})", self.num_a, self.num_b, self.num_edges)
+    }
+}
+
+/// All five relations of Table 1 for one dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset display name (e.g. "Electronics").
+    pub name: String,
+    /// User-Item interactions.
+    pub user_item: RelationStats,
+    /// Item-Item co-view edges (directed count, as stored).
+    pub item_item: RelationStats,
+    /// Item-Category assignments (always one per item).
+    pub item_category: RelationStats,
+    /// Category-Category relevance edges (directed count).
+    pub category_category: RelationStats,
+    /// Scene-Category membership edges.
+    pub scene_category: RelationStats,
+}
+
+impl DatasetStats {
+    /// Computes Table-1 statistics from the two graphs.
+    pub fn compute(name: &str, bipartite: &BipartiteGraph, scene: &SceneGraph) -> Self {
+        DatasetStats {
+            name: name.to_owned(),
+            user_item: RelationStats {
+                num_a: bipartite.num_users() as u64,
+                num_b: bipartite.num_items() as u64,
+                num_edges: bipartite.num_interactions() as u64,
+            },
+            item_item: RelationStats {
+                num_a: scene.num_items() as u64,
+                num_b: scene.num_items() as u64,
+                num_edges: scene.num_item_item_edges() as u64,
+            },
+            item_category: RelationStats {
+                num_a: scene.num_items() as u64,
+                num_b: scene.num_categories() as u64,
+                num_edges: scene.num_items() as u64,
+            },
+            category_category: RelationStats {
+                num_a: scene.num_categories() as u64,
+                num_b: scene.num_categories() as u64,
+                num_edges: scene.num_category_category_edges() as u64,
+            },
+            scene_category: RelationStats {
+                num_a: scene.num_scenes() as u64,
+                num_b: scene.num_categories() as u64,
+                num_edges: scene.num_scene_category_edges() as u64,
+            },
+        }
+    }
+
+    /// Renders the dataset as rows of a Table-1-style text table.
+    pub fn to_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("User-Item".into(), self.user_item.to_string()),
+            ("Item-Item".into(), self.item_item.to_string()),
+            ("Item-Category".into(), self.item_category.to_string()),
+            (
+                "Category-Category".into(),
+                self.category_category.to_string(),
+            ),
+            ("Scene-Category".into(), self.scene_category.to_string()),
+        ]
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dataset: {}", self.name)?;
+        for (rel, row) in self.to_rows() {
+            writeln!(f, "  {rel:<20} {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraphBuilder;
+    use crate::ids::{CategoryId, ItemId, SceneId, UserId};
+    use crate::scene::SceneGraphBuilder;
+
+    fn graphs() -> (BipartiteGraph, SceneGraph) {
+        let mut b = BipartiteGraphBuilder::new(2, 3);
+        b.interact(UserId(0), ItemId(0))
+            .interact(UserId(0), ItemId(1))
+            .interact(UserId(1), ItemId(2));
+        let bipartite = b.build().unwrap();
+
+        let mut sb = SceneGraphBuilder::new(3, 2, 1);
+        sb.set_category(ItemId(0), CategoryId(0))
+            .set_category(ItemId(1), CategoryId(0))
+            .set_category(ItemId(2), CategoryId(1))
+            .link_items(ItemId(0), ItemId(1), 1.0)
+            .link_categories(CategoryId(0), CategoryId(1), 1.0)
+            .add_scene_member(SceneId(0), CategoryId(0))
+            .add_scene_member(SceneId(0), CategoryId(1));
+        (bipartite, sb.build().unwrap())
+    }
+
+    #[test]
+    fn compute_matches_graphs() {
+        let (bg, sg) = graphs();
+        let stats = DatasetStats::compute("Test", &bg, &sg);
+        assert_eq!(
+            stats.user_item,
+            RelationStats {
+                num_a: 2,
+                num_b: 3,
+                num_edges: 3
+            }
+        );
+        assert_eq!(stats.item_item.num_edges, 2); // one undirected edge
+        assert_eq!(stats.item_category.num_edges, 3);
+        assert_eq!(stats.category_category.num_edges, 2);
+        assert_eq!(stats.scene_category.num_edges, 2);
+    }
+
+    #[test]
+    fn display_contains_all_relations() {
+        let (bg, sg) = graphs();
+        let text = DatasetStats::compute("Test", &bg, &sg).to_string();
+        for rel in [
+            "User-Item",
+            "Item-Item",
+            "Item-Category",
+            "Category-Category",
+            "Scene-Category",
+        ] {
+            assert!(text.contains(rel), "missing {rel} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn relation_stats_format() {
+        let r = RelationStats {
+            num_a: 4521,
+            num_b: 51759,
+            num_edges: 481831,
+        };
+        assert_eq!(r.to_string(), "4521-51759 (481831)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (bg, sg) = graphs();
+        let stats = DatasetStats::compute("Test", &bg, &sg);
+        let s = serde_json::to_string(&stats).unwrap();
+        let back: DatasetStats = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, stats);
+    }
+}

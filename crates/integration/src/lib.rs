@@ -1,0 +1,1 @@
+//! Cross-crate integration test and example host crate; see `/tests` and `/examples`.

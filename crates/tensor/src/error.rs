@@ -1,0 +1,131 @@
+//! Error types for shape-checked tensor operations.
+
+use std::fmt;
+
+/// Error produced when the shapes of tensor operands are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Element-wise binary op on differently shaped operands.
+    Mismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Matrix product inner dimensions disagree.
+    MatMul {
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A constructor received a buffer whose length does not match the
+    /// requested shape.
+    BadBuffer {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// An index was out of bounds for the tensor.
+    OutOfBounds {
+        /// Offending index `(row, col)`.
+        index: (usize, usize),
+        /// Tensor shape.
+        shape: (usize, usize),
+    },
+    /// Operation requires a non-empty tensor.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Mismatch { lhs, rhs, op } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ShapeError::MatMul { lhs, rhs } => write!(
+                f,
+                "matmul inner dimensions disagree: {}x{} * {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ShapeError::BadBuffer { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot back a {}x{} tensor",
+                shape.0, shape.1
+            ),
+            ShapeError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} tensor",
+                index.0, index.1, shape.0, shape.1
+            ),
+            ShapeError::Empty { op } => write!(f, "`{op}` requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Convenience alias for results of shape-checked operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mismatch() {
+        let e = ShapeError::Mismatch {
+            lhs: (2, 3),
+            rhs: (3, 2),
+            op: "add",
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in `add`: lhs is 2x3, rhs is 3x2"
+        );
+    }
+
+    #[test]
+    fn display_matmul() {
+        let e = ShapeError::MatMul {
+            lhs: (2, 3),
+            rhs: (4, 2),
+        };
+        assert_eq!(e.to_string(), "matmul inner dimensions disagree: 2x3 * 4x2");
+    }
+
+    #[test]
+    fn display_bad_buffer() {
+        let e = ShapeError::BadBuffer {
+            shape: (2, 2),
+            len: 3,
+        };
+        assert_eq!(e.to_string(), "buffer of length 3 cannot back a 2x2 tensor");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = ShapeError::OutOfBounds {
+            index: (5, 0),
+            shape: (2, 2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "index (5, 0) out of bounds for 2x2 tensor"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ShapeError::Empty { op: "softmax" });
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic, seedable weight-initialization schemes.
+//!
+//! All models in the reproduction initialize from an explicit
+//! [`rand::rngs::StdRng`] so that experiments are reproducible bit-for-bit
+//! under a fixed seed — a requirement for the Table 2 regeneration harness.
+
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// A weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// Constant fill.
+    Constant(f32),
+    /// Uniform on `[-a, a]`.
+    Uniform(f32),
+    /// Gaussian with the given standard deviation (Box–Muller).
+    Normal(f32),
+    /// Xavier/Glorot uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming uniform: `a = sqrt(6 / fan_in)`; suited to ReLU nets.
+    HeUniform,
+}
+
+impl Initializer {
+    /// Materializes a `rows x cols` matrix.
+    ///
+    /// For the fan-based schemes, `fan_in = cols` and `fan_out = rows`,
+    /// matching the convention that the matrix multiplies column vectors
+    /// from the right (`y = W x`).
+    pub fn init(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let n = rows * cols;
+        let data: Vec<f32> = match self {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Constant(c) => vec![c; n],
+            Initializer::Uniform(a) => {
+                let d = Uniform::new_inclusive(-a, a);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Initializer::Normal(std) => (0..n).map(|_| std * sample_standard_normal(rng)).collect(),
+            Initializer::XavierUniform => {
+                let a = (6.0f32 / (rows + cols) as f32).sqrt();
+                let d = Uniform::new_inclusive(-a, a);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Initializer::HeUniform => {
+                let a = (6.0f32 / cols.max(1) as f32).sqrt();
+                let d = Uniform::new_inclusive(-a, a);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+        };
+        Matrix::from_vec(rows, cols, data).expect("init buffer length is rows*cols")
+    }
+}
+
+/// Samples from N(0, 1) via the Box–Muller transform.
+///
+/// Implemented locally to avoid a dependency on `rand_distr`, which is not
+/// on the approved offline crate list.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Initializer::Zeros
+            .init(2, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Initializer::Constant(0.5)
+            .init(2, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Initializer::Uniform(0.1).init(50, 50, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.1..=0.1).contains(&v)));
+        // Not all identical.
+        assert!(m.as_slice().iter().any(|&v| v != m.get(0, 0)));
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (rows, cols) = (32, 64);
+        let a = (6.0f32 / (rows + cols) as f32).sqrt();
+        let m = Initializer::XavierUniform.init(rows, cols, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn he_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Initializer::HeUniform.init(16, 24, &mut rng);
+        let a = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Initializer::Normal(2.0).init(100, 100, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let m1 = Initializer::XavierUniform.init(8, 8, &mut StdRng::seed_from_u64(42));
+        let m2 = Initializer::XavierUniform.init(8, 8, &mut StdRng::seed_from_u64(42));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+}

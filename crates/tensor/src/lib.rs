@@ -1,0 +1,33 @@
+//! # scenerec-tensor
+//!
+//! Dense, row-major `f32` tensor math substrate used by every other crate in
+//! the SceneRec reproduction.
+//!
+//! The SceneRec model (EDBT 2021) is built from small dense building blocks:
+//! affine transforms, element-wise activations, vector concatenation, cosine
+//! similarity and masked softmax. This crate provides exactly those kernels,
+//! with shape checking, numerically stable implementations, and
+//! deterministic, seedable initialization schemes.
+//!
+//! Design choices (see DESIGN.md at the workspace root):
+//!
+//! * **Row-major `Matrix`** with explicit `(rows, cols)`; vectors are
+//!   `rows == 1` or `cols == 1` matrices or plain `&[f32]` slices depending
+//!   on the call site. Embedding tables are matrices whose rows are entity
+//!   embeddings, matching Eqs. (1)–(14) of the paper.
+//! * **Fallible shape-checked APIs** (`try_*`) alongside panicking
+//!   convenience wrappers used in hot inner loops that have already been
+//!   validated at model-construction time.
+//! * **No unsafe**: the kernels are written so the optimizer can vectorize
+//!   them (iterator chains over contiguous slices, `chunks_exact`).
+
+pub mod error;
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod numeric;
+pub mod stats;
+
+pub use error::{ShapeError, TensorResult};
+pub use init::Initializer;
+pub use matrix::Matrix;

@@ -1,0 +1,154 @@
+//! Small descriptive-statistics helpers used by the evaluation harness and
+//! the experiment report printers (means, standard deviations, percentiles).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|v| (v - m).powi(2)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Linear-interpolation percentile, `q` in `[0, 1]`; 0 for an empty slice.
+pub fn percentile(xs: &[f32], q: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Min and max of a slice; `None` for an empty slice.
+pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the trainers to track running loss without storing every value.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f32) {
+        self.n += 1;
+        let delta = x as f64 - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x as f64 - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; 0 when empty.
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Running population variance; 0 for fewer than 2 observations.
+    pub fn variance(&self) -> f32 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64) as f32
+        }
+    }
+
+    /// Running standard deviation.
+    pub fn std_dev(&self) -> f32 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-6);
+        assert!((rs.std_dev() - std_dev(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_stats_single_observation() {
+        let mut rs = RunningStats::new();
+        rs.push(3.5);
+        assert_eq!(rs.mean(), 3.5);
+        assert_eq!(rs.variance(), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the tensor kernels: algebraic laws that must
+//! hold for arbitrary finite inputs.
+
+use proptest::prelude::*;
+use scenerec_tensor::{linalg, numeric, Matrix};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A + B) - B == A element-wise (within float tolerance).
+    #[test]
+    fn add_sub_inverse(a in matrix(3, 4), b in matrix(3, 4)) {
+        let sum = linalg::add(&a, &b);
+        let back = linalg::sub(&sum, &b);
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matrix product with the identity is a no-op.
+    #[test]
+    fn matmul_identity(a in matrix(4, 4)) {
+        let out = linalg::matmul(&a, &Matrix::identity(4));
+        for (x, y) in out.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// (A B)ᵀ == Bᵀ Aᵀ.
+    #[test]
+    fn matmul_transpose_law(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = linalg::matmul(&a, &b).transpose();
+        let right = linalg::matmul(&b.transpose(), &a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// matvec agrees with matmul against a column vector.
+    #[test]
+    fn matvec_consistent_with_matmul(a in matrix(4, 3), x in finite_vec(3..4)) {
+        let as_col = Matrix::col_vector(&x);
+        let via_mm = linalg::matmul(&a, &as_col);
+        let via_mv = linalg::matvec(&a, &x);
+        for (p, q) in via_mm.as_slice().iter().zip(&via_mv) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    /// dot is symmetric and |dot| <= |a||b| (Cauchy–Schwarz).
+    #[test]
+    fn dot_laws(a in finite_vec(4..8)) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let d1 = linalg::dot(&a, &b);
+        let d2 = linalg::dot(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-4);
+        let bound = linalg::norm2(&a) * linalg::norm2(&b);
+        prop_assert!(d1.abs() <= bound + 1e-3);
+    }
+
+    /// Softmax is invariant to constant shifts and orders by input.
+    #[test]
+    fn softmax_properties(xs in finite_vec(2..8), shift in -5.0f32..5.0) {
+        let p1 = numeric::softmax(&xs);
+        let shifted: Vec<f32> = xs.iter().map(|v| v + shift).collect();
+        let p2 = numeric::softmax(&shifted);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        // Larger logits never get smaller probabilities.
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(p1[i] >= p1[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Cosine is bounded, symmetric, and scale-invariant for positive
+    /// scaling.
+    #[test]
+    fn cosine_properties(a in finite_vec(3..6), scale in 0.1f32..10.0) {
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+        let c1 = numeric::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c1));
+        prop_assert!((c1 - numeric::cosine_similarity(&b, &a)).abs() < 1e-5);
+        let scaled: Vec<f32> = a.iter().map(|v| v * scale).collect();
+        let c2 = numeric::cosine_similarity(&scaled, &b);
+        prop_assert!((c1 - c2).abs() < 1e-3);
+    }
+
+    /// σ(x) = eˣ·σ(−x) implies ln σ(x) = x + ln σ(−x); and ln σ is
+    /// always ≤ 0.
+    #[test]
+    fn log_sigmoid_identity(x in -20.0f32..20.0) {
+        let l = numeric::log_sigmoid(x);
+        prop_assert!(l <= 0.0);
+        let identity = x + numeric::log_sigmoid(-x);
+        prop_assert!((l - identity).abs() < 1e-4, "l={l} identity={identity}");
+    }
+
+    /// sum_rows equals the sum of individual rows.
+    #[test]
+    fn sum_rows_is_additive(m in matrix(5, 3)) {
+        let total = linalg::sum_rows(m.iter_rows(), 3);
+        for c in 0..3 {
+            let manual: f32 = (0..5).map(|r| m.get(r, c)).sum();
+            prop_assert!((total[c] - manual).abs() < 1e-4);
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(m in matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

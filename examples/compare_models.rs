@@ -1,0 +1,83 @@
+//! Head-to-head: SceneRec vs three representative baselines on one
+//! generated dataset — a miniature of the paper's Table 2.
+//!
+//! ```text
+//! cargo run --release -p scenerec-integration --example compare_models
+//! ```
+
+use scenerec_baselines::{BprMf, ItemPop, Ngcf};
+use scenerec_core::trainer::{test, train, TrainConfig};
+use scenerec_core::{PairwiseModel, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, DatasetProfile, Scale};
+use scenerec_eval::evaluate;
+
+fn main() {
+    let data = generate(&DatasetProfile::Fashion.config(Scale::Tiny, 99)).expect("preset");
+    println!(
+        "dataset: {} ({} users, {} items, {} train interactions)\n",
+        data.name,
+        data.num_users(),
+        data.num_items(),
+        data.split.num_train()
+    );
+
+    let cfg = TrainConfig {
+        epochs: 10,
+        learning_rate: 5e-3,
+        lambda: 1e-6,
+        eval_every: 0,
+        patience: 0,
+        ..TrainConfig::default()
+    };
+
+    println!("{:<12} {:>9} {:>9} {:>9}", "model", "NDCG@10", "HR@10", "MRR");
+
+    // Non-learning popularity reference.
+    let pop = ItemPop::new(&data);
+    let s = evaluate(&pop, &data.split.test, cfg.k, cfg.threads);
+    println!(
+        "{:<12} {:>9.4} {:>9.4} {:>9.4}",
+        "ItemPop", s.metrics.ndcg, s.metrics.hr, s.metrics.mrr
+    );
+
+    // Matrix factorization.
+    let mut mf = BprMf::new(&data, 16, 1);
+    train(&mut mf, &data, &cfg);
+    let s = test(&mf, &data, &cfg);
+    println!(
+        "{:<12} {:>9.4} {:>9.4} {:>9.4}",
+        mf.name(),
+        s.metrics.ndcg,
+        s.metrics.hr,
+        s.metrics.mrr
+    );
+
+    // GNN baseline.
+    let mut ngcf = Ngcf::new(&data, 16, 2, 6, 1);
+    train(&mut ngcf, &data, &cfg);
+    let s = test(&ngcf, &data, &cfg);
+    println!(
+        "{:<12} {:>9.4} {:>9.4} {:>9.4}",
+        ngcf.name(),
+        s.metrics.ndcg,
+        s.metrics.hr,
+        s.metrics.mrr
+    );
+
+    // SceneRec.
+    let mut sr = SceneRec::new(SceneRecConfig::default().with_dim(16).with_seed(1), &data);
+    train(&mut sr, &data, &cfg);
+    let s = test(&sr, &data, &cfg);
+    println!(
+        "{:<12} {:>9.4} {:>9.4} {:>9.4}",
+        sr.name(),
+        s.metrics.ndcg,
+        s.metrics.hr,
+        s.metrics.mrr
+    );
+
+    println!(
+        "\n(tiny scale is noisy; run the `table2` bench binary at --scale laptop\n\
+         for the statistically meaningful comparison)"
+    );
+}

@@ -1,0 +1,129 @@
+//! A tour of the scene-based graph (Figure 1) built by hand around the
+//! paper's own example: the scene "Peripheral Devices" = {Keyboard, Mouse,
+//! Mouse Pad, Battery Charger, Headset}, motivating why a user who bought
+//! a PC should be recommended complementary devices.
+//!
+//! ```text
+//! cargo run --release -p scenerec-integration --example scene_graph_tour
+//! ```
+
+use scenerec_graph::{
+    BipartiteGraphBuilder, CategoryId, DatasetStats, ItemId, SceneGraphBuilder, SceneId, UserId,
+};
+
+const CATEGORIES: [&str; 7] = [
+    "Keyboard",
+    "Mouse",
+    "Mouse Pad",
+    "Battery Charger",
+    "Headset",
+    "Mobile Phone",
+    "Phone Case",
+];
+const SCENES: [&str; 2] = ["Peripheral Devices", "Phone Accessories"];
+
+fn main() {
+    // Items: two per category.
+    let num_items = 2 * CATEGORIES.len() as u32;
+    let mut sb = SceneGraphBuilder::new(num_items, CATEGORIES.len() as u32, SCENES.len() as u32);
+    for i in 0..num_items {
+        sb.set_category(ItemId(i), CategoryId(i / 2));
+    }
+
+    // Scene layer: "Peripheral Devices" covers the five PC-side categories,
+    // "Phone Accessories" covers the phone-side ones (chargers belong to
+    // both — scenes overlap).
+    for c in 0..5 {
+        sb.add_scene_member(SceneId(0), CategoryId(c));
+    }
+    sb.add_scene_member(SceneId(1), CategoryId(3)); // Battery Charger
+    sb.add_scene_member(SceneId(1), CategoryId(5)); // Mobile Phone
+    sb.add_scene_member(SceneId(1), CategoryId(6)); // Phone Case
+
+    // Category layer: relevance edges ("Mobile Phone" ~ "Phone Case", the
+    // paper's example; keyboards ~ mice, etc.).
+    sb.link_categories(CategoryId(0), CategoryId(1), 8.0)
+        .link_categories(CategoryId(1), CategoryId(2), 6.0)
+        .link_categories(CategoryId(0), CategoryId(4), 3.0)
+        .link_categories(CategoryId(5), CategoryId(6), 9.0)
+        .link_categories(CategoryId(3), CategoryId(5), 2.0);
+
+    // Item layer: co-view edges.
+    sb.link_items(ItemId(0), ItemId(2), 5.0) // keyboard <-> mouse
+        .link_items(ItemId(0), ItemId(4), 2.0) // keyboard <-> mouse pad
+        .link_items(ItemId(2), ItemId(4), 4.0)
+        .link_items(ItemId(10), ItemId(12), 7.0); // phone <-> case
+
+    let scene_graph = sb.build().expect("hand-built graph is valid");
+
+    // A toy interaction log: user 0 owns PC peripherals, user 1 is
+    // phone-focused.
+    let mut bb = BipartiteGraphBuilder::new(2, num_items);
+    for i in [0u32, 2, 4, 8] {
+        bb.interact(UserId(0), ItemId(i));
+    }
+    for i in [10u32, 12, 6] {
+        bb.interact(UserId(1), ItemId(i));
+    }
+    let bipartite = bb.build().expect("valid interactions");
+
+    println!("=== The scene-based graph (Figure 1), bottom-up ===\n");
+    println!("Scene layer:");
+    for (s, name) in SCENES.iter().enumerate() {
+        let members: Vec<&str> = scene_graph
+            .categories_of_scene(SceneId(s as u32))
+            .iter()
+            .map(|&c| CATEGORIES[c as usize])
+            .collect();
+        println!("  {name}: {}", members.join(", "));
+    }
+
+    println!("\nCategory layer (CC relevance edges):");
+    for c in 0..CATEGORIES.len() as u32 {
+        let neighbors: Vec<&str> = scene_graph
+            .category_neighbors(CategoryId(c))
+            .iter()
+            .map(|&q| CATEGORIES[q as usize])
+            .collect();
+        if !neighbors.is_empty() {
+            println!("  {} -> {}", CATEGORIES[c as usize], neighbors.join(", "));
+        }
+    }
+
+    println!("\nItem layer (II co-view edges, weights = co-occurrence):");
+    for i in 0..num_items {
+        let pairs: Vec<String> = scene_graph
+            .item_neighbors(ItemId(i))
+            .iter()
+            .zip(scene_graph.item_neighbor_weights(ItemId(i)))
+            .map(|(&q, &w)| format!("{} (w={w})", ItemId(q)))
+            .collect();
+        if !pairs.is_empty() {
+            println!(
+                "  {} [{}] -> {}",
+                ItemId(i),
+                CATEGORIES[scene_graph.category_of(ItemId(i)).index()],
+                pairs.join(", ")
+            );
+        }
+    }
+
+    println!("\nPaper-notation neighborhoods for item i0 (a keyboard):");
+    let i0 = ItemId(0);
+    println!("  C(i0)  = {}", CATEGORIES[scene_graph.category_of(i0).index()]);
+    println!(
+        "  II(i0) = {:?}",
+        scene_graph.item_neighbors(i0).iter().map(|&q| ItemId(q)).collect::<Vec<_>>()
+    );
+    println!(
+        "  IS(i0) = {:?} (scenes of the keyboard category)",
+        scene_graph
+            .scenes_of_item(i0)
+            .iter()
+            .map(|&s| SCENES[s as usize])
+            .collect::<Vec<_>>()
+    );
+
+    println!("\nTable-1-style statistics of this toy dataset:");
+    println!("{}", DatasetStats::compute("Peripheral toy", &bipartite, &scene_graph));
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the extension
+# studies, saving outputs under results/. Takes tens of minutes at the
+# default laptop scale on a single core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${SCALE:-laptop}"
+OUT=results
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  cargo run --release -p scenerec-bench --bin "$name" -- "$@" | tee "$OUT/$name.txt"
+}
+
+run table1 --scale "$SCALE"
+run table2 --scale "$SCALE" --extras --out "$OUT/table2.json"
+run figure3 --scale "$SCALE"
+run ablation --scale "$SCALE" --dataset electronics
+run sweep --scale "$SCALE" --dataset electronics --fast
+run mined_scenes --scale "$SCALE" --dataset electronics
+run full_ranking --scale "$SCALE" --dataset electronics
+run design --scale "$SCALE" --axis dim

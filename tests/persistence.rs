@@ -1,0 +1,76 @@
+//! Serialization round trips across crate boundaries: datasets, parameter
+//! stores and evaluation summaries survive JSON persistence bit-for-bit.
+
+use scenerec_autodiff::ParamStore;
+use scenerec_core::trainer::{test, train, TrainConfig};
+use scenerec_core::{PairwiseModel, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, Dataset, GeneratorConfig};
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("scenerec-persistence-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn dataset_round_trips_through_json() {
+    let data = generate(&GeneratorConfig::tiny(3001)).unwrap();
+    let path = tmpdir().join("dataset.json");
+    data.save_json(&path).unwrap();
+    let back = Dataset::load_json(&path).unwrap();
+    assert_eq!(back, data);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trained_parameters_round_trip_and_reproduce_scores() {
+    let data = generate(&GeneratorConfig::tiny(3002)).unwrap();
+    let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(2), &data);
+    let cfg = TrainConfig {
+        epochs: 2,
+        eval_every: 0,
+        patience: 0,
+        threads: 2,
+        ..TrainConfig::default()
+    };
+    train(&mut model, &data, &cfg);
+    let before = test(&model, &data, &cfg);
+
+    // Serialize the parameter store, reload, inject into a fresh model of
+    // identical topology (same registration order => same ParamIds).
+    let json = serde_json::to_string(model.store()).unwrap();
+    let restored: ParamStore = serde_json::from_str(&json).unwrap();
+    let mut fresh = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(999), &data);
+    assert_eq!(fresh.store().len(), restored.len());
+    *fresh.store_mut() = restored;
+
+    let after = test(&fresh, &data, &cfg);
+    assert_eq!(
+        before.ranks, after.ranks,
+        "restored parameters must reproduce identical rankings"
+    );
+}
+
+#[test]
+fn eval_summary_serializes() {
+    let data = generate(&GeneratorConfig::tiny(3003)).unwrap();
+    let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+    let cfg = TrainConfig {
+        threads: 2,
+        ..TrainConfig::default()
+    };
+    let summary = test(&model, &data, &cfg);
+    let json = serde_json::to_string(&summary).unwrap();
+    let back: scenerec_eval::EvalSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, summary);
+}
+
+#[test]
+fn dataset_stats_match_after_reload() {
+    let data = generate(&GeneratorConfig::tiny(3004)).unwrap();
+    let path = tmpdir().join("dataset2.json");
+    data.save_json(&path).unwrap();
+    let back = Dataset::load_json(&path).unwrap();
+    assert_eq!(back.stats(), data.stats());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests (proptest) over cross-crate
+//! invariants: generator configs, splits, metrics and graph construction.
+
+use proptest::prelude::*;
+use scenerec_data::split::LeaveOneOutSplit;
+use scenerec_data::{generate, GeneratorConfig};
+use scenerec_eval::metrics::{hit_at_k, ndcg_at_k, rank_of_positive, MetricSet};
+use scenerec_graph::CsrGraph;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid tiny-ish config generates a consistent dataset.
+    #[test]
+    fn generator_respects_config(
+        seed in 0u64..1000,
+        users in 10u32..40,
+        items in 30u32..100,
+        cats in 4u32..10,
+        scenes in 2u32..8,
+    ) {
+        let mut cfg = GeneratorConfig::tiny(seed);
+        cfg.num_users = users;
+        cfg.num_items = items;
+        cfg.num_categories = cats;
+        cfg.num_scenes = scenes;
+        cfg.scene_size_max = cfg.scene_size_max.min(cats);
+        cfg.scene_size_min = cfg.scene_size_min.min(cfg.scene_size_max);
+        let data = generate(&cfg).unwrap();
+        prop_assert_eq!(data.num_users(), users);
+        prop_assert_eq!(data.num_items(), items);
+        prop_assert_eq!(data.scene_graph.num_categories(), cats);
+        prop_assert_eq!(data.scene_graph.num_scenes(), scenes);
+        // Split accounting is exact.
+        prop_assert_eq!(
+            data.interactions.num_interactions(),
+            data.split.num_train() + 2 * data.split.num_eval_users()
+        );
+    }
+
+    /// The rank of a positive is bounded by the number of negatives, and
+    /// metrics are monotone in K.
+    #[test]
+    fn metric_invariants(pos in -10.0f32..10.0, negs in prop::collection::vec(-10.0f32..10.0, 0..50)) {
+        let rank = rank_of_positive(pos, &negs);
+        prop_assert!(rank <= negs.len());
+        for k in 1..negs.len().max(2) {
+            prop_assert!(hit_at_k(rank, k) <= hit_at_k(rank, k + 1));
+            prop_assert!(ndcg_at_k(rank, k) <= ndcg_at_k(rank, k + 1) + 1e-7);
+            prop_assert!(ndcg_at_k(rank, k) <= hit_at_k(rank, k));
+        }
+    }
+
+    /// Aggregated metric sets stay in [0, 1] and HR dominates NDCG.
+    #[test]
+    fn metric_set_bounds(ranks in prop::collection::vec(0usize..120, 1..40), k in 1usize..20) {
+        let m = MetricSet::from_ranks(&ranks, k);
+        prop_assert!((0.0..=1.0).contains(&m.hr));
+        prop_assert!((0.0..=1.0).contains(&m.ndcg));
+        prop_assert!((0.0..=1.0).contains(&m.mrr));
+        prop_assert!(m.ndcg <= m.hr + 1e-7);
+        prop_assert!((m.precision - m.hr / k as f32).abs() < 1e-6);
+    }
+
+    /// Leave-one-out never leaks held-out items into training, for any
+    /// positive-list shape.
+    #[test]
+    fn split_never_leaks(
+        seed in 0u64..500,
+        lists in prop::collection::vec(prop::collection::hash_set(0u32..200, 0..12), 1..20),
+    ) {
+        let positives: Vec<Vec<u32>> = lists.into_iter().map(|s| s.into_iter().collect()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = LeaveOneOutSplit::build(&positives, 200, 10, &mut rng);
+        for inst in split.validation.iter().chain(&split.test) {
+            prop_assert!(!split.train.iter().any(|&(u, i)| u == inst.user && i == inst.positive));
+            // Negatives are never positives of that user.
+            for n in &inst.negatives {
+                prop_assert!(!positives[inst.user.index()].contains(&n.raw()));
+            }
+        }
+        // Every positive is accounted for exactly once.
+        let held: usize = split.validation.len() + split.test.len();
+        let total: usize = positives.iter().map(Vec::len).sum();
+        prop_assert_eq!(split.train.len() + held, total);
+    }
+
+    /// CSR round-trips arbitrary edge lists: every inserted edge is
+    /// findable, weights merge additively.
+    #[test]
+    fn csr_contains_all_edges(
+        edges in prop::collection::vec((0u32..30, 0u32..30, 0.1f32..5.0), 0..100),
+    ) {
+        let g = CsrGraph::from_edges(30, 30, edges.clone()).unwrap();
+        for &(s, d, _) in &edges {
+            prop_assert!(g.has_edge(s, d));
+        }
+        let total_weight: f32 = edges.iter().map(|e| e.2).sum();
+        let stored_weight: f32 = g.iter_edges().map(|e| e.2).sum();
+        prop_assert!((total_weight - stored_weight).abs() < 1e-3 * total_weight.max(1.0));
+        // Transpose twice is identity.
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate protocol invariants: the leave-one-out split, the graphs,
+//! and the evaluation pipeline must agree with §5.1/§5.3 of the paper.
+
+use scenerec_data::{generate, DatasetProfile, GeneratorConfig, Scale};
+use scenerec_graph::{CategoryId, ItemId, SceneId, UserId};
+use std::collections::HashSet;
+
+#[test]
+fn train_graph_never_contains_heldout_positives() {
+    let data = generate(&GeneratorConfig::tiny(1001)).unwrap();
+    for inst in data.split.validation.iter().chain(&data.split.test) {
+        assert!(
+            !data.train_graph.has_interaction(inst.user, inst.positive),
+            "held-out positive leaked into the training graph"
+        );
+        // But the full interaction graph has them.
+        assert!(data.interactions.has_interaction(inst.user, inst.positive));
+    }
+}
+
+#[test]
+fn negatives_never_overlap_any_positive() {
+    let data = generate(&GeneratorConfig::tiny(1002)).unwrap();
+    for inst in data.split.validation.iter().chain(&data.split.test) {
+        for &n in &inst.negatives {
+            assert!(
+                !data.interactions.has_interaction(inst.user, n),
+                "negative {n} is actually a positive of {}",
+                inst.user
+            );
+        }
+    }
+}
+
+#[test]
+fn every_evaluated_user_has_training_interactions() {
+    // Eq. 1 aggregates UI(u); an evaluated user with no training items
+    // would have an all-zero aggregation, which the protocol avoids by
+    // keeping at least one positive in train.
+    let data = generate(&GeneratorConfig::tiny(1003)).unwrap();
+    for inst in &data.split.test {
+        assert!(
+            data.train_graph.user_degree(inst.user) >= 1,
+            "evaluated user {} has no training interactions",
+            inst.user
+        );
+    }
+}
+
+#[test]
+fn scene_graph_is_consistent_with_taxonomy_invariants() {
+    let data = generate(&GeneratorConfig::tiny(1004)).unwrap();
+    let sg = &data.scene_graph;
+    // Every item has a category in range; IS(i) == CS(C(i)).
+    for i in 0..sg.num_items() {
+        let c = sg.category_of(ItemId(i));
+        assert!(c.raw() < sg.num_categories());
+        assert_eq!(
+            sg.scenes_of_item(ItemId(i)),
+            sg.scenes_of_category(c),
+            "IS(i) must equal CS(C(i))"
+        );
+    }
+    // Scene membership is symmetric between the two stored directions.
+    for s in 0..sg.num_scenes() {
+        assert!(!sg.categories_of_scene(SceneId(s)).is_empty());
+        for &c in sg.categories_of_scene(SceneId(s)) {
+            assert!(
+                sg.scenes_of_category(CategoryId(c)).contains(&s),
+                "membership asymmetry: scene {s} category {c}"
+            );
+        }
+    }
+    // Item-item and category-category layers are symmetric.
+    for i in 0..sg.num_items() {
+        for &q in sg.item_neighbors(ItemId(i)) {
+            // Top-k pruning is per-endpoint, so the reverse edge exists in
+            // the *unpruned* relation; after pruning we only require no
+            // self-loops and in-range endpoints.
+            assert_ne!(q, i, "self-loop in item layer");
+            assert!(q < sg.num_items());
+        }
+    }
+}
+
+#[test]
+fn eval_instances_have_exactly_the_configured_negatives() {
+    let cfg = GeneratorConfig::tiny(1005);
+    let data = generate(&cfg).unwrap();
+    for inst in data.split.validation.iter().chain(&data.split.test) {
+        assert_eq!(inst.negatives.len(), cfg.eval_negatives as usize);
+        let uniq: HashSet<u32> = inst.negatives.iter().map(|i| i.raw()).collect();
+        assert_eq!(uniq.len(), inst.negatives.len(), "duplicate negatives");
+    }
+}
+
+#[test]
+fn presets_mirror_paper_shapes_at_paper_scale() {
+    // Structural ratios from Table 1 must be preserved by the presets.
+    let e = DatasetProfile::Electronics.config(Scale::Paper, 0);
+    let f = DatasetProfile::Fashion.config(Scale::Paper, 0);
+    assert_eq!(e.num_categories, 78);
+    assert_eq!(e.num_scenes, 54);
+    assert_eq!(f.num_categories, 91);
+    assert_eq!(f.num_scenes, 438);
+    // Fashion has far more scenes than categories; Electronics the reverse.
+    assert!(f.num_scenes > f.num_categories);
+    assert!(e.num_scenes < e.num_categories);
+}
+
+#[test]
+fn users_and_items_are_consistent_across_graphs() {
+    let data = generate(&GeneratorConfig::tiny(1006)).unwrap();
+    assert_eq!(data.interactions.num_users(), data.train_graph.num_users());
+    assert_eq!(data.interactions.num_items(), data.train_graph.num_items());
+    assert_eq!(data.interactions.num_items(), data.scene_graph.num_items());
+    // Every train interaction exists in the full set.
+    for &(u, i) in &data.split.train {
+        assert!(data.interactions.has_interaction(u, i));
+    }
+    // Counts line up: full = train + 2 per evaluated user.
+    assert_eq!(
+        data.interactions.num_interactions(),
+        data.split.num_train() + 2 * data.split.num_eval_users()
+    );
+    let _ = UserId(0); // typed-id ergonomics smoke check
+}
