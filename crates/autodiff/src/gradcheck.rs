@@ -62,9 +62,7 @@ pub fn check_gradients(
                 let mut v: Vec<usize> = grads
                     .sparse(id)
                     .keys()
-                    .flat_map(|&r| {
-                        (0..cols).map(move |c| r as usize * cols + c)
-                    })
+                    .flat_map(|&r| (0..cols).map(move |c| r as usize * cols + c))
                     .collect();
                 v.sort_unstable();
                 v.truncate(max_per_param);
@@ -74,9 +72,7 @@ pub fn check_gradients(
 
         for flat in candidates {
             let analytic = match kind {
-                ParamKind::Dense => grads
-                    .dense(id)
-                    .map_or(0.0, |g| g.as_slice()[flat]),
+                ParamKind::Dense => grads.dense(id).map_or(0.0, |g| g.as_slice()[flat]),
                 ParamKind::Embedding => {
                     let r = (flat / cols) as u32;
                     let c = flat % cols;

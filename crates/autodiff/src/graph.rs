@@ -425,8 +425,7 @@ impl<'s> Graph<'s> {
 
     /// Squared L2 norm `‖a‖²` producing a scalar node.
     pub fn squared_norm(&mut self, a: Var) -> Var {
-        let v = self
-            .nodes[a.0]
+        let v = self.nodes[a.0]
             .value
             .as_slice()
             .iter()
@@ -560,8 +559,8 @@ impl<'s> Graph<'s> {
                         .zip(xin.as_slice().iter().zip(yout.as_slice()))
                         .map(|(&gv, (&x, &y))| gv * act.grad(x, y))
                         .collect();
-                    let ga = Matrix::from_vec(g.rows(), g.cols(), data)
-                        .expect("activation grad shape");
+                    let ga =
+                        Matrix::from_vec(g.rows(), g.cols(), data).expect("activation grad shape");
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::Softmax { a } => {
@@ -573,8 +572,7 @@ impl<'s> Graph<'s> {
                         .zip(g.as_slice())
                         .map(|(&pi, &gi)| pi * (gi - inner))
                         .collect();
-                    let ga =
-                        Matrix::from_vec(p.rows(), 1, data).expect("softmax grad shape");
+                    let ga = Matrix::from_vec(p.rows(), 1, data).expect("softmax grad shape");
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::StackScalars { parts } => {
@@ -616,8 +614,8 @@ impl<'s> Graph<'s> {
                         .zip(xin.as_slice())
                         .map(|(&gv, &x)| gv * numeric::sigmoid(-x))
                         .collect();
-                    let ga = Matrix::from_vec(g.rows(), g.cols(), data)
-                        .expect("log_sigmoid grad shape");
+                    let ga =
+                        Matrix::from_vec(g.rows(), g.cols(), data).expect("log_sigmoid grad shape");
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::SquaredNorm { a } => {

@@ -32,13 +32,7 @@ impl Dense {
             _ => Initializer::XavierUniform,
         };
         let w = store.add_dense(&format!("{name}.w"), out_dim, in_dim, init, rng);
-        let b = store.add_dense(
-            &format!("{name}.b"),
-            out_dim,
-            1,
-            Initializer::Zeros,
-            rng,
-        );
+        let b = store.add_dense(&format!("{name}.b"), out_dim, 1, Initializer::Zeros, rng);
         Dense {
             w,
             b,
@@ -102,7 +96,10 @@ impl Mlp {
         out_act: Act,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
             let act = if i == sizes.len() - 2 {
@@ -179,7 +176,11 @@ mod tests {
         let x = g.constant_vec(&[1.0, 1.0]);
         let before = g.len();
         let _ = layer.forward(&mut g, x);
-        assert_eq!(g.len() - before, 1, "identity should add only the affine node");
+        assert_eq!(
+            g.len() - before,
+            1,
+            "identity should add only the affine node"
+        );
     }
 
     #[test]

@@ -276,12 +276,7 @@ impl Optimizer for RmsProp {
                         }
                         let crow = cache.row(r as usize).to_vec();
                         let value = store.param_mut(id).value_mut();
-                        for ((v, &gv), c) in value
-                            .row_mut(r as usize)
-                            .iter_mut()
-                            .zip(g)
-                            .zip(crow)
-                        {
+                        for ((v, &gv), c) in value.row_mut(r as usize).iter_mut().zip(g).zip(crow) {
                             *v -= lr * gv / (c.sqrt() + eps);
                         }
                     }
@@ -390,11 +385,8 @@ impl Optimizer for Adam {
                         let mrow = m.row(r as usize).to_vec();
                         let vrow = v.row(r as usize).to_vec();
                         let value = store.param_mut(id).value_mut();
-                        for ((p, mv), vv) in value
-                            .row_mut(r as usize)
-                            .iter_mut()
-                            .zip(mrow)
-                            .zip(vrow)
+                        for ((p, mv), vv) in
+                            value.row_mut(r as usize).iter_mut().zip(mrow).zip(vrow)
                         {
                             let mhat = mv / bc1;
                             let vhat = vv / bc2;
@@ -462,12 +454,8 @@ mod tests {
 
         let wv = store.value(w).as_slice().to_vec();
         let ev = store.value(e).row(2).to_vec();
-        let dist = |xs: &[f32]| -> f32 {
-            xs.iter()
-                .zip(&target)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum()
-        };
+        let dist =
+            |xs: &[f32]| -> f32 { xs.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum() };
         dist(&wv) + dist(&ev)
     }
 

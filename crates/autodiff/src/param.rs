@@ -12,7 +12,7 @@
 use rand::Rng;
 use scenerec_tensor::{Initializer, Matrix};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Opaque handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -156,10 +156,7 @@ impl ParamStore {
 
     /// Finds a parameter id by name.
     pub fn lookup(&self, name: &str) -> Option<ParamId> {
-        self.params
-            .iter()
-            .position(|p| p.name == name)
-            .map(ParamId)
+        self.params.iter().position(|p| p.name == name).map(ParamId)
     }
 
     /// Iterates over `(id, param)` pairs.
@@ -192,7 +189,11 @@ impl ParamStore {
 }
 
 /// Per-parameter gradient of an embedding table: touched rows only.
-pub type SparseRows = HashMap<u32, Vec<f32>>;
+///
+/// Ordered map, not a hash map: reductions over rows (e.g. the global
+/// gradient norm) must visit rows in a fixed order so same-seed runs
+/// stay bit-identical — `RandomState` hashing reorders float sums.
+pub type SparseRows = BTreeMap<u32, Vec<f32>>;
 
 /// Gradient accumulator mirroring a [`ParamStore`].
 ///

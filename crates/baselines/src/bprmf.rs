@@ -20,7 +20,12 @@ pub struct BprMf {
 impl BprMf {
     /// Builds the model for the dataset's universes.
     pub fn new(data: &Dataset, dim: usize, seed: u64) -> Self {
-        Self::with_sizes(data.num_users() as usize, data.num_items() as usize, dim, seed)
+        Self::with_sizes(
+            data.num_users() as usize,
+            data.num_items() as usize,
+            dim,
+            seed,
+        )
     }
 
     /// The learned user embedding table (one row per user).
@@ -108,10 +113,6 @@ mod tests {
         assert!(report.final_loss() < report.epochs[0].mean_loss);
         let summary = test(&m, &data, &cfg);
         // With 20 negatives, random NDCG@10 ≈ 0.23; trained must beat it.
-        assert!(
-            summary.metrics.ndcg > 0.3,
-            "NDCG {}",
-            summary.metrics.ndcg
-        );
+        assert!(summary.metrics.ndcg > 0.3, "NDCG {}", summary.metrics.ndcg);
     }
 }

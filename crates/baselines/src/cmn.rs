@@ -204,8 +204,7 @@ mod tests {
         let data = generate(&GeneratorConfig::tiny(91)).unwrap();
         let m = Cmn::new(&data, 8, 16, 1);
         // Find a cold item (no training users) if any, plus a warm one.
-        let cold = (0..data.num_items())
-            .find(|&i| m.inter.item_users[i as usize].is_empty());
+        let cold = (0..data.num_items()).find(|&i| m.inter.item_users[i as usize].is_empty());
         let mut probe = vec![ItemId(0)];
         if let Some(c) = cold {
             probe.push(ItemId(c));

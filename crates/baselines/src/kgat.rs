@@ -99,12 +99,7 @@ impl Kgat {
 
     /// Layer-0 item representation with KG attention:
     /// `ê_i = e_i + Σ_s α_s (W_r e_s)`.
-    fn item_base<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        i: u32,
-        memo: &mut HashMap<MemoKey, Var>,
-    ) -> Var {
+    fn item_base<'s>(&'s self, g: &mut Graph<'s>, i: u32, memo: &mut HashMap<MemoKey, Var>) -> Var {
         if let Some(&v) = memo.get(&(false, i, 0)) {
             return v;
         }
@@ -236,12 +231,7 @@ impl PairwiseModel for Kgat {
         g.dot(hu, hi)
     }
 
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         let mut memo = HashMap::new();
         let hu = self.full_repr(g, true, user.raw(), &mut memo);
         items

@@ -78,7 +78,11 @@ impl LightGcn {
             return v;
         }
         let v = if layer == 0 {
-            let table = if is_user { self.user_emb } else { self.item_emb };
+            let table = if is_user {
+                self.user_emb
+            } else {
+                self.item_emb
+            };
             g.embed_row(table, id)
         } else {
             let (neighbors, my_deg) = if is_user {
@@ -148,12 +152,7 @@ impl PairwiseModel for LightGcn {
         g.dot(hu, hi)
     }
 
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         let mut memo = HashMap::new();
         let hu = self.final_repr(g, true, user.raw(), &mut memo);
         items

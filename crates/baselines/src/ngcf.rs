@@ -101,7 +101,11 @@ impl Ngcf {
             return v;
         }
         let v = if layer == 0 {
-            let table = if is_user { self.user_emb } else { self.item_emb };
+            let table = if is_user {
+                self.user_emb
+            } else {
+                self.item_emb
+            };
             g.embed_row(table, id)
         } else {
             let (w1, w2) = self.layers[layer - 1];
@@ -179,12 +183,7 @@ impl PairwiseModel for Ngcf {
         g.dot(hu, hi)
     }
 
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         let mut memo = HashMap::new();
         let hu = self.full_repr(g, true, user.raw(), &mut memo);
         items

@@ -187,12 +187,7 @@ impl PairwiseModel for PinSage {
         g.dot(hu, hi)
     }
 
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         // Share the user tower and all memoized depth-1 representations.
         let mut memo = HashMap::new();
         let hu = self.h2_user(g, user, &mut memo);

@@ -37,12 +37,7 @@ fn bench_row_aggregation(c: &mut Criterion) {
     let table = Initializer::XavierUniform.init(50_000, 64, &mut rng);
     let rows: Vec<usize> = (0..300).map(|i| i * 97 % 50_000).collect();
     c.bench_function("sum_300_rows_of_50k_table", |b| {
-        b.iter(|| {
-            black_box(linalg::sum_rows(
-                rows.iter().map(|&r| table.row(r)),
-                64,
-            ))
-        })
+        b.iter(|| black_box(linalg::sum_rows(rows.iter().map(|&r| table.row(r)), 64)))
     });
 }
 

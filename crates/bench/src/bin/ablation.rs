@@ -11,9 +11,23 @@
 //! which the paper does not do but which makes small-scale deltas readable.
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::{run_model, HarnessConfig, ModelKind};
+use scenerec_bench::{manifest_for, run_model, write_manifest, HarnessConfig, ModelKind};
 use scenerec_data::{generate, DatasetProfile, Scale};
 use scenerec_tensor::stats::{mean, std_dev};
+use serde::{Deserialize, Serialize};
+
+/// One variant's aggregated cell, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AblationRow {
+    variant: String,
+    ndcg_mean: f32,
+    ndcg_std: f32,
+    hr_mean: f32,
+    hr_std: f32,
+    /// Relative NDCG change vs the full model, percent (None for the
+    /// full model itself).
+    delta_vs_full_pct: Option<f32>,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -58,6 +72,7 @@ fn main() {
     );
 
     let mut full_ndcg = 0.0f32;
+    let mut rows = Vec::new();
     for kind in kinds {
         let mut ndcgs = Vec::new();
         let mut hrs = Vec::new();
@@ -74,10 +89,14 @@ fn main() {
         if kind == ModelKind::SceneRec {
             full_ndcg = m_ndcg;
         }
-        let delta = if kind == ModelKind::SceneRec || full_ndcg == 0.0 {
-            String::from("--")
+        let delta_pct = if kind == ModelKind::SceneRec || full_ndcg == 0.0 {
+            None
         } else {
-            format!("{:+.1}%", (m_ndcg - full_ndcg) / full_ndcg * 100.0)
+            Some((m_ndcg - full_ndcg) / full_ndcg * 100.0)
+        };
+        let delta = match delta_pct {
+            None => String::from("--"),
+            Some(d) => format!("{d:+.1}%"),
         };
         println!(
             "{:<18} {:>9.4} {:>8.4} {:>9.4} {:>8.4} {:>12}",
@@ -88,9 +107,22 @@ fn main() {
             std_dev(&hrs),
             delta
         );
+        rows.push(AblationRow {
+            variant: kind.name().to_owned(),
+            ndcg_mean: m_ndcg,
+            ndcg_std: std_dev(&ndcgs),
+            hr_mean: m_hr,
+            hr_std: std_dev(&hrs),
+            delta_vs_full_pct: delta_pct,
+        });
     }
     println!(
         "\npaper (§5.4.2): every variant underperforms the full model — removing\n\
          item-item relations, the scene hierarchy, or attention each costs accuracy."
     );
+
+    let manifest =
+        manifest_for("ablation", &base).with_models(kinds.iter().map(|k| k.name().to_owned()));
+    let path = write_manifest(manifest, &rows, args.get("out"));
+    eprintln!("[ablation] wrote manifest {}", path.display());
 }

@@ -9,11 +9,22 @@
 //! ```
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::HarnessConfig;
+use scenerec_bench::{manifest_for, write_manifest, HarnessConfig};
 use scenerec_core::config::ActChoice;
 use scenerec_core::trainer::{test, train};
 use scenerec_core::{NeighborCaps, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile, Scale};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// One design-axis cell, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DesignRow {
+    label: String,
+    ndcg: f32,
+    hr: f32,
+    epochs_run: usize,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -38,6 +49,7 @@ fn main() {
     let data = generate(&profile.config(hc.scale, hc.data_seed)).expect("generate");
     let tc = hc.train_config();
 
+    let rows: RefCell<Vec<DesignRow>> = RefCell::new(Vec::new());
     let run = |label: String, cfg: SceneRecConfig| {
         eprintln!("[design] {label} ...");
         let mut model = SceneRec::new(cfg, &data);
@@ -50,6 +62,12 @@ fn main() {
             s.metrics.hr,
             report.epochs.len()
         );
+        rows.borrow_mut().push(DesignRow {
+            label,
+            ndcg: s.metrics.ndcg,
+            hr: s.metrics.hr,
+            epochs_run: report.epochs.len(),
+        });
     };
 
     println!(
@@ -63,7 +81,9 @@ fn main() {
             for d in [8usize, 16, 32, 64] {
                 run(
                     format!("dim={d}"),
-                    SceneRecConfig::default().with_dim(d).with_seed(hc.model_seed),
+                    SceneRecConfig::default()
+                        .with_dim(d)
+                        .with_seed(hc.model_seed),
                 );
             }
         }
@@ -111,4 +131,8 @@ fn main() {
         }
         other => panic!("unknown axis `{other}` (dim|caps|act)"),
     }
+
+    let manifest = manifest_for("design", &hc).with_models(["SceneRec".to_owned()]);
+    let path = write_manifest(manifest, &rows.into_inner(), args.get("out"));
+    eprintln!("[design] wrote manifest {}", path.display());
 }

@@ -8,12 +8,28 @@
 //! ```
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::HarnessConfig;
+use scenerec_bench::{manifest_for, write_manifest, HarnessConfig};
 use scenerec_core::case_study::run_case_study;
 use scenerec_core::trainer::train;
 use scenerec_core::{SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile, Scale};
 use scenerec_tensor::stats::mean;
+use serde::{Deserialize, Serialize};
+
+/// One user's case-study outcome, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CaseStudyRow {
+    user: String,
+    correlation: f32,
+    positive_rank: usize,
+}
+
+/// The manifest results payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Figure3Results {
+    users: Vec<CaseStudyRow>,
+    mean_correlation: f32,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -48,6 +64,7 @@ fn main() {
     println!("col 3: average scene-based attention (Eq. 10 cosine) to the user's items\n");
 
     let mut correlations = Vec::new();
+    let mut rows = Vec::new();
     for inst in data.split.test.iter().take(num_users) {
         let Some(cs) = run_case_study(&model, &data, inst.user) else {
             continue;
@@ -77,8 +94,16 @@ fn main() {
             .iter()
             .position(|c| c.is_positive)
             .unwrap_or(usize::MAX);
-        println!("  attention-prediction correlation: {r:.3}; positive ranked #{}\n", pos_rank + 1);
+        println!(
+            "  attention-prediction correlation: {r:.3}; positive ranked #{}\n",
+            pos_rank + 1
+        );
         correlations.push(r);
+        rows.push(CaseStudyRow {
+            user: cs.user.to_string(),
+            correlation: r,
+            positive_rank: pos_rank + 1,
+        });
     }
     println!(
         "mean attention-prediction correlation over {} users: {:.3}",
@@ -89,4 +114,12 @@ fn main() {
         "(the paper's qualitative claim: candidates sharing more scenes with the\n\
          user's items receive larger attention and larger prediction scores)"
     );
+
+    let results = Figure3Results {
+        mean_correlation: mean(&correlations),
+        users: rows,
+    };
+    let manifest = manifest_for("figure3", &hc).with_models(["SceneRec".to_owned()]);
+    let path = write_manifest(manifest, &results, args.get("out"));
+    eprintln!("[figure3] wrote manifest {}", path.display());
 }

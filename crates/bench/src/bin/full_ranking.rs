@@ -11,11 +11,21 @@
 //! ```
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::HarnessConfig;
+use scenerec_bench::{manifest_for, write_manifest, HarnessConfig};
 use scenerec_core::trainer::{test, train};
 use scenerec_core::{ModelScorer, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile, Scale};
-use scenerec_eval::{evaluate_full_ranking, instances_from_split};
+use scenerec_eval::{evaluate_full_ranking, instances_from_split, MetricSet};
+use serde::{Deserialize, Serialize};
+
+/// Sampled-vs-full protocol metrics, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProtocolComparison {
+    eval_users: usize,
+    sampled_negatives: u32,
+    sampled: MetricSet,
+    full_catalog: MetricSet,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -49,7 +59,10 @@ fn main() {
     train(&mut model, &data, &tc);
 
     let sampled = test(&model, &data, &tc);
-    eprintln!("[full_ranking] full-catalog ranking ({} items) ...", data.num_items());
+    eprintln!(
+        "[full_ranking] full-catalog ranking ({} items) ...",
+        data.num_items()
+    );
     let instances = instances_from_split(&data.split, &data.interactions);
     let full = evaluate_full_ranking(
         &ModelScorer(&model),
@@ -78,10 +91,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>9.4} {:>9.4} {:>9.4}",
-        "full catalog",
-        full.metrics.ndcg,
-        full.metrics.hr,
-        full.metrics.mrr
+        "full catalog", full.metrics.ndcg, full.metrics.hr, full.metrics.mrr
     );
     println!(
         "\nreading: the sampled protocol overstates absolute metrics (more\n\
@@ -89,4 +99,14 @@ fn main() {
          *orderings* in Table 2 are unaffected because every model faces the\n\
          same candidate sets."
     );
+
+    let results = ProtocolComparison {
+        eval_users: sampled.num_instances,
+        sampled_negatives: data.config.eval_negatives,
+        sampled: sampled.metrics,
+        full_catalog: full.metrics,
+    };
+    let manifest = manifest_for("full_ranking", &hc).with_models(["SceneRec".to_owned()]);
+    let path = write_manifest(manifest, &results, args.get("out"));
+    eprintln!("[full_ranking] wrote manifest {}", path.display());
 }

@@ -10,11 +10,30 @@
 //! ```
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::HarnessConfig;
+use scenerec_bench::{manifest_for, write_manifest, HarnessConfig};
 use scenerec_core::trainer::{test, train};
 use scenerec_core::{SceneRec, SceneRecConfig, Variant};
 use scenerec_data::mining::{mine_scenes, scene_recovery_score, CoOccurrence, MiningConfig};
 use scenerec_data::{generate, Dataset, DatasetProfile, Scale};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// One scene-source cell, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SceneSourceRow {
+    label: String,
+    ndcg: f32,
+    hr: f32,
+}
+
+/// The manifest results payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MinedScenesResults {
+    expert_scenes: usize,
+    mined_scenes: usize,
+    taxonomy_recovery: f64,
+    cells: Vec<SceneSourceRow>,
+}
 
 fn main() {
     let args = Args::from_env();
@@ -67,6 +86,7 @@ fn main() {
         .expect("mined scenes are valid");
 
     let tc = hc.train_config();
+    let cells: RefCell<Vec<SceneSourceRow>> = RefCell::new(Vec::new());
     let run = |label: &str, data: &Dataset, variant: Variant| {
         eprintln!("[mined_scenes] training {label} ...");
         let mut model = SceneRec::new(
@@ -82,6 +102,11 @@ fn main() {
             "{:<26} NDCG@10 {:.4}  HR@10 {:.4}",
             label, s.metrics.ndcg, s.metrics.hr
         );
+        cells.borrow_mut().push(SceneSourceRow {
+            label: label.to_owned(),
+            ndcg: s.metrics.ndcg,
+            hr: s.metrics.hr,
+        });
     };
 
     run("SceneRec (expert scenes)", &data, Variant::Full);
@@ -92,4 +117,14 @@ fn main() {
         "\nreading: mined scenes replacing the expert taxonomy should recover most\n\
          of the gap between the nosce floor and the expert-scene model."
     );
+
+    let results = MinedScenesResults {
+        expert_scenes: truth.len(),
+        mined_scenes: mined.len(),
+        taxonomy_recovery: recovery,
+        cells: cells.into_inner(),
+    };
+    let manifest = manifest_for("mined_scenes", &hc).with_models(["SceneRec".to_owned()]);
+    let path = write_manifest(manifest, &results, args.get("out"));
+    eprintln!("[mined_scenes] wrote manifest {}", path.display());
 }

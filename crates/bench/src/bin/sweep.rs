@@ -10,7 +10,7 @@
 //! `--fast` restricts the grid to 2x2 (the middle of each published grid).
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::HarnessConfig;
+use scenerec_bench::{manifest_for, write_manifest, HarnessConfig};
 use scenerec_core::tuning::{grid_search, PAPER_LAMBDA_GRID, PAPER_LR_GRID};
 use scenerec_core::{SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile, Scale};
@@ -73,7 +73,10 @@ fn main() {
         hc.dim,
         tc.epochs
     );
-    println!("{:>10} {:>10} {:>10} {:>10}", "lr", "lambda", "NDCG@10", "HR@10");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "lr", "lambda", "NDCG@10", "HR@10"
+    );
     for p in &report.points {
         println!(
             "{:>10} {:>10} {:>10.4} {:>10.4}",
@@ -97,4 +100,8 @@ fn main() {
             format!("{:.0e}", best.lambda)
         }
     );
+
+    let manifest = manifest_for("sweep", &hc).with_models(["SceneRec".to_owned()]);
+    let path = write_manifest(manifest, &report, args.get("out"));
+    eprintln!("[sweep] wrote manifest {}", path.display());
 }

@@ -6,25 +6,52 @@
 //! ```
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::render_table1;
+use scenerec_bench::{manifest_for, render_table1, write_manifest, HarnessConfig};
 use scenerec_data::{generate, DatasetProfile, Scale};
+use serde::{Deserialize, Serialize};
+
+/// One dataset's headline statistics, captured in the run manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DatasetStats {
+    dataset: String,
+    users: u32,
+    items: u32,
+    interactions: usize,
+    eval_users: usize,
+}
 
 fn main() {
     let args = Args::from_env();
     let scale: Scale = args.get_or("scale", Scale::Laptop);
     let seed: u64 = args.get_or("seed", 2021);
+    let hc = HarnessConfig {
+        scale,
+        data_seed: seed,
+        ..HarnessConfig::default()
+    };
 
     println!("Table 1 — dataset statistics (scale: {scale:?}, seed: {seed})");
     println!("Each relation A-B shows: count(A)-count(B) (edges). Item-Item and");
     println!("Category-Category counts are directed (paper counts are directed too).");
     println!();
+    let mut stats = Vec::new();
     for profile in DatasetProfile::ALL {
         let cfg = profile.config(scale, seed);
         let data = generate(&cfg).unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
         println!("{}", render_table1(profile, &data));
+        stats.push(DatasetStats {
+            dataset: data.name.clone(),
+            users: cfg.num_users,
+            items: cfg.num_items,
+            interactions: data.interactions.num_interactions(),
+            eval_users: data.split.num_eval_users(),
+        });
     }
     println!(
         "note: generated scales mirror the paper's structural ratios; absolute\n\
          magnitudes match only at --scale paper (see DESIGN.md substitutions)."
     );
+
+    let path = write_manifest(manifest_for("table1", &hc), &stats, args.get("out"));
+    eprintln!("[table1] wrote manifest {}", path.display());
 }

@@ -14,7 +14,10 @@
 //! is the reproduction target (see EXPERIMENTS.md).
 
 use scenerec_bench::cli::Args;
-use scenerec_bench::{render_comparison, run_model, HarnessConfig, ModelKind, ModelResult};
+use scenerec_bench::{
+    manifest_for, render_comparison, run_model, write_manifest, HarnessConfig, ModelKind,
+    ModelResult,
+};
 use scenerec_data::{generate, DatasetProfile, Scale};
 
 fn main() {
@@ -72,7 +75,11 @@ fn main() {
         let data = generate(&cfg).unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
         let mut results = Vec::new();
         for &kind in &models {
-            eprintln!("[table2] training {} on {} ...", kind.name(), profile.name());
+            eprintln!(
+                "[table2] training {} on {} ...",
+                kind.name(),
+                profile.name()
+            );
             let r = run_model(kind, &data, &hc);
             eprintln!(
                 "[table2]   NDCG@10 {:.4}  HR@10 {:.4}  ({:.1}s, {} epochs)",
@@ -94,4 +101,9 @@ fn main() {
         std::fs::write(path, json).expect("write results file");
         eprintln!("[table2] wrote {path}");
     }
+
+    let manifest =
+        manifest_for("table2", &hc).with_models(models.iter().map(|m| m.name().to_owned()));
+    let path = write_manifest(manifest, &all_results, args.get("out"));
+    eprintln!("[table2] wrote manifest {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Model zoo construction and the shared train-and-evaluate runner.
 
 use scenerec_baselines::{BprMf, Cmn, Kgat, Ncf, Ngcf, PinSage};
-use scenerec_core::trainer::{test, train, OptimizerKind, TrainConfig};
+use scenerec_core::trainer::{
+    test, train, EpochRecord, OptimizerKind, PhaseBreakdown, TrainConfig,
+};
 use scenerec_core::{PairwiseModel, SceneRec, SceneRecConfig, Variant};
 use scenerec_data::{Dataset, Scale};
 use serde::{Deserialize, Serialize};
@@ -226,6 +228,11 @@ pub struct ModelResult {
     /// Per-user rank of the held-out positive (aligned across models run
     /// on the same dataset; enables paired significance tests).
     pub ranks: Vec<usize>,
+    /// Per-epoch loss and validation metrics.
+    pub epochs: Vec<EpochRecord>,
+    /// Wall-time breakdown of the training run (all-zero for models that
+    /// skip the trainer, e.g. ItemPop).
+    pub phases: PhaseBreakdown,
 }
 
 /// Trains `kind` on `data` and evaluates on the test split.
@@ -253,6 +260,8 @@ pub fn run_model(kind: ModelKind, data: &Dataset, hc: &HarnessConfig) -> ModelRe
             train_seconds,
             epochs_run: report.epochs.len(),
             ranks: summary.ranks,
+            epochs: report.epochs,
+            phases: report.phases,
         }
     }
 
@@ -297,21 +306,30 @@ pub fn run_model(kind: ModelKind, data: &Dataset, hc: &HarnessConfig) -> ModelRe
             &tc,
             start,
         ),
-        ModelKind::SceneRecNoItem => {
-            go(SceneRec::new(scenerec(Variant::NoItem), data), data, &tc, start)
-        }
-        ModelKind::SceneRecNoScene => {
-            go(SceneRec::new(scenerec(Variant::NoScene), data), data, &tc, start)
-        }
+        ModelKind::SceneRecNoItem => go(
+            SceneRec::new(scenerec(Variant::NoItem), data),
+            data,
+            &tc,
+            start,
+        ),
+        ModelKind::SceneRecNoScene => go(
+            SceneRec::new(scenerec(Variant::NoScene), data),
+            data,
+            &tc,
+            start,
+        ),
         ModelKind::SceneRecNoAtt => go(
             SceneRec::new(scenerec(Variant::NoAttention), data),
             data,
             &tc,
             start,
         ),
-        ModelKind::SceneRec => {
-            go(SceneRec::new(scenerec(Variant::Full), data), data, &tc, start)
-        }
+        ModelKind::SceneRec => go(
+            SceneRec::new(scenerec(Variant::Full), data),
+            data,
+            &tc,
+            start,
+        ),
     };
     result.dataset = data.name.clone();
     result
@@ -336,6 +354,8 @@ pub fn run_extras(data: &Dataset, hc: &HarnessConfig) -> Vec<ModelResult> {
         train_seconds: start.elapsed().as_secs_f64(),
         epochs_run: 0,
         ranks: summary.ranks,
+        epochs: Vec::new(),
+        phases: PhaseBreakdown::default(),
     };
 
     let start = Instant::now();
@@ -351,6 +371,8 @@ pub fn run_extras(data: &Dataset, hc: &HarnessConfig) -> Vec<ModelResult> {
         train_seconds: start.elapsed().as_secs_f64(),
         epochs_run: report.epochs.len(),
         ranks: summary.ranks,
+        epochs: report.epochs,
+        phases: report.phases,
     };
 
     vec![pop_result, light_result]

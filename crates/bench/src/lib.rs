@@ -19,9 +19,11 @@
 
 pub mod cli;
 pub mod harness;
+pub mod manifest;
 pub mod reference;
 pub mod table;
 
 pub use harness::{run_model, HarnessConfig, ModelKind, ModelResult};
+pub use manifest::{manifest_for, write_manifest};
 pub use reference::{paper_table2, PaperCell};
 pub use table::{render_comparison, render_table1};

@@ -36,7 +36,11 @@ pub fn render_comparison(profile: DatasetProfile, results: &[ModelResult]) -> St
             // Variants and `*`-marked extension rows are not Table-2
             // baselines.
             .filter(|r| !r.model.starts_with("SceneRec") && !r.model.ends_with('*'))
-            .max_by(|a, b| a.ndcg.partial_cmp(&b.ndcg).unwrap_or(std::cmp::Ordering::Equal)),
+            .max_by(|a, b| {
+                a.ndcg
+                    .partial_cmp(&b.ndcg)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
     ) {
         let boost = if best_baseline.ndcg > 0.0 {
             (ours.ndcg - best_baseline.ndcg) / best_baseline.ndcg * 100.0
@@ -103,6 +107,8 @@ mod tests {
             train_seconds: 1.0,
             epochs_run: 5,
             ranks: vec![],
+            epochs: vec![],
+            phases: Default::default(),
         }
     }
 

@@ -28,12 +28,7 @@ pub trait PairwiseModel {
     /// The default loops over [`PairwiseModel::build_score`]; models whose
     /// user-side computation is expensive (SceneRec recomputes Eq. 1 per
     /// pair otherwise) override this to share it across candidates.
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         items
             .iter()
             .map(|&i| self.build_score(g, user, i))
@@ -76,10 +71,8 @@ mod tests {
         fn new(nu: usize, ni: usize, d: usize, seed: u64) -> Self {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut store = ParamStore::new();
-            let users =
-                store.add_embedding("u", nu, d, Initializer::Uniform(0.5), &mut rng);
-            let items =
-                store.add_embedding("i", ni, d, Initializer::Uniform(0.5), &mut rng);
+            let users = store.add_embedding("u", nu, d, Initializer::Uniform(0.5), &mut rng);
+            let items = store.add_embedding("i", ni, d, Initializer::Uniform(0.5), &mut rng);
             DotModel {
                 store,
                 users,

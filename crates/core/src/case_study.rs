@@ -144,10 +144,7 @@ mod tests {
         let user = data.split.test[0].user;
         let cs = run_case_study(&model, &data, user).unwrap();
         assert_eq!(cs.user, user);
-        assert_eq!(
-            cs.candidates.len(),
-            1 + data.split.test[0].negatives.len()
-        );
+        assert_eq!(cs.candidates.len(), 1 + data.split.test[0].negatives.len());
         assert_eq!(cs.candidates.iter().filter(|c| c.is_positive).count(), 1);
         // Sorted by descending prediction.
         for w in cs.candidates.windows(2) {

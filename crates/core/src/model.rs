@@ -102,13 +102,8 @@ impl SceneRec {
             init,
             &mut rng,
         );
-        let scene_emb = store.add_embedding(
-            "scene_emb",
-            scene.num_scenes() as usize,
-            d,
-            init,
-            &mut rng,
-        );
+        let scene_emb =
+            store.add_embedding("scene_emb", scene.num_scenes() as usize, d, init, &mut rng);
 
         let w_u = store.add_dense("w_u", d, d, init, &mut rng);
         let b_u = store.add_dense("b_u", d, 1, Initializer::Zeros, &mut rng);
@@ -145,9 +140,7 @@ impl SceneRec {
             .map(|i| NeighborCaps::subsample(bipartite.users_of(ItemId(i)), caps.item_users))
             .collect();
         let item_item = (0..scene.num_items())
-            .map(|i| {
-                NeighborCaps::subsample(scene.item_neighbors(ItemId(i)), caps.item_item)
-            })
+            .map(|i| NeighborCaps::subsample(scene.item_neighbors(ItemId(i)), caps.item_item))
             .collect();
         let cat_cat = (0..scene.num_categories())
             .map(|c| {
@@ -261,9 +254,7 @@ impl SceneRec {
                     g.weighted_embed_sum(self.cat_emb, neighbors, alphas)
                 }
                 // noatt: uniform averaging; nosce never calls this.
-                Variant::NoAttention | Variant::NoScene => {
-                    g.embed_mean(self.cat_emb, neighbors)
-                }
+                Variant::NoAttention | Variant::NoScene => g.embed_mean(self.cat_emb, neighbors),
             }
         };
         // Eq. 7: m_c = σ(W_ic [h^S ‖ h^C] + b_ic).
@@ -326,9 +317,7 @@ impl SceneRec {
                     g.weighted_embed_sum(self.item_emb, neighbors, betas)
                 }
                 // noatt and nosce: uniform averaging over item neighbors.
-                Variant::NoAttention | Variant::NoScene => {
-                    g.embed_mean(self.item_emb, neighbors)
-                }
+                Variant::NoAttention | Variant::NoScene => g.embed_mean(self.item_emb, neighbors),
                 Variant::NoItem => unreachable!("handled above"),
             }
         };
@@ -419,12 +408,7 @@ impl PairwiseModel for SceneRec {
         self.score_with_user(g, m_user, item, &mut scene_sums, &mut cat_reprs)
     }
 
-    fn build_scores<'s>(
-        &'s self,
-        g: &mut Graph<'s>,
-        user: UserId,
-        items: &[ItemId],
-    ) -> Vec<Var> {
+    fn build_scores<'s>(&'s self, g: &mut Graph<'s>, user: UserId, items: &[ItemId]) -> Vec<Var> {
         // Share the user representation and all category-level
         // computations across the candidate list.
         let m_user = self.user_repr(g, user);
@@ -560,19 +544,14 @@ mod tests {
         // provides topology and parameter ids only, values come from the
         // perturbed clone the checker passes to the closure.
         let mut probe_store = m.store().clone();
-        let report = scenerec_autodiff::gradcheck::check_gradients(
-            &mut probe_store,
-            &grads,
-            5e-3,
-            8,
-            |s| {
+        let report =
+            scenerec_autodiff::gradcheck::check_gradients(&mut probe_store, &grads, 5e-3, 8, |s| {
                 let mut g = Graph::new(s);
                 let p = m.build_score(&mut g, u, pos);
                 let n = m.build_score(&mut g, u, neg);
                 let loss = g.bpr_loss(p, n);
                 g.scalar(loss)
-            },
-        );
+            });
         assert!(
             report.passes(0.08),
             "max rel err {} at {:?} over {} checks",
@@ -595,7 +574,11 @@ mod tests {
         // Same category => identical scene sets => score 1 (when scenes
         // exist for that category).
         let c0_items = data.scene_graph.items_of_category(CategoryId(0));
-        if c0_items.len() >= 2 && !data.scene_graph.scenes_of_category(CategoryId(0)).is_empty()
+        if c0_items.len() >= 2
+            && !data
+                .scene_graph
+                .scenes_of_category(CategoryId(0))
+                .is_empty()
         {
             let s = m.scene_attention_score(c0_items[0], c0_items[1]);
             assert!((s - 1.0).abs() < 1e-5);

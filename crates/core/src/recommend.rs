@@ -57,12 +57,7 @@ pub fn top_k_unseen<M: PairwiseModel + Sync>(
     user: UserId,
     k: usize,
 ) -> Vec<Recommendation> {
-    let seen: HashSet<u32> = data
-        .train_graph
-        .items_of(user)
-        .iter()
-        .copied()
-        .collect();
+    let seen: HashSet<u32> = data.train_graph.items_of(user).iter().copied().collect();
     top_k_for_user(model, user, data.num_items(), k, &seen)
 }
 
@@ -109,13 +104,7 @@ mod tests {
     #[test]
     fn k_larger_than_catalog_returns_all() {
         let (model, data) = setup();
-        let recs = top_k_for_user(
-            &model,
-            UserId(2),
-            data.num_items(),
-            10_000,
-            &HashSet::new(),
-        );
+        let recs = top_k_for_user(&model, UserId(2), data.num_items(), 10_000, &HashSet::new());
         assert_eq!(recs.len(), data.num_items() as usize);
     }
 

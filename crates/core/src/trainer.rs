@@ -16,9 +16,11 @@ use scenerec_autodiff::{GradStore, Graph};
 use scenerec_data::Dataset;
 use scenerec_eval::{evaluate, EvalSummary};
 use scenerec_graph::ItemId;
+use scenerec_obs::{obs_event, FieldValue, Level};
 use scenerec_tensor::stats::RunningStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 /// Optimizer selection for training runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -102,6 +104,40 @@ pub struct EpochRecord {
     pub val_hr: Option<f32>,
 }
 
+/// Where a training run's wall time went, summed over all epochs.
+///
+/// Lives on [`TrainReport`] (not [`EpochRecord`]) so per-epoch records
+/// stay bit-identical across same-seed runs; per-epoch timings are
+/// emitted as structured `trainer` events instead.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Negative rejection-sampling (plus epoch shuffling).
+    pub sample_ns: u64,
+    /// Tape construction and loss evaluation.
+    pub forward_ns: u64,
+    /// Reverse-mode gradient accumulation.
+    pub backward_ns: u64,
+    /// Gradient scaling/clipping and the optimizer update.
+    pub step_ns: u64,
+    /// Validation evaluation.
+    pub eval_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.sample_ns + self.forward_ns + self.backward_ns + self.step_ns + self.eval_ns
+    }
+
+    fn add(&mut self, other: &PhaseBreakdown) {
+        self.sample_ns += other.sample_ns;
+        self.forward_ns += other.forward_ns;
+        self.backward_ns += other.backward_ns;
+        self.step_ns += other.step_ns;
+        self.eval_ns += other.eval_ns;
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -113,6 +149,8 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Whether early stopping fired.
     pub early_stopped: bool,
+    /// Wall-time breakdown over the whole run.
+    pub phases: PhaseBreakdown,
 }
 
 impl TrainReport {
@@ -121,6 +159,10 @@ impl TrainReport {
         self.epochs.last().map_or(f32::NAN, |e| e.mean_loss)
     }
 }
+
+/// Log-spaced bucket edges for the pre-clip gradient-norm histogram,
+/// centred around the default `clip_norm` of 5.0.
+const GRAD_NORM_EDGES: [f64; 10] = [0.01, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0];
 
 /// Trains `model` on `data` (training split) with BPR.
 ///
@@ -156,41 +198,64 @@ pub fn train<M: PairwiseModel + Sync>(
         best_val_ndcg: 0.0,
         best_epoch: 0,
         early_stopped: false,
+        phases: PhaseBreakdown::default(),
     };
     let mut bad_evals = 0usize;
 
+    // Epoch progress is Info when the caller asked for verbosity and
+    // Debug otherwise, so the default stderr logger reproduces the old
+    // `cfg.verbose` behaviour while JSONL/memory sinks see every epoch.
+    let epoch_level = if cfg.verbose {
+        Level::Info
+    } else {
+        Level::Debug
+    };
+    // Pre-clip global gradient-norm distribution (lock-free observes).
+    let grad_norm_hist = scenerec_obs::metrics::histogram("train/grad_norm", &GRAD_NORM_EDGES);
+
     let batch = cfg.batch_size.max(1);
     for epoch in 0..cfg.epochs {
+        let mut phases = PhaseBreakdown::default();
+        let mut mark = Instant::now();
         pairs.shuffle(&mut rng);
         let mut loss_stats = RunningStats::new();
+        phases.sample_ns += elapsed_ns(&mut mark);
 
         for chunk in pairs.chunks(batch) {
             grads.clear();
             for &(u, pos) in chunk {
                 // Rejection-sample a negative.
+                mark = Instant::now();
                 let neg = loop {
                     let cand = rng.gen_range(0..num_items);
                     if !known[u as usize].contains(&cand) {
                         break cand;
                     }
                 };
+                phases.sample_ns += elapsed_ns(&mut mark);
 
                 let mut g = Graph::new(model.store());
                 let p = model.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
                 let n = model.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
                 let loss = g.bpr_loss(p, n);
                 loss_stats.push(g.scalar(loss));
+                phases.forward_ns += elapsed_ns(&mut mark);
+
                 g.backward(loss, &mut grads);
+                phases.backward_ns += elapsed_ns(&mut mark);
             }
+            mark = Instant::now();
             if chunk.len() > 1 {
                 // Mean gradient over the batch, matching the per-example
                 // loss scale of batch_size = 1.
                 grads.scale(1.0 / chunk.len() as f32);
             }
             if cfg.clip_norm > 0.0 {
-                scenerec_autodiff::optim::clip_global_norm(&mut grads, cfg.clip_norm);
+                let norm = scenerec_autodiff::optim::clip_global_norm(&mut grads, cfg.clip_norm);
+                grad_norm_hist.observe(norm as f64);
             }
             opt.step(model.store_mut(), &grads);
+            phases.step_ns += elapsed_ns(&mut mark);
         }
 
         let mut record = EpochRecord {
@@ -202,7 +267,9 @@ pub fn train<M: PairwiseModel + Sync>(
 
         let should_eval = cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0;
         if should_eval && !data.split.validation.is_empty() {
+            mark = Instant::now();
             let summary = validate(model, data, cfg);
+            phases.eval_ns += elapsed_ns(&mut mark);
             record.val_ndcg = Some(summary.metrics.ndcg);
             record.val_hr = Some(summary.metrics.hr);
             if summary.metrics.ndcg > report.best_val_ndcg {
@@ -213,14 +280,22 @@ pub fn train<M: PairwiseModel + Sync>(
                 bad_evals += 1;
             }
         }
-        if cfg.verbose {
-            eprintln!(
-                "[{}] epoch {epoch}: loss={:.4} val_ndcg={:?}",
-                model.name(),
-                record.mean_loss,
-                record.val_ndcg
-            );
-        }
+
+        record_epoch_telemetry(model.name(), &record, &phases, pairs.len());
+        obs_event!(
+            epoch_level, "trainer", "epoch";
+            "model" => model.name(),
+            "epoch" => epoch,
+            "mean_loss" => record.mean_loss as f64,
+            "val_ndcg" => opt_metric(record.val_ndcg),
+            "val_hr" => opt_metric(record.val_hr),
+            "sample_ns" => phases.sample_ns,
+            "forward_ns" => phases.forward_ns,
+            "backward_ns" => phases.backward_ns,
+            "step_ns" => phases.step_ns,
+            "eval_ns" => phases.eval_ns,
+        );
+        report.phases.add(&phases);
         report.epochs.push(record);
 
         if cfg.patience > 0 && bad_evals >= cfg.patience {
@@ -229,6 +304,45 @@ pub fn train<M: PairwiseModel + Sync>(
         }
     }
     report
+}
+
+/// Restarts `mark` and returns the nanoseconds since the previous mark.
+#[inline]
+fn elapsed_ns(mark: &mut Instant) -> u64 {
+    let now = Instant::now();
+    let ns = now.duration_since(*mark).as_nanos() as u64;
+    *mark = now;
+    ns
+}
+
+fn opt_metric(v: Option<f32>) -> FieldValue {
+    match v {
+        Some(x) => FieldValue::Float(x as f64),
+        None => FieldValue::Null,
+    }
+}
+
+/// Folds one epoch's telemetry into the global obs registries.
+fn record_epoch_telemetry(
+    model: &str,
+    record: &EpochRecord,
+    phases: &PhaseBreakdown,
+    triples: usize,
+) {
+    for (phase, ns) in [
+        ("train/sample", phases.sample_ns),
+        ("train/forward", phases.forward_ns),
+        ("train/backward", phases.backward_ns),
+        ("train/step", phases.step_ns),
+        ("train/eval", phases.eval_ns),
+    ] {
+        if ns > 0 {
+            scenerec_obs::record_duration(phase, Duration::from_nanos(ns));
+        }
+    }
+    scenerec_obs::metrics::counter("train/epochs").inc();
+    scenerec_obs::metrics::counter("train/triples").add(triples as u64);
+    scenerec_obs::metrics::gauge(&format!("train/{model}/last_loss")).set(record.mean_loss as f64);
 }
 
 /// Evaluates `model` on the validation split.
@@ -246,11 +360,7 @@ pub fn validate<M: PairwiseModel + Sync>(
 }
 
 /// Evaluates `model` on the test split.
-pub fn test<M: PairwiseModel + Sync>(
-    model: &M,
-    data: &Dataset,
-    cfg: &TrainConfig,
-) -> EvalSummary {
+pub fn test<M: PairwiseModel + Sync>(model: &M, data: &Dataset, cfg: &TrainConfig) -> EvalSummary {
     evaluate(&ModelScorer(model), &data.split.test, cfg.k, cfg.threads)
 }
 
@@ -259,12 +369,8 @@ fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
         OptimizerKind::RmsProp => {
             Box::new(RmsProp::new(cfg.learning_rate).with_weight_decay(cfg.lambda))
         }
-        OptimizerKind::Adam => {
-            Box::new(Adam::new(cfg.learning_rate).with_weight_decay(cfg.lambda))
-        }
-        OptimizerKind::Sgd => {
-            Box::new(Sgd::new(cfg.learning_rate).with_weight_decay(cfg.lambda))
-        }
+        OptimizerKind::Adam => Box::new(Adam::new(cfg.learning_rate).with_weight_decay(cfg.lambda)),
+        OptimizerKind::Sgd => Box::new(Sgd::new(cfg.learning_rate).with_weight_decay(cfg.lambda)),
     }
 }
 
@@ -295,10 +401,7 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let data = generate(&GeneratorConfig::tiny(31)).unwrap();
-        let mut model = SceneRec::new(
-            SceneRecConfig::default().with_dim(8).with_seed(1),
-            &data,
-        );
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(1), &data);
         let mut cfg = quick_cfg();
         cfg.epochs = 4;
         cfg.eval_every = 0;
@@ -306,10 +409,7 @@ mod tests {
         assert_eq!(report.epochs.len(), 4);
         let first = report.epochs.first().unwrap().mean_loss;
         let last = report.final_loss();
-        assert!(
-            last < first,
-            "loss did not decrease: {first} -> {last}"
-        );
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
         // BPR loss starts near ln 2.
         assert!(first > 0.2 && first < 2.0, "first loss {first}");
     }
@@ -354,10 +454,7 @@ mod tests {
     #[test]
     fn early_stopping_fires_with_tiny_patience() {
         let data = generate(&GeneratorConfig::tiny(34)).unwrap();
-        let mut model = SceneRec::new(
-            SceneRecConfig::default().with_dim(4).with_seed(5),
-            &data,
-        );
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(5), &data);
         let mut cfg = quick_cfg();
         cfg.epochs = 50;
         cfg.patience = 1;
@@ -371,10 +468,7 @@ mod tests {
     #[test]
     fn batched_training_learns_too() {
         let data = generate(&GeneratorConfig::tiny(36)).unwrap();
-        let mut model = SceneRec::new(
-            SceneRecConfig::default().with_dim(8).with_seed(6),
-            &data,
-        );
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(6), &data);
         let mut cfg = quick_cfg();
         cfg.epochs = 4;
         cfg.eval_every = 0;
@@ -384,13 +478,62 @@ mod tests {
     }
 
     #[test]
+    fn one_epoch_event_per_epoch() {
+        let data = generate(&GeneratorConfig::tiny(37)).unwrap();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(7), &data);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        cfg.eval_every = 0;
+
+        let sink = std::sync::Arc::new(scenerec_obs::MemorySink::new());
+        let handle = scenerec_obs::add_sink(sink.clone());
+        let report = train(&mut model, &data, &cfg);
+        scenerec_obs::remove_sink(handle);
+
+        // Tests run in parallel in one process and the sink registry is
+        // global, so only count events from this thread.
+        let epochs: Vec<_> = sink
+            .events_for_current_thread()
+            .into_iter()
+            .filter(|e| e.target == "trainer" && e.message == "epoch")
+            .collect();
+        assert_eq!(epochs.len(), 3, "one trainer epoch event per epoch");
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(
+                e.field("epoch"),
+                Some(&scenerec_obs::FieldValue::Int(i as i64))
+            );
+            let loss = match e.field("mean_loss") {
+                Some(scenerec_obs::FieldValue::Float(f)) => *f as f32,
+                other => panic!("mean_loss missing or mistyped: {other:?}"),
+            };
+            assert!((loss - report.epochs[i].mean_loss).abs() < 1e-6);
+            // The wall-time breakdown rides on every epoch event.
+            for key in [
+                "sample_ns",
+                "forward_ns",
+                "backward_ns",
+                "step_ns",
+                "eval_ns",
+            ] {
+                assert!(e.field(key).is_some(), "missing {key}");
+            }
+        }
+        // No validation ran, so eval time must be zero and the training
+        // phases non-trivial.
+        assert_eq!(report.phases.eval_ns, 0);
+        assert!(report.phases.forward_ns > 0);
+        assert!(report.phases.backward_ns > 0);
+        assert!(report.phases.step_ns > 0);
+        assert!(report.phases.sample_ns > 0);
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let data = generate(&GeneratorConfig::tiny(35)).unwrap();
         let run = || {
-            let mut model = SceneRec::new(
-                SceneRecConfig::default().with_dim(4).with_seed(9),
-                &data,
-            );
+            let mut model =
+                SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(9), &data);
             let mut cfg = quick_cfg();
             cfg.eval_every = 0;
             cfg.epochs = 2;

@@ -167,22 +167,28 @@ mod tests {
 
     #[test]
     fn rejects_zero_users() {
-        let mut c = GeneratorConfig::default();
-        c.num_users = 0;
+        let c = GeneratorConfig {
+            num_users: 0,
+            ..GeneratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_empty_scene_bound() {
-        let mut c = GeneratorConfig::default();
-        c.scene_size_min = 0;
+        let c = GeneratorConfig {
+            scene_size_min: 0,
+            ..GeneratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_bad_mixture() {
-        let mut c = GeneratorConfig::default();
-        c.p_scene = 0.9;
+        let c = GeneratorConfig {
+            p_scene: 0.9,
+            ..GeneratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -202,9 +208,11 @@ mod tests {
 
     #[test]
     fn rejects_too_few_interactions() {
-        let mut c = GeneratorConfig::default();
-        c.interactions_min = 2;
-        c.interactions_max = 2;
+        let c = GeneratorConfig {
+            interactions_min: 2,
+            interactions_max: 2,
+            ..GeneratorConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

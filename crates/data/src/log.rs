@@ -226,7 +226,12 @@ mod tests {
         // Binary beats JSON even on tiny graphs whose ids are 1-3 digit
         // numbers; the gap widens with id width at paper scale.
         let json = serde_json::to_string(&data.interactions).unwrap();
-        assert!(buf.len() < json.len(), "binary {} vs json {}", buf.len(), json.len());
+        assert!(
+            buf.len() < json.len(),
+            "binary {} vs json {}",
+            buf.len(),
+            json.len()
+        );
     }
 
     #[test]

@@ -164,11 +164,9 @@ pub fn mine_scenes(co: &CoOccurrence, cfg: &MiningConfig) -> Vec<Vec<u32>> {
                 if members.contains(&c) {
                     continue;
                 }
-                let avg: f64 = members.iter().map(|&m| co.affinity(c, m)).sum::<f64>()
-                    / members.len() as f64;
-                if avg >= cfg.min_affinity
-                    && best.map_or(true, |(_, b)| avg > b)
-                {
+                let avg: f64 =
+                    members.iter().map(|&m| co.affinity(c, m)).sum::<f64>() / members.len() as f64;
+                if avg >= cfg.min_affinity && best.map_or(true, |(_, b)| avg > b) {
                     best = Some((c, avg));
                 }
             }
@@ -209,12 +207,7 @@ pub fn scene_recovery_score(mined: &[Vec<u32>], reference: &[Vec<u32>]) -> f64 {
     };
     reference
         .iter()
-        .map(|r| {
-            mined
-                .iter()
-                .map(|m| jaccard(r, m))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|r| mined.iter().map(|m| jaccard(r, m)).fold(0.0f64, f64::max))
         .sum::<f64>()
         / reference.len() as f64
 }

@@ -208,10 +208,7 @@ mod tests {
             positive: ItemId(9),
             negatives: vec![ItemId(1), ItemId(2)],
         };
-        assert_eq!(
-            inst.candidates(),
-            vec![ItemId(9), ItemId(1), ItemId(2)]
-        );
+        assert_eq!(inst.candidates(), vec![ItemId(9), ItemId(1), ItemId(2)]);
     }
 
     #[test]

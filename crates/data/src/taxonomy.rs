@@ -35,10 +35,7 @@ impl Taxonomy {
         let mut scene_categories = Vec::with_capacity(cfg.num_scenes as usize);
         for _ in 0..cfg.num_scenes {
             let size = rng.gen_range(cfg.scene_size_min..=cfg.scene_size_max) as usize;
-            let mut cats: Vec<u32> = all_categories
-                .choose_multiple(rng, size)
-                .copied()
-                .collect();
+            let mut cats: Vec<u32> = all_categories.choose_multiple(rng, size).copied().collect();
             cats.sort_unstable();
             scene_categories.push(cats);
         }
@@ -48,10 +45,8 @@ impl Taxonomy {
         // (like "Mobile Phone") and some small, then every category is
         // guaranteed at least one item by round-robin seeding.
         let mut item_category = vec![0u32; cfg.num_items as usize];
-        let mut category_items: Vec<Vec<u32>> =
-            vec![Vec::new(); cfg.num_categories as usize];
-        let cat_sampler =
-            crate::popularity::WeightedSampler::zipf(0..cfg.num_categories, 0.5);
+        let mut category_items: Vec<Vec<u32>> = vec![Vec::new(); cfg.num_categories as usize];
+        let cat_sampler = crate::popularity::WeightedSampler::zipf(0..cfg.num_categories, 0.5);
         for i in 0..cfg.num_items {
             let c = if i < cfg.num_categories {
                 i // seed each category with one item
@@ -172,9 +167,7 @@ mod tests {
         let t = taxonomy();
         for (s, cats) in t.scene_categories.iter().enumerate() {
             for &c in cats {
-                assert!(t
-                    .scenes_containing(CategoryId(c))
-                    .contains(&(s as u32)));
+                assert!(t.scenes_containing(CategoryId(c)).contains(&(s as u32)));
             }
         }
     }

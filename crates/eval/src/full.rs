@@ -88,11 +88,8 @@ pub fn instances_from_split(
         .test
         .iter()
         .map(|inst| {
-            let mut exclude: HashSet<u32> = interactions
-                .items_of(inst.user)
-                .iter()
-                .copied()
-                .collect();
+            let mut exclude: HashSet<u32> =
+                interactions.items_of(inst.user).iter().copied().collect();
             exclude.remove(&inst.positive.raw());
             FullRankingInstance {
                 user: inst.user,
@@ -175,8 +172,8 @@ mod tests {
 
     #[test]
     fn full_ranking_is_harder_than_sampled() {
-        use scenerec_data::{generate, GeneratorConfig};
         use crate::ranking::evaluate;
+        use scenerec_data::{generate, GeneratorConfig};
         let data = generate(&GeneratorConfig::tiny(89)).unwrap();
         let s = inverse_index_scorer();
         let sampled = evaluate(&s, &data.split.test, 10, 1);

@@ -3,7 +3,25 @@
 use crate::metrics::{rank_of_positive, MetricSet};
 use scenerec_data::EvalInstance;
 use scenerec_graph::{ItemId, UserId};
+use scenerec_obs::{obs_event, Level};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Bucket edges (microseconds) of the per-user ranking latency
+/// histogram `eval/user_latency_us`: 10µs .. 1s.
+const LATENCY_EDGES_US: [f64; 11] = [
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    25_000.0,
+    100_000.0,
+    1_000_000.0,
+];
 
 /// Anything that can score `(user, item)` pairs.
 ///
@@ -48,13 +66,16 @@ impl EvalSummary {
 }
 
 /// Evaluates `scorer` on `instances` at cutoff `k`, serially.
-pub fn evaluate_serial(
-    scorer: &dyn Scorer,
-    instances: &[EvalInstance],
-    k: usize,
-) -> EvalSummary {
-    let ranks: Vec<usize> = instances.iter().map(|inst| rank_one(scorer, inst)).collect();
-    EvalSummary::from_ranks(ranks, k)
+pub fn evaluate_serial(scorer: &dyn Scorer, instances: &[EvalInstance], k: usize) -> EvalSummary {
+    let start = Instant::now();
+    let latency = latency_histogram();
+    let ranks: Vec<usize> = instances
+        .iter()
+        .map(|inst| timed_rank_one(scorer, inst, &latency))
+        .collect();
+    let summary = EvalSummary::from_ranks(ranks, k);
+    report_evaluation(&summary, start.elapsed());
+    summary
 }
 
 /// Evaluates `scorer` on `instances` at cutoff `k`, fanning users out over
@@ -70,19 +91,24 @@ pub fn evaluate(
     if threads == 1 || instances.len() < 2 {
         return evaluate_serial(scorer, instances, k);
     }
+    let start = Instant::now();
+    let latency = latency_histogram();
     let chunk = instances.len().div_ceil(threads);
     let mut ranks = vec![0usize; instances.len()];
     crossbeam::scope(|scope| {
         for (slot, part) in ranks.chunks_mut(chunk).zip(instances.chunks(chunk)) {
+            let latency = &latency;
             scope.spawn(move |_| {
                 for (r, inst) in slot.iter_mut().zip(part) {
-                    *r = rank_one(scorer, inst);
+                    *r = timed_rank_one(scorer, inst, latency);
                 }
             });
         }
     })
     .expect("evaluation worker panicked");
-    EvalSummary::from_ranks(ranks, k)
+    let summary = EvalSummary::from_ranks(ranks, k);
+    report_evaluation(&summary, start.elapsed());
+    summary
 }
 
 fn rank_one(scorer: &dyn Scorer, inst: &EvalInstance) -> usize {
@@ -94,6 +120,46 @@ fn rank_one(scorer: &dyn Scorer, inst: &EvalInstance) -> usize {
         "scorer returned wrong number of scores"
     );
     rank_of_positive(scores[0], &scores[1..])
+}
+
+fn latency_histogram() -> std::sync::Arc<scenerec_obs::metrics::Histogram> {
+    scenerec_obs::metrics::histogram("eval/user_latency_us", &LATENCY_EDGES_US)
+}
+
+/// Ranks one instance, recording its latency (histogram observation is a
+/// couple of lock-free atomic ops — negligible next to scoring).
+fn timed_rank_one(
+    scorer: &dyn Scorer,
+    inst: &EvalInstance,
+    latency: &scenerec_obs::metrics::Histogram,
+) -> usize {
+    let t = Instant::now();
+    let rank = rank_one(scorer, inst);
+    latency.observe(t.elapsed().as_secs_f64() * 1e6);
+    rank
+}
+
+/// Folds one evaluation pass into the obs registries and emits a Debug
+/// event (evaluation runs once per training epoch — keep stderr quiet).
+fn report_evaluation(summary: &EvalSummary, elapsed: std::time::Duration) {
+    scenerec_obs::record_duration("eval/evaluate", elapsed);
+    scenerec_obs::metrics::counter("eval/instances").add(summary.num_instances as u64);
+    let secs = elapsed.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        summary.num_instances as f64 / secs
+    } else {
+        0.0
+    };
+    scenerec_obs::metrics::gauge("eval/users_per_sec").set(throughput);
+    obs_event!(
+        Level::Debug, "eval", "evaluate";
+        "instances" => summary.num_instances as u64,
+        "seconds" => secs,
+        "users_per_sec" => throughput,
+        "ndcg" => summary.metrics.ndcg as f64,
+        "hr" => summary.metrics.hr as f64,
+        "mrr" => summary.metrics.mrr as f64,
+    );
 }
 
 #[cfg(test)]
@@ -166,7 +232,9 @@ mod tests {
         impl Scorer for Oracle {
             fn score_items(&self, _u: UserId, items: &[ItemId]) -> Vec<f32> {
                 // The first candidate is the positive by construction.
-                (0..items.len()).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect()
+                (0..items.len())
+                    .map(|i| if i == 0 { 1.0 } else { 0.0 })
+                    .collect()
             }
         }
         let summary = evaluate(&Oracle, &instances(), 10, 2);

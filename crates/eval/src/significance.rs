@@ -156,7 +156,10 @@ mod tests {
         b[0] = 1;
         let (wa, wb, p) = sign_test(&a, &b, 10);
         assert_eq!(wa + wb, 1);
-        assert!(p > 0.5, "a single discordant pair cannot be significant, p={p}");
+        assert!(
+            p > 0.5,
+            "a single discordant pair cannot be significant, p={p}"
+        );
     }
 
     #[test]

@@ -128,8 +128,7 @@ impl BipartiteGraphBuilder {
     /// # Errors
     /// Propagates range and weight violations from CSR construction.
     pub fn build(self) -> Result<BipartiteGraph, GraphError> {
-        let user_items =
-            CsrGraph::from_edges(self.num_users, self.num_items, self.edges)?;
+        let user_items = CsrGraph::from_edges(self.num_users, self.num_items, self.edges)?;
         let item_users = user_items.transpose();
         Ok(BipartiteGraph {
             user_items,
@@ -192,7 +191,8 @@ mod tests {
     #[test]
     fn duplicate_interactions_merge() {
         let mut b = BipartiteGraphBuilder::new(1, 1);
-        b.interact(UserId(0), ItemId(0)).interact(UserId(0), ItemId(0));
+        b.interact(UserId(0), ItemId(0))
+            .interact(UserId(0), ItemId(0));
         let g = b.build().unwrap();
         assert_eq!(g.num_interactions(), 1);
         assert_eq!(g.item_weights_of(UserId(0)), &[2.0]);

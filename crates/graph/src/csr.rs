@@ -56,7 +56,9 @@ impl CsrGraph {
                     count: num_dst,
                 });
             }
-            if !(w > 0.0) || !w.is_finite() {
+            // NaN must be rejected: it fails `w > 0.0`, and `is_finite`
+            // catches it too.
+            if w <= 0.0 || !w.is_finite() {
                 return Err(GraphError::BadWeight {
                     relation: "csr",
                     weight: w,
@@ -166,9 +168,7 @@ impl CsrGraph {
 
     /// Iterates over all `(src, dst, weight)` triples.
     pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
-        (0..self.num_src()).flat_map(move |v| {
-            self.edges_of(v).map(move |(d, w)| (v, d, w))
-        })
+        (0..self.num_src()).flat_map(move |v| self.edges_of(v).map(move |(d, w)| (v, d, w)))
     }
 
     /// Keeps only the `k` highest-weight out-edges of each node (ties broken
@@ -190,17 +190,13 @@ impl CsrGraph {
                 edges.push((v, d, w));
             }
         }
-        CsrGraph::from_edges(num_src, self.num_dst, edges)
-            .expect("pruning preserves validity")
+        CsrGraph::from_edges(num_src, self.num_dst, edges).expect("pruning preserves validity")
     }
 
     /// Reverses every edge, producing the transpose graph (used to derive
     /// item→user adjacency from user→item interactions).
     pub fn transpose(&self) -> CsrGraph {
-        let edges: Vec<(u32, u32, f32)> = self
-            .iter_edges()
-            .map(|(s, d, w)| (d, s, w))
-            .collect();
+        let edges: Vec<(u32, u32, f32)> = self.iter_edges().map(|(s, d, w)| (d, s, w)).collect();
         CsrGraph::from_edges(self.num_dst, self.num_src(), edges)
             .expect("transposing preserves validity")
     }

@@ -66,12 +66,14 @@ impl fmt::Display for GraphError {
                 f,
                 "{entity} index {index} out of range (universe size {count})"
             ),
-            GraphError::ItemCategoryArity { item, got } => write!(
-                f,
-                "item {item} must have exactly one category, got {got}"
-            ),
+            GraphError::ItemCategoryArity { item, got } => {
+                write!(f, "item {item} must have exactly one category, got {got}")
+            }
             GraphError::EmptyScene { scene } => {
-                write!(f, "scene {scene} has no member categories (|s| >= 1 required)")
+                write!(
+                    f,
+                    "scene {scene} has no member categories (|s| >= 1 required)"
+                )
             }
             GraphError::SelfLoop { relation, node } => {
                 write!(f, "self-loop on node {node} in relation {relation}")

@@ -156,8 +156,7 @@ impl SceneGraph {
                 memberships.push((s as u32, c, 1.0));
             }
         }
-        let scene_categories =
-            CsrGraph::from_edges(num_scenes, self.num_categories, memberships)?;
+        let scene_categories = CsrGraph::from_edges(num_scenes, self.num_categories, memberships)?;
         let category_scenes = scene_categories.transpose();
         Ok(SceneGraph {
             item_item: self.item_item.clone(),
@@ -299,8 +298,7 @@ impl SceneGraphBuilder {
             }
         }
 
-        let mut item_item =
-            CsrGraph::from_edges(self.num_items, self.num_items, self.item_item)?;
+        let mut item_item = CsrGraph::from_edges(self.num_items, self.num_items, self.item_item)?;
         if let Some(k) = self.item_item_top_k {
             item_item = item_item.prune_top_k(k);
         }
@@ -391,7 +389,10 @@ mod tests {
     #[test]
     fn items_of_category_scan() {
         let g = sample();
-        assert_eq!(g.items_of_category(CategoryId(0)), vec![ItemId(0), ItemId(1)]);
+        assert_eq!(
+            g.items_of_category(CategoryId(0)),
+            vec![ItemId(0), ItemId(1)]
+        );
         assert_eq!(g.items_of_category(CategoryId(2)), vec![ItemId(3)]);
     }
 
@@ -408,7 +409,10 @@ mod tests {
         let mut b = SceneGraphBuilder::new(1, 1, 1);
         b.add_scene_member(SceneId(0), CategoryId(0));
         let err = b.build().unwrap_err();
-        assert!(matches!(err, GraphError::ItemCategoryArity { item: 0, got: 0 }));
+        assert!(matches!(
+            err,
+            GraphError::ItemCategoryArity { item: 0, got: 0 }
+        ));
     }
 
     #[test]
@@ -481,7 +485,10 @@ mod tests {
         assert_eq!(swapped.categories_of_scene(SceneId(0)), &[0, 2]);
         assert_eq!(swapped.scenes_of_category(CategoryId(1)), &[1]);
         // Item and category layers unchanged.
-        assert_eq!(swapped.item_neighbors(ItemId(0)), g.item_neighbors(ItemId(0)));
+        assert_eq!(
+            swapped.item_neighbors(ItemId(0)),
+            g.item_neighbors(ItemId(0))
+        );
         assert_eq!(
             swapped.category_neighbors(CategoryId(1)),
             g.category_neighbors(CategoryId(1))

@@ -1,0 +1,121 @@
+//! Global sink registry and event fan-out.
+//!
+//! A [`StderrSink`] at `Info` is installed on first use, so `Info`+
+//! events are visible by default and `Debug`/`Trace` stay silent —
+//! callers toggle verbosity with [`set_stderr_level`]. Additional sinks
+//! (JSONL files, in-memory capture for tests) attach via [`add_sink`]
+//! and detach with [`remove_sink`].
+
+use crate::event::{Event, Field, Level};
+use crate::sink::{Sink, StderrSink};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identifies a sink registered with [`add_sink`] for later removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkHandle(u64);
+
+struct SinkTable {
+    next_id: u64,
+    sinks: Vec<(u64, Arc<dyn Sink>)>,
+}
+
+fn table() -> &'static Mutex<SinkTable> {
+    static TABLE: OnceLock<Mutex<SinkTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Mutex::new(SinkTable {
+            next_id: 0,
+            sinks: Vec::new(),
+        })
+    })
+}
+
+static STDERR_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+fn stderr_level() -> Level {
+    match STDERR_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Sets the minimum severity printed to stderr (default `Info`).
+pub fn set_stderr_level(level: Level) {
+    STDERR_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Attaches a sink; every subsequent event is offered to it.
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkHandle {
+    let mut t = table().lock().unwrap();
+    let id = t.next_id;
+    t.next_id += 1;
+    t.sinks.push((id, sink));
+    SinkHandle(id)
+}
+
+/// Detaches a previously added sink, flushing it first.
+pub fn remove_sink(handle: SinkHandle) {
+    let removed = {
+        let mut t = table().lock().unwrap();
+        t.sinks
+            .iter()
+            .position(|(id, _)| *id == handle.0)
+            .map(|i| t.sinks.remove(i).1)
+    };
+    if let Some(sink) = removed {
+        sink.flush();
+    }
+}
+
+/// Emits a structured event to the stderr logger and all attached
+/// sinks. Prefer the [`obs_event!`](crate::obs_event) macro.
+pub fn emit(level: Level, target: &str, message: impl Into<String>, fields: Vec<Field>) {
+    let event = Event::now(level, target, message, fields);
+    if level <= stderr_level() {
+        // The stderr sink re-checks the level; construct lazily to keep
+        // the common suppressed path allocation-free beyond the event.
+        StderrSink::new(stderr_level()).emit(&event);
+    }
+    let sinks: Vec<Arc<dyn Sink>> = {
+        let t = table().lock().unwrap();
+        t.sinks.iter().map(|(_, s)| s.clone()).collect()
+    };
+    for s in sinks {
+        s.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn add_emit_remove_round_trip() {
+        let sink = Arc::new(MemorySink::new());
+        let handle = add_sink(sink.clone());
+        emit(
+            Level::Debug,
+            "dispatch-test",
+            "hello",
+            vec![("x".to_string(), serde::Value::Int(1))],
+        );
+        remove_sink(handle);
+        emit(Level::Debug, "dispatch-test", "after-remove", Vec::new());
+        let mine: Vec<_> = sink
+            .events_for_current_thread()
+            .into_iter()
+            .filter(|e| e.target == "dispatch-test")
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].message, "hello");
+    }
+
+    #[test]
+    fn remove_unknown_handle_is_noop() {
+        remove_sink(SinkHandle(u64::MAX));
+    }
+}

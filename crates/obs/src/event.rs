@@ -1,0 +1,185 @@
+//! Leveled structured events.
+
+use serde::Value;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or correctness-threatening conditions.
+    Error = 0,
+    /// Suspicious but survivable conditions.
+    Warn = 1,
+    /// High-level progress (epoch summaries, phase completions).
+    Info = 2,
+    /// Detailed diagnostics, silenced by default.
+    Debug = 3,
+    /// Very fine-grained tracing.
+    Trace = 4,
+}
+
+impl Level {
+    /// Fixed-width uppercase tag for text output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value attached to an event.
+///
+/// Thin alias over the serde value tree so events serialize to JSONL
+/// without conversion.
+pub type FieldValue = Value;
+
+/// A named field on an event.
+pub type Field = (String, FieldValue);
+
+/// One structured log record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Milliseconds since the unix epoch at emission time.
+    pub ts_unix_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem that emitted the event (e.g. `"trainer"`).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value payload.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Builds an event stamped with the current wall-clock time.
+    pub fn now(
+        level: Level,
+        target: impl Into<String>,
+        message: impl Into<String>,
+        fields: Vec<Field>,
+    ) -> Self {
+        Event {
+            ts_unix_ms: unix_ms(),
+            level,
+            target: target.into(),
+            message: message.into(),
+            fields,
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the event to a single-object serde value (the JSONL
+    /// wire form).
+    pub fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("ts_unix_ms".to_string(), Value::Int(self.ts_unix_ms as i64)),
+            (
+                "level".to_string(),
+                Value::Str(self.level.as_str().to_string()),
+            ),
+            ("target".to_string(), Value::Str(self.target.clone())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ];
+        if !self.fields.is_empty() {
+            obj.push(("fields".to_string(), Value::Object(self.fields.clone())));
+        }
+        Value::Object(obj)
+    }
+
+    /// Parses an event back from its JSONL wire form.
+    pub fn from_value(v: &Value) -> Option<Event> {
+        let obj = match v {
+            Value::Object(o) => o,
+            _ => return None,
+        };
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ts_unix_ms = match get("ts_unix_ms")? {
+            Value::Int(n) => *n as u64,
+            _ => return None,
+        };
+        let level = match get("level")? {
+            Value::Str(s) => match s.as_str() {
+                "ERROR" => Level::Error,
+                "WARN" => Level::Warn,
+                "INFO" => Level::Info,
+                "DEBUG" => Level::Debug,
+                "TRACE" => Level::Trace,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let target = match get("target")? {
+            Value::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let message = match get("message")? {
+            Value::Str(s) => s.clone(),
+            _ => return None,
+        };
+        let fields = match get("fields") {
+            Some(Value::Object(f)) => f.clone(),
+            _ => Vec::new(),
+        };
+        Some(Event {
+            ts_unix_ms,
+            level,
+            target,
+            message,
+            fields,
+        })
+    }
+}
+
+/// Current wall-clock time as milliseconds since the unix epoch.
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_display() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::Warn.to_string(), "WARN");
+    }
+
+    #[test]
+    fn event_value_round_trip() {
+        let e = Event::now(
+            Level::Info,
+            "trainer",
+            "epoch done",
+            vec![
+                ("epoch".to_string(), Value::Int(3)),
+                ("loss".to_string(), Value::Float(0.5)),
+            ],
+        );
+        let back = Event::from_value(&e.to_value()).unwrap();
+        assert_eq!(back.level, Level::Info);
+        assert_eq!(back.target, "trainer");
+        assert_eq!(back.message, "epoch done");
+        assert_eq!(back.field("epoch"), Some(&Value::Int(3)));
+        assert_eq!(back.field("loss"), Some(&Value::Float(0.5)));
+    }
+}

@@ -1,0 +1,83 @@
+//! # scenerec-obs
+//!
+//! The observability substrate for the SceneRec workspace: lightweight
+//! scoped timers, a process-wide metrics registry, pluggable event sinks
+//! and machine-readable run manifests. Every training/eval/bench hot
+//! path reports through this crate, so perf PRs can claim measured wins
+//! and every `results/*` file is traceable to the run that produced it.
+//!
+//! Design constraints:
+//!
+//! * **Zero heavy dependencies** — std plus the workspace serde stubs.
+//! * **Negligible hot-path overhead** — spans and events fire at epoch /
+//!   phase granularity; per-sample costs are accumulated locally by the
+//!   caller and recorded once per epoch.
+//! * **Thread-safe** — counters/gauges/histograms are lock-free
+//!   atomics; the span registry and sink list take short mutexes.
+//!
+//! The three layers:
+//!
+//! 1. [`span`] / [`record_duration`] — wall-time per named phase,
+//!    aggregated in a global timing registry ([`timing_snapshot`]).
+//! 2. [`metrics`] — named counters, gauges and fixed-bucket histograms.
+//! 3. [`events`](emit) — leveled structured events fanned out to sinks:
+//!    a human-readable stderr logger and a JSONL writer
+//!    ([`JsonlSink`]) for post-hoc analysis.
+//!
+//! [`RunManifest`] snapshots all of the above next to a result file.
+
+mod dispatch;
+mod event;
+mod manifest;
+pub mod metrics;
+mod sink;
+mod span;
+
+pub use dispatch::{add_sink, emit, remove_sink, set_stderr_level, SinkHandle};
+pub use event::{Event, Field, FieldValue, Level};
+pub use manifest::{git_revision, RunManifest};
+pub use metrics::{metrics_snapshot, reset_metrics, MetricsSnapshot};
+pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
+pub use span::{record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard};
+
+/// Emits a leveled event with structured fields.
+///
+/// ```
+/// use scenerec_obs::{obs_event, Level};
+/// obs_event!(Level::Debug, "demo", "starting up"; "answer" => 42, "pi" => 3.14);
+/// ```
+#[macro_export]
+macro_rules! obs_event {
+    ($level:expr, $target:expr, $msg:expr) => {
+        $crate::emit($level, $target, $msg, Vec::new())
+    };
+    ($level:expr, $target:expr, $msg:expr; $($key:expr => $val:expr),+ $(,)?) => {
+        $crate::emit(
+            $level,
+            $target,
+            $msg,
+            vec![$(($key.to_string(), $crate::FieldValue::from($val))),+],
+        )
+    };
+}
+
+/// Opens a scoped wall-time span; the elapsed time is recorded into the
+/// global timing registry when the guard drops.
+///
+/// ```
+/// use scenerec_obs::obs_span;
+/// {
+///     let _g = obs_span!("epoch");
+///     // ... timed work ...
+/// }
+/// assert!(scenerec_obs::timing_snapshot().iter().any(|t| t.name == "epoch"));
+/// ```
+#[macro_export]
+macro_rules! obs_span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($fmt:expr, $($arg:tt)+) => {
+        $crate::span(format!($fmt, $($arg)+))
+    };
+}

@@ -1,0 +1,233 @@
+//! Run manifests: one JSON file per run, written next to the result
+//! file, capturing enough provenance to reproduce or audit the run.
+
+use crate::event::unix_ms;
+use crate::metrics::metrics_snapshot;
+use crate::span::{timing_snapshot, PhaseTiming};
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Provenance + telemetry record for one benchmark/training run.
+///
+/// Build one with [`RunManifest::new`], fill in the run parameters,
+/// then call [`capture_telemetry`](RunManifest::capture_telemetry) and
+/// [`write_next_to`](RunManifest::write_next_to) (or
+/// [`write_json`](RunManifest::write_json)) at the end of the run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Name of the producing binary (e.g. `"table2"`).
+    pub binary: String,
+    /// Wall-clock creation time, ms since the unix epoch.
+    pub created_unix_ms: u64,
+    /// `git rev-parse HEAD` of the working tree, when available.
+    pub git_rev: Option<String>,
+    /// RNG seed driving the run.
+    pub seed: Option<u64>,
+    /// Dataset scale label (e.g. `"laptop"`).
+    pub scale: Option<String>,
+    /// Model kinds exercised by the run.
+    pub models: Vec<String>,
+    /// Full run configuration, serialized.
+    pub config: Value,
+    /// Aggregated wall-time per phase, from the timing registry.
+    pub timings: Vec<PhaseTiming>,
+    /// Metrics registry snapshot, serialized.
+    pub metrics: Value,
+    /// Final results payload (tables, per-model metrics, ...).
+    pub results: Value,
+}
+
+impl RunManifest {
+    /// Empty manifest stamped with the current time and git revision.
+    pub fn new(binary: impl Into<String>) -> Self {
+        RunManifest {
+            binary: binary.into(),
+            created_unix_ms: unix_ms(),
+            git_rev: git_revision().map(str::to_string),
+            seed: None,
+            scale: None,
+            models: Vec::new(),
+            config: Value::Null,
+            timings: Vec::new(),
+            metrics: Value::Null,
+            results: Value::Null,
+        }
+    }
+
+    /// Records the run configuration.
+    pub fn with_config<T: Serialize>(mut self, config: &T) -> Self {
+        self.config = config.to_value();
+        self
+    }
+
+    /// Records the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Records the dataset scale label.
+    pub fn with_scale(mut self, scale: impl Into<String>) -> Self {
+        self.scale = Some(scale.into());
+        self
+    }
+
+    /// Records the model kinds exercised.
+    pub fn with_models(mut self, models: impl IntoIterator<Item = String>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Records the final results payload.
+    pub fn with_results<T: Serialize>(mut self, results: &T) -> Self {
+        self.results = results.to_value();
+        self
+    }
+
+    /// Copies the current timing and metrics registries into the
+    /// manifest. Call once, at the end of the run.
+    pub fn capture_telemetry(mut self) -> Self {
+        self.timings = timing_snapshot();
+        self.metrics = metrics_snapshot().to_value();
+        self
+    }
+
+    /// Serializes the manifest to a serde value.
+    pub fn to_value(&self) -> Value {
+        let opt_str = |s: &Option<String>| match s {
+            Some(s) => Value::Str(s.clone()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("binary".to_string(), Value::Str(self.binary.clone())),
+            (
+                "created_unix_ms".to_string(),
+                Value::Int(self.created_unix_ms as i64),
+            ),
+            ("git_rev".to_string(), opt_str(&self.git_rev)),
+            (
+                "seed".to_string(),
+                match self.seed {
+                    Some(s) => Value::Int(s as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("scale".to_string(), opt_str(&self.scale)),
+            (
+                "models".to_string(),
+                Value::Array(self.models.iter().map(|m| Value::Str(m.clone())).collect()),
+            ),
+            ("config".to_string(), self.config.clone()),
+            ("timings".to_string(), self.timings.to_value()),
+            ("metrics".to_string(), self.metrics.clone()),
+            ("results".to_string(), self.results.clone()),
+        ])
+    }
+
+    /// Pretty-printed JSON form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).unwrap_or_default()
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the manifest next to `result_path` as
+    /// `<stem>.manifest.json` and returns the manifest path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_next_to(&self, result_path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let result_path = result_path.as_ref();
+        let stem = result_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("run");
+        let manifest_path = result_path.with_file_name(format!("{stem}.manifest.json"));
+        self.write_json(&manifest_path)?;
+        Ok(manifest_path)
+    }
+}
+
+/// The working tree's `git rev-parse HEAD`, cached for the process
+/// lifetime; `None` when git or the repository is unavailable.
+pub fn git_revision() -> Option<&'static str> {
+    static REV: OnceLock<Option<String>> = OnceLock::new();
+    REV.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+        if rev.is_empty() {
+            None
+        } else {
+            Some(rev)
+        }
+    })
+    .as_deref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::record_duration;
+    use std::time::Duration;
+
+    #[test]
+    fn manifest_serializes_all_sections() {
+        record_duration("manifest-test/phase", Duration::from_millis(5));
+        crate::metrics::counter("manifest-test/count").add(3);
+        let m = RunManifest::new("unit-test")
+            .with_seed(42)
+            .with_scale("laptop")
+            .with_models(["scenerec".to_string(), "bpr-mf".to_string()])
+            .with_config(&vec![1u32, 2, 3])
+            .with_results(&vec![0.5f64])
+            .capture_telemetry();
+        let json = m.to_json();
+        for needle in [
+            "\"binary\": \"unit-test\"",
+            "\"seed\": 42",
+            "\"scale\": \"laptop\"",
+            "\"scenerec\"",
+            "manifest-test/phase",
+            "manifest-test/count",
+            "\"timings\"",
+            "\"metrics\"",
+            "\"results\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // The JSON parses back cleanly.
+        serde_json::parse_value(&json).unwrap();
+    }
+
+    #[test]
+    fn write_next_to_places_sibling_manifest() {
+        let dir = std::env::temp_dir().join(format!("obs-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let result = dir.join("table2.json");
+        let m = RunManifest::new("table2");
+        let path = m.write_next_to(&result).unwrap();
+        assert_eq!(path, dir.join("table2.manifest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        serde_json::parse_value(&text).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,178 @@
+//! Scoped wall-time spans aggregated into a global timing registry.
+//!
+//! `span("phase")` returns a guard; when it drops, the elapsed time is
+//! folded into the per-name statistics. Registration costs one short
+//! mutex acquisition per span close, so spans are intended for phase /
+//! epoch granularity — accumulate per-sample costs locally and report
+//! them once via [`record_duration`].
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+#[derive(Default, Clone, Copy)]
+struct PhaseStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, PhaseStat>> {
+    static REG: OnceLock<Mutex<HashMap<String, PhaseStat>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Aggregated wall-time statistics for one named phase.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name as passed to [`span`] / [`record_duration`].
+    pub name: String,
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Sum of interval durations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest interval, nanoseconds.
+    pub min_ns: u64,
+    /// Longest interval, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseTiming {
+    /// Total recorded time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean interval duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Guard returned by [`span`]; records elapsed wall time on drop.
+pub struct SpanGuard {
+    name: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Stops the span early and returns the elapsed duration.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(name) = self.name.take() {
+            record_duration(name, elapsed);
+        }
+        elapsed
+    }
+
+    /// Closes this span and opens the next one — for chaining sequential
+    /// phases of a pipeline without nesting scopes.
+    pub fn next(self, name: impl Into<String>) -> SpanGuard {
+        drop(self);
+        span(name)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            record_duration(name, self.start.elapsed());
+        }
+    }
+}
+
+/// Opens a scoped timer for `name`.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    SpanGuard {
+        name: Some(name.into()),
+        start: Instant::now(),
+    }
+}
+
+/// Records an externally measured duration under `name`.
+pub fn record_duration(name: impl Into<String>, elapsed: Duration) {
+    let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    let mut reg = registry().lock().unwrap();
+    let stat = reg.entry(name.into()).or_default();
+    if stat.count == 0 {
+        stat.min_ns = ns;
+        stat.max_ns = ns;
+    } else {
+        stat.min_ns = stat.min_ns.min(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+    stat.count += 1;
+    stat.total_ns = stat.total_ns.saturating_add(ns);
+}
+
+/// Snapshot of all recorded phases, sorted by name.
+pub fn timing_snapshot() -> Vec<PhaseTiming> {
+    let reg = registry().lock().unwrap();
+    let mut out: Vec<PhaseTiming> = reg
+        .iter()
+        .map(|(name, s)| PhaseTiming {
+            name: name.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Clears the timing registry (intended for tests and between bench
+/// configurations).
+pub fn reset_timings() {
+    registry().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        {
+            let _g = span("test-span/alpha");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = timing_snapshot();
+        let t = snap.iter().find(|t| t.name == "test-span/alpha").unwrap();
+        assert_eq!(t.count, 1);
+        assert!(
+            t.total_ns >= 1_000_000,
+            "slept 2ms but recorded {}ns",
+            t.total_ns
+        );
+    }
+
+    #[test]
+    fn record_duration_aggregates_min_max() {
+        record_duration("test-span/agg", Duration::from_nanos(100));
+        record_duration("test-span/agg", Duration::from_nanos(300));
+        let snap = timing_snapshot();
+        let t = snap.iter().find(|t| t.name == "test-span/agg").unwrap();
+        assert_eq!(t.count, 2);
+        assert_eq!(t.total_ns, 400);
+        assert_eq!(t.min_ns, 100);
+        assert_eq!(t.max_ns, 300);
+        assert!((t.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let g = span("test-span/finish");
+        let d = g.finish();
+        let snap = timing_snapshot();
+        let t = snap.iter().find(|t| t.name == "test-span/finish").unwrap();
+        assert_eq!(t.count, 1);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -117,10 +117,7 @@ mod tests {
             index: (5, 0),
             shape: (2, 2),
         };
-        assert_eq!(
-            e.to_string(),
-            "index (5, 0) out of bounds for 2x2 tensor"
-        );
+        assert_eq!(e.to_string(), "index (5, 0) out of bounds for 2x2 tensor");
     }
 
     #[test]

@@ -266,10 +266,7 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            try_matmul(&a, &b),
-            Err(ShapeError::MatMul { .. })
-        ));
+        assert!(matches!(try_matmul(&a, &b), Err(ShapeError::MatMul { .. })));
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

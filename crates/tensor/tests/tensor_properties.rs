@@ -113,9 +113,9 @@ proptest! {
     #[test]
     fn sum_rows_is_additive(m in matrix(5, 3)) {
         let total = linalg::sum_rows(m.iter_rows(), 3);
-        for c in 0..3 {
+        for (c, &t) in total.iter().enumerate() {
             let manual: f32 = (0..5).map(|r| m.get(r, c)).sum();
-            prop_assert!((total[c] - manual).abs() < 1e-4);
+            prop_assert!((t - manual).abs() < 1e-4);
         }
     }
 

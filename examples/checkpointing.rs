@@ -34,8 +34,14 @@ fn main() {
     // behaviour.
     let restored = checkpoint::load(&path, &data).expect("load checkpoint");
     let after = test(&restored, &data, &cfg);
-    assert_eq!(before.ranks, after.ranks, "restored model must rank identically");
-    println!("restored model reproduces identical rankings: {}", after.metrics);
+    assert_eq!(
+        before.ranks, after.ranks,
+        "restored model must rank identically"
+    );
+    println!(
+        "restored model reproduces identical rankings: {}",
+        after.metrics
+    );
 
     // Serve.
     let user = data.split.test[0].user;

@@ -30,7 +30,10 @@ fn main() {
         ..TrainConfig::default()
     };
 
-    println!("{:<12} {:>9} {:>9} {:>9}", "model", "NDCG@10", "HR@10", "MRR");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}",
+        "model", "NDCG@10", "HR@10", "MRR"
+    );
 
     // Non-learning popularity reference.
     let pop = ItemPop::new(&data);

@@ -49,6 +49,9 @@ fn main() {
     println!("\ntop-5 recommendations for {user}:");
     for rec in &recs {
         let category = data.scene_graph.category_of(rec.item);
-        println!("  {} (category {category}) score {:.4}", rec.item, rec.score);
+        println!(
+            "  {} (category {category}) score {:.4}",
+            rec.item, rec.score
+        );
     }
 }

@@ -110,10 +110,17 @@ fn main() {
 
     println!("\nPaper-notation neighborhoods for item i0 (a keyboard):");
     let i0 = ItemId(0);
-    println!("  C(i0)  = {}", CATEGORIES[scene_graph.category_of(i0).index()]);
+    println!(
+        "  C(i0)  = {}",
+        CATEGORIES[scene_graph.category_of(i0).index()]
+    );
     println!(
         "  II(i0) = {:?}",
-        scene_graph.item_neighbors(i0).iter().map(|&q| ItemId(q)).collect::<Vec<_>>()
+        scene_graph
+            .item_neighbors(i0)
+            .iter()
+            .map(|&q| ItemId(q))
+            .collect::<Vec<_>>()
     );
     println!(
         "  IS(i0) = {:?} (scenes of the keyboard category)",
@@ -125,5 +132,8 @@ fn main() {
     );
 
     println!("\nTable-1-style statistics of this toy dataset:");
-    println!("{}", DatasetStats::compute("Peripheral toy", &bipartite, &scene_graph));
+    println!(
+        "{}",
+        DatasetStats::compute("Peripheral toy", &bipartite, &scene_graph)
+    );
 }

@@ -38,10 +38,7 @@ fn attention_identifies_same_scene_items() {
     // attention than items from unrelated categories — averaged over many
     // pairs (the paper's Figure 3 mechanism).
     let data = scene_heavy_dataset(2024);
-    let mut model = SceneRec::new(
-        SceneRecConfig::default().with_dim(16).with_seed(11),
-        &data,
-    );
+    let mut model = SceneRec::new(SceneRecConfig::default().with_dim(16).with_seed(11), &data);
     train(&mut model, &data, &cfg(8));
 
     let sg = &data.scene_graph;
@@ -75,10 +72,7 @@ fn attention_identifies_same_scene_items() {
 #[test]
 fn case_study_positive_has_competitive_attention() {
     let data = scene_heavy_dataset(2025);
-    let mut model = SceneRec::new(
-        SceneRecConfig::default().with_dim(16).with_seed(12),
-        &data,
-    );
+    let mut model = SceneRec::new(SceneRecConfig::default().with_dim(16).with_seed(12), &data);
     train(&mut model, &data, &cfg(8));
 
     // Averaged over users: the held-out positive's scene-attention to the

@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion` (see `third_party/README.md`):
+//! enough API for the workspace's `cargo bench` targets to compile and
+//! report rough mean wall-clock timings. No warm-up modeling, outlier
+//! rejection or statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lowers the number of timed iterations (for slow benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.prefix, name.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // One calibration pass to pick an iteration count that keeps each
+    // sample in the ~10ms range, then `sample_size` timed samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters =
+        (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut count = 0u64;
+    for _ in 0..sample_size.min(20) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        count += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / count.max(1) as f64;
+    println!("{name:<50} {:>12.1} ns/iter (stub criterion)", mean_ns);
+}
+
+/// Declares a benchmark group function list (upstream-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (upstream-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

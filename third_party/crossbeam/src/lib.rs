@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam` (see `third_party/README.md`):
+//! `crossbeam::scope` implemented on `std::thread::scope`.
+//!
+//! Divergence from upstream: a panicking worker aborts via std's scope
+//! re-panic instead of surfacing as `Err`; the workspace immediately
+//! `.expect()`s the result either way.
+
+use std::any::Any;
+
+/// Scoped-spawn handle passed to the `scope` closure and to workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker that may borrow from the enclosing scope. The
+    /// worker receives the scope again (upstream-compatible signature);
+    /// the returned handle joins implicitly when the scope ends.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing spawns are allowed; all
+/// workers are joined before this returns.
+///
+/// # Errors
+/// Mirrors upstream's signature; this stub always returns `Ok` (worker
+/// panics propagate as panics instead).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_fill_disjoint_chunks() {
+        let mut data = vec![0u32; 100];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(25).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 25) as u32);
+        }
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for `proptest` (see `third_party/README.md`).
+//!
+//! Runs each property over a fixed number of deterministically sampled
+//! pseudo-random cases. No shrinking: a failing case panics with the
+//! case index, and the fixed seeding makes every run reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::RngCore;
+
+/// Everything the `proptest!` test modules import.
+pub mod prelude {
+    pub use crate::collection_mod as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Re-exported as `prop` by the prelude (matching upstream's layout).
+pub mod collection_mod {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::{hash_set, vec, HashSetStrategy, VecStrategy};
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for sampling arbitrary values of `Self::Value`.
+pub trait Strategy {
+    /// The sampled type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+/// Collection size specification: an exact size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with sizes drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet`s of values from an element strategy.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `HashSet` strategy; sizes are best-effort upper bounds (duplicate
+/// draws shrink the set, as in upstream).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Derives the per-case RNG for `(test_name, case_index)`.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut seeder = rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32));
+    rand::SeedableRng::seed_from_u64(seeder.next_u64())
+}
+
+use rand::SeedableRng;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` sampling its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property fn
+/// with the shared config expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                for __case in 0..__cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // Inlined so `prop_assume!` can `continue` to the
+                    // next case.
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_bounds() {
+        let mut rng = super::case_rng("strategies_sample_in_bounds", 0);
+        for _ in 0..100 {
+            let x = Strategy::sample(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let v = Strategy::sample(&prop::collection::vec(-1.0f32..1.0, 2..5), &mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            let (a, b) = Strategy::sample(&(0u32..4, 10u32..12), &mut rng);
+            assert!(a < 4 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = super::case_rng("prop_map_applies", 0);
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = Strategy::sample(&doubled, &mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, ys in prop::collection::vec(0u64..10, 1..4)) {
+            prop_assume!(x != 50);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+}

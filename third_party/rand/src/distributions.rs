@@ -1,0 +1,69 @@
+//! Distribution sampling (`Uniform` over floats).
+
+use crate::{RngCore, SampleRange, StandardSample};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform on `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform on `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let u = <$t as StandardSample>::standard_sample(rng);
+                // Closed and half-open intervals coincide up to a
+                // measure-zero endpoint for floats.
+                let _ = self.inclusive;
+                self.lo + u * (self.hi - self.lo)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                if self.inclusive {
+                    (self.lo..=self.hi).sample_single(rng)
+                } else {
+                    (self.lo..self.hi).sample_single(rng)
+                }
+            }
+        }
+    )*};
+}
+uniform_int!(u32, u64, usize);

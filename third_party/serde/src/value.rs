@@ -1,0 +1,145 @@
+//! The JSON-like value tree all (de)serialization flows through.
+
+/// Numeric payload used by [`Value`] helpers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Integer (fits i64).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer number.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up an object field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as i64, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// A total-order key used to sort map entries deterministically.
+    pub(crate) fn sort_key(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => format!("{i:020}"),
+            Value::Float(f) => format!("{f:020.6}"),
+            Value::Array(items) => items
+                .iter()
+                .map(|v| v.sort_key())
+                .collect::<Vec<_>>()
+                .join("\u{1}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => String::new(),
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| format!("{k}\u{1}{}", v.sort_key()))
+                .collect::<Vec<_>>()
+                .join("\u{2}"),
+        }
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! value_from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Float(v as f64)
+            }
+        }
+    )*};
+}
+value_from_float!(f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace actually uses, with hand-rolled token parsing
+//! (no `syn`/`quote`, which are unavailable offline):
+//!
+//! * structs with named fields  -> JSON objects keyed by field name;
+//! * tuple structs with one field (newtypes) -> the inner value;
+//! * tuple structs with several fields -> fixed-length arrays;
+//! * enums whose variants all carry no data -> variant-name strings.
+//!
+//! Generics, `#[serde(...)]` attributes and data-carrying enum variants
+//! are rejected with a compile-time panic naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Unit-variant enum: variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream(), &name))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Shape::Unit,
+            other => panic!("serde_derive stub: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive stub: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name in `{type_name}`, got {other}"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive stub: expected `:` after field `{field}` in `{type_name}`"
+        );
+        i += 1;
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde_derive stub: expected variant name in `{type_name}`, got {other}")
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(t) if is_punct(t, ',') => i += 1,
+            Some(t) if is_punct(t, '=') => {
+                // Skip an explicit discriminant expression.
+                while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: variant `{type_name}::{variant}` carries data; \
+                 only unit-variant enums are supported"
+            ),
+            Some(other) => {
+                panic!(
+                    "serde_derive stub: unexpected token after `{type_name}::{variant}`: {other}"
+                )
+            }
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+/// Derives the stub `serde::Serialize` (see `third_party/serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` (see `third_party/serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match __v.get(\"{f}\") {{\n\
+                             Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                             None => ::serde::Deserialize::absent_field(\"{f}\")?,\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                     __other => Err(::serde::Error::msg(format!(\n\
+                         \"expected object for {name}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     __other => Err(::serde::Error::msg(format!(\n\
+                         \"expected {n}-element array for {name}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __v.as_str() {{\n\
+                     {},\n\
+                     Some(__other) => Err(::serde::Error::msg(format!(\n\
+                         \"unknown {name} variant `{{__other}}`\"))),\n\
+                     None => Err(::serde::Error::msg(format!(\n\
+                         \"expected string for {name}, got {{}}\", __v.kind()))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}
