@@ -326,6 +326,37 @@ impl GradStore {
         }
     }
 
+    /// Accumulates every gradient recorded in `other` into `self`.
+    ///
+    /// This is the reduction step of data-parallel training: each worker
+    /// produces per-example `GradStore`s on its own tape, and the trainer
+    /// merges them into one accumulator **in example order**. Because a
+    /// fresh slot starts at exactly zero and `0.0 + x == x` in IEEE
+    /// arithmetic, merging per-example stores in example order produces
+    /// bit-identical sums to serial in-place accumulation.
+    ///
+    /// # Panics
+    /// Panics if the stores are shaped after different [`ParamStore`]s.
+    pub fn merge(&mut self, other: &GradStore) {
+        assert_eq!(self.shapes, other.shapes, "GradStore layout mismatch");
+        for (id, grad) in other.dense.iter().enumerate() {
+            let Some(grad) = grad else { continue };
+            match &mut self.dense[id] {
+                Some(slot) => scenerec_tensor::linalg::add_scaled(slot, 1.0, grad),
+                slot => *slot = Some(grad.clone()),
+            }
+        }
+        for (id, rows) in other.sparse.iter().enumerate() {
+            let dim = self.shapes[id].1;
+            for (row, grad) in rows {
+                let entry = self.sparse[id]
+                    .entry(*row)
+                    .or_insert_with(|| vec![0.0; dim]);
+                scenerec_tensor::linalg::axpy(1.0, grad, entry);
+            }
+        }
+    }
+
     /// True when every accumulated gradient value is finite.
     pub fn all_finite(&self) -> bool {
         self.dense
@@ -443,6 +474,70 @@ mod tests {
         assert!((g.global_norm() - (33.0f32).sqrt()).abs() < 1e-5);
         g.scale(0.5);
         assert!((g.global_norm() - (33.0f32).sqrt() / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn merge_matches_in_place_accumulation() {
+        let (s, w, e) = store_with_two();
+        // Serial reference: everything accumulated into one store.
+        let mut serial = GradStore::new(&s);
+        serial.add_dense(w, &Matrix::full(2, 3, 0.25));
+        serial.add_row(e, 1, &[1.0, 2.0, 3.0, 4.0]);
+        serial.add_dense(w, &Matrix::full(2, 3, 0.5));
+        serial.add_row(e, 1, &[0.5; 4]);
+        serial.add_row(e, 6, &[1.0; 4]);
+        // Parallel shape: two per-example stores merged in example order.
+        let mut a = GradStore::new(&s);
+        a.add_dense(w, &Matrix::full(2, 3, 0.25));
+        a.add_row(e, 1, &[1.0, 2.0, 3.0, 4.0]);
+        let mut b = GradStore::new(&s);
+        b.add_dense(w, &Matrix::full(2, 3, 0.5));
+        b.add_row(e, 1, &[0.5; 4]);
+        b.add_row(e, 6, &[1.0; 4]);
+        let mut merged = GradStore::new(&s);
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(
+            merged.dense(w).unwrap().as_slice(),
+            serial.dense(w).unwrap().as_slice()
+        );
+        assert_eq!(merged.sparse(e), serial.sparse(e));
+    }
+
+    #[test]
+    fn merge_into_cleared_store_reuses_allocations() {
+        let (s, w, _e) = store_with_two();
+        let mut acc = GradStore::new(&s);
+        acc.add_dense(w, &Matrix::full(2, 3, 1.0));
+        acc.clear(); // dense slot stays allocated at zero
+        let mut other = GradStore::new(&s);
+        other.add_dense(w, &Matrix::full(2, 3, 2.0));
+        acc.merge(&other);
+        assert_eq!(acc.dense(w).unwrap().as_slice(), &[2.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "GradStore layout mismatch")]
+    fn merge_rejects_foreign_layout() {
+        let (s, ..) = store_with_two();
+        let mut other_store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        other_store.add_dense("x", 1, 1, Initializer::Zeros, &mut rng);
+        let mut a = GradStore::new(&s);
+        a.merge(&GradStore::new(&other_store));
+    }
+
+    /// The data-parallel trainer moves `GradStore`s across scoped threads
+    /// and shares `ParamStore` references between workers; pin those auto
+    /// traits at compile time.
+    #[test]
+    fn stores_are_send_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<GradStore>();
+        assert_sync::<GradStore>();
+        assert_send::<ParamStore>();
+        assert_sync::<ParamStore>();
     }
 
     #[test]

@@ -96,6 +96,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_bit_identical_across_threads() {
+        // The trainer's data-parallel determinism guarantee, exercised on
+        // a baseline (SceneRec's version lives in scenerec-core): same
+        // seed => bit-identical parameters at any worker count.
+        let data = generate(&GeneratorConfig::tiny(62)).unwrap();
+        let outcome = |threads: usize| {
+            let mut m = BprMf::new(&data, 16, 7);
+            let cfg = TrainConfig {
+                epochs: 2,
+                learning_rate: 0.02,
+                lambda: 1e-6,
+                optimizer: OptimizerKind::RmsProp,
+                eval_every: 0,
+                patience: 0,
+                batch_size: 8,
+                threads,
+                ..TrainConfig::default()
+            };
+            let report = train(&mut m, &data, &cfg);
+            let params: Vec<Vec<f32>> = m
+                .store
+                .iter()
+                .map(|(_, p)| p.value().as_slice().to_vec())
+                .collect();
+            (params, report.epochs)
+        };
+        let (base_params, base_epochs) = outcome(1);
+        for threads in [2usize, 4, 8] {
+            let (params, epochs) = outcome(threads);
+            assert_eq!(base_params, params, "params diverged at threads={threads}");
+            assert_eq!(base_epochs, epochs, "records diverged at threads={threads}");
+        }
+    }
+
+    #[test]
     fn learns_on_tiny_dataset() {
         let data = generate(&GeneratorConfig::tiny(61)).unwrap();
         let mut m = BprMf::new(&data, 16, 2);

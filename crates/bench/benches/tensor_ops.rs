@@ -32,6 +32,60 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+/// GEMM size sweep: seed-style naive loop vs blocked kernel (1 thread)
+/// vs threaded dispatch, plus the transpose-absorbing variants. Sizes
+/// climb to 1024 so the blocked kernel's cache behaviour shows; sample
+/// counts shrink with size to keep the sweep bounded.
+fn bench_gemm_sweep(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("gemm");
+    for d in [64usize, 128, 256, 512, 1024] {
+        let a = Initializer::XavierUniform.init(d, d, &mut rng);
+        let b_op = Initializer::XavierUniform.init(d, d, &mut rng);
+        group.sample_size(match d {
+            0..=128 => 50,
+            129..=512 => 15,
+            _ => 10,
+        });
+        if d <= 256 {
+            // The naive loop at 512+ is too slow to sample meaningfully
+            // here; the `kernels` bin covers the large-size comparison.
+            group.bench_function(format!("naive_{d}"), |bch| {
+                bch.iter(|| black_box(linalg::matmul_naive(black_box(&a), black_box(&b_op))))
+            });
+        }
+        group.bench_function(format!("blocked_{d}"), |bch| {
+            bch.iter(|| {
+                black_box(scenerec_tensor::gemm::gemm(
+                    black_box(&a),
+                    false,
+                    black_box(&b_op),
+                    false,
+                    1,
+                ))
+            })
+        });
+        group.bench_function(format!("threaded_{d}"), |bch| {
+            bch.iter(|| {
+                black_box(scenerec_tensor::gemm::gemm(
+                    black_box(&a),
+                    false,
+                    black_box(&b_op),
+                    false,
+                    0,
+                ))
+            })
+        });
+        group.bench_function(format!("at_{d}"), |bch| {
+            bch.iter(|| black_box(linalg::matmul_at(black_box(&a), black_box(&b_op))))
+        });
+        group.bench_function(format!("bt_{d}"), |bch| {
+            bch.iter(|| black_box(linalg::matmul_bt(black_box(&a), black_box(&b_op))))
+        });
+    }
+    group.finish();
+}
+
 fn bench_row_aggregation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let table = Initializer::XavierUniform.init(50_000, 64, &mut rng);
@@ -73,6 +127,7 @@ criterion_group!(
     benches,
     bench_matvec,
     bench_matmul,
+    bench_gemm_sweep,
     bench_row_aggregation,
     bench_softmax_cosine,
     bench_outer,

@@ -39,6 +39,11 @@ fn main() {
         verbose: args.has("verbose"),
         ..HarnessConfig::default()
     };
+    let base = HarnessConfig {
+        batch_size: args.get_or("batch", base.batch_size),
+        threads: args.get_or("threads", base.threads),
+        ..base
+    };
     let seeds: u64 = args.get_or("seeds", 1);
     let profile = match args.get("dataset").unwrap_or("electronics") {
         "baby" | "babytoy" => DatasetProfile::BabyToy,

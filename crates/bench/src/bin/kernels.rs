@@ -1,0 +1,129 @@
+//! Kernel speedup report: seed-style naive matmul vs the blocked GEMM
+//! (single-thread) vs threaded dispatch, plus the transpose-absorbing
+//! variants, across a size sweep.
+//!
+//! ```text
+//! cargo run -p scenerec-bench --bin kernels --release -- \
+//!     [--sizes 64,128,256,512] [--reps 5] [--out results/BENCH_kernels.json]
+//! ```
+//!
+//! Writes a `BENCH_kernels.json` run manifest under `results/` recording
+//! per-size wall times and the blocked/threaded speedups over the naive
+//! loop — the evidence behind the "Performance" sections of README.md and
+//! DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenerec_bench::cli::Args;
+use scenerec_obs::RunManifest;
+use scenerec_tensor::{gemm, linalg, par, Initializer, Matrix};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One size's timings (best-of-`reps` wall time, nanoseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelRow {
+    size: usize,
+    naive_ns: u64,
+    blocked_ns: u64,
+    threaded_ns: u64,
+    at_ns: u64,
+    bt_ns: u64,
+    blocked_speedup: f64,
+    threaded_speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelsConfig {
+    sizes: Vec<usize>,
+    reps: usize,
+    threads: usize,
+}
+
+/// Best-of-`reps` wall time of `f`, consuming the result so the work is
+/// not optimized away.
+fn best_ns(reps: usize, mut f: impl FnMut() -> Matrix) -> u64 {
+    let mut best = u64::MAX;
+    let mut sink = 0.0f32;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+        sink += out.get(0, 0);
+    }
+    assert!(sink.is_finite());
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sizes: Vec<usize> = args
+        .get("sizes")
+        .unwrap_or("64,128,256,512")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--sizes wants comma-separated ints")
+        })
+        .collect();
+    let reps: usize = args.get_or("reps", 5);
+    let threads = par::max_threads();
+
+    println!("Kernel sweep (best of {reps} reps, {threads} hardware thread(s))\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "size", "naive_ms", "blocked_ms", "threaded_ms", "at_ms", "bt_ms", "blk_x", "thr_x"
+    );
+
+    let mut rng = StdRng::seed_from_u64(2021);
+    let mut rows = Vec::new();
+    for &d in &sizes {
+        let a = Initializer::XavierUniform.init(d, d, &mut rng);
+        let b = Initializer::XavierUniform.init(d, d, &mut rng);
+        // The naive loop is O(d^3) with no blocking; cap its reps at the
+        // big sizes so the sweep stays minutes, not hours.
+        let naive_reps = if d >= 512 { reps.min(2) } else { reps };
+        let naive_ns = best_ns(naive_reps, || linalg::matmul_naive(&a, &b));
+        let blocked_ns = best_ns(reps, || gemm::gemm(&a, false, &b, false, 1));
+        let threaded_ns = best_ns(reps, || gemm::gemm(&a, false, &b, false, threads));
+        let at_ns = best_ns(reps, || linalg::matmul_at(&a, &b));
+        let bt_ns = best_ns(reps, || linalg::matmul_bt(&a, &b));
+        let row = KernelRow {
+            size: d,
+            naive_ns,
+            blocked_ns,
+            threaded_ns,
+            at_ns,
+            bt_ns,
+            blocked_speedup: naive_ns as f64 / blocked_ns.max(1) as f64,
+            threaded_speedup: naive_ns as f64 / threaded_ns.max(1) as f64,
+        };
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>8.2}x",
+            d,
+            naive_ns as f64 / 1e6,
+            blocked_ns as f64 / 1e6,
+            threaded_ns as f64 / 1e6,
+            at_ns as f64 / 1e6,
+            bt_ns as f64 / 1e6,
+            row.blocked_speedup,
+            row.threaded_speedup,
+        );
+        rows.push(row);
+    }
+
+    let out = args.get("out").unwrap_or("results/BENCH_kernels.json");
+    let manifest = RunManifest::new("kernels")
+        .with_config(&KernelsConfig {
+            sizes,
+            reps,
+            threads,
+        })
+        .with_results(&rows)
+        .capture_telemetry();
+    manifest
+        .write_json(out)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[kernels] wrote {out}");
+}

@@ -109,7 +109,10 @@ pub struct HarnessConfig {
     pub lambda: f32,
     /// Evaluation cutoff.
     pub k: usize,
-    /// Worker threads for evaluation.
+    /// Triples per optimizer step; batches larger than 1 are trained
+    /// data-parallel across `threads` workers (bit-identical to serial).
+    pub batch_size: usize,
+    /// Worker threads for data-parallel training and evaluation.
     pub threads: usize,
     /// Per-epoch progress on stderr.
     pub verbose: bool,
@@ -160,6 +163,7 @@ impl Default for HarnessConfig {
             learning_rate: 5e-3,
             lambda: 1e-6,
             k: 10,
+            batch_size: 1,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
@@ -200,7 +204,7 @@ impl HarnessConfig {
             eval_every: 2,
             patience: 3,
             clip_norm: 5.0,
-            batch_size: 1,
+            batch_size: self.batch_size,
             seed: self.model_seed,
             threads: self.threads,
             verbose: self.verbose,

@@ -113,20 +113,36 @@ pub struct EpochRecord {
 pub struct PhaseBreakdown {
     /// Negative rejection-sampling (plus epoch shuffling).
     pub sample_ns: u64,
-    /// Tape construction and loss evaluation.
+    /// Tape construction and loss evaluation (summed across workers, so
+    /// with `threads > 1` this is CPU time, not wall time).
     pub forward_ns: u64,
-    /// Reverse-mode gradient accumulation.
+    /// Reverse-mode gradient accumulation (summed across workers).
     pub backward_ns: u64,
     /// Gradient scaling/clipping and the optimizer update.
     pub step_ns: u64,
     /// Validation evaluation.
     pub eval_ns: u64,
+    /// Wall-clock time of the parallel forward/backward fan-out region.
+    /// `(forward_ns + backward_ns) / (fanout_ns * workers)` is the
+    /// parallel efficiency of a run. Not counted in [`Self::total_ns`] —
+    /// the same work already appears in `forward_ns`/`backward_ns`.
+    pub fanout_ns: u64,
+    /// Fixed-order merging of per-example gradients into the batch
+    /// accumulator (the reduction step of data-parallel training).
+    pub reduce_ns: u64,
 }
 
 impl PhaseBreakdown {
-    /// Sum of all phases, nanoseconds.
+    /// Sum of all phases, nanoseconds. Excludes `fanout_ns`, which is an
+    /// alternative (wall-clock) view of the work counted by
+    /// `forward_ns + backward_ns`.
     pub fn total_ns(&self) -> u64 {
-        self.sample_ns + self.forward_ns + self.backward_ns + self.step_ns + self.eval_ns
+        self.sample_ns
+            + self.forward_ns
+            + self.backward_ns
+            + self.step_ns
+            + self.reduce_ns
+            + self.eval_ns
     }
 
     fn add(&mut self, other: &PhaseBreakdown) {
@@ -135,6 +151,8 @@ impl PhaseBreakdown {
         self.backward_ns += other.backward_ns;
         self.step_ns += other.step_ns;
         self.eval_ns += other.eval_ns;
+        self.fanout_ns += other.fanout_ns;
+        self.reduce_ns += other.reduce_ns;
     }
 }
 
@@ -169,6 +187,26 @@ const GRAD_NORM_EDGES: [f64; 10] = [0.01, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 2
 /// Negative sampling rejects any item the user has interacted with in the
 /// *full* interaction set, so held-out validation/test positives are never
 /// presented as negatives.
+///
+/// ## Data-parallel batches
+///
+/// Each mini-batch is trained data-parallel across
+/// [`TrainConfig::threads`] workers, **bit-identical to serial for the
+/// same seed at any thread count**:
+///
+/// 1. negatives for the whole batch are rejection-sampled *serially* on
+///    the calling thread (RNG consumption is data-dependent, so this is
+///    the only order that keeps the stream stable),
+/// 2. the batch is split into contiguous sub-ranges, one per worker; each
+///    worker runs forward/backward on its own tape and produces a
+///    **per-example** [`GradStore`],
+/// 3. the per-example gradients are merged into the batch accumulator in
+///    example order on the calling thread, then clipped and applied in
+///    one optimizer step.
+///
+/// Per-example stores (rather than per-worker accumulators) are what make
+/// the reduction exact: the merge performs the same floating-point sums
+/// in the same order regardless of where worker boundaries fall.
 pub fn train<M: PairwiseModel + Sync>(
     model: &mut M,
     data: &Dataset,
@@ -213,7 +251,11 @@ pub fn train<M: PairwiseModel + Sync>(
     // Pre-clip global gradient-norm distribution (lock-free observes).
     let grad_norm_hist = scenerec_obs::metrics::histogram("train/grad_norm", &GRAD_NORM_EDGES);
 
+    let workers = cfg.threads.max(1);
+    scenerec_obs::metrics::gauge("train/workers").set(workers as f64);
+
     let batch = cfg.batch_size.max(1);
+    let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(batch);
     for epoch in 0..cfg.epochs {
         let mut phases = PhaseBreakdown::default();
         let mut mark = Instant::now();
@@ -223,28 +265,65 @@ pub fn train<M: PairwiseModel + Sync>(
 
         for chunk in pairs.chunks(batch) {
             grads.clear();
+
+            // Rejection-sample all negatives for the batch serially: the
+            // number of draws per pair is data-dependent, so only a fixed
+            // consumption order keeps the RNG stream thread-invariant.
+            mark = Instant::now();
+            triples.clear();
             for &(u, pos) in chunk {
-                // Rejection-sample a negative.
-                mark = Instant::now();
                 let neg = loop {
                     let cand = rng.gen_range(0..num_items);
                     if !known[u as usize].contains(&cand) {
                         break cand;
                     }
                 };
-                phases.sample_ns += elapsed_ns(&mut mark);
-
-                let mut g = Graph::new(model.store());
-                let p = model.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
-                let n = model.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
-                let loss = g.bpr_loss(p, n);
-                loss_stats.push(g.scalar(loss));
-                phases.forward_ns += elapsed_ns(&mut mark);
-
-                g.backward(loss, &mut grads);
-                phases.backward_ns += elapsed_ns(&mut mark);
+                triples.push((u, pos, neg));
             }
+            phases.sample_ns += elapsed_ns(&mut mark);
+
+            // Fan out: contiguous sub-ranges, one tape per example. A
+            // single worker (or a single-example batch) runs inline.
+            let fan = workers.min(triples.len());
+            let sub = triples.len().div_ceil(fan.max(1));
+            let model_ref: &M = model;
+            let triples_ref: &[(u32, u32, u32)] = &triples;
+            let fan_start = Instant::now();
+            let worker_out = scenerec_tensor::par::map_workers(fan, |w| {
+                let lo = (w * sub).min(triples_ref.len());
+                let hi = (lo + sub).min(triples_ref.len());
+                let mut out = Vec::with_capacity(hi - lo);
+                let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
+                for &(u, pos, neg) in &triples_ref[lo..hi] {
+                    let mut wmark = Instant::now();
+                    let mut g = Graph::new(model_ref.store());
+                    let p = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
+                    let n = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
+                    let loss = g.bpr_loss(p, n);
+                    let loss_val = g.scalar(loss);
+                    fwd_ns += elapsed_ns(&mut wmark);
+                    let mut example_grads = GradStore::new(model_ref.store());
+                    g.backward(loss, &mut example_grads);
+                    bwd_ns += elapsed_ns(&mut wmark);
+                    out.push((loss_val, example_grads));
+                }
+                (out, fwd_ns, bwd_ns)
+            });
+            phases.fanout_ns += fan_start.elapsed().as_nanos() as u64;
+
+            // Reduce in example order (workers come back in worker order
+            // and each holds a contiguous sub-range, so flattening is the
+            // original example order).
             mark = Instant::now();
+            for (out, fwd_ns, bwd_ns) in worker_out {
+                phases.forward_ns += fwd_ns;
+                phases.backward_ns += bwd_ns;
+                for (loss_val, example_grads) in &out {
+                    loss_stats.push(*loss_val);
+                    grads.merge(example_grads);
+                }
+            }
+            phases.reduce_ns += elapsed_ns(&mut mark);
             if chunk.len() > 1 {
                 // Mean gradient over the batch, matching the per-example
                 // loss scale of batch_size = 1.
@@ -294,6 +373,9 @@ pub fn train<M: PairwiseModel + Sync>(
             "backward_ns" => phases.backward_ns,
             "step_ns" => phases.step_ns,
             "eval_ns" => phases.eval_ns,
+            "fanout_ns" => phases.fanout_ns,
+            "reduce_ns" => phases.reduce_ns,
+            "workers" => workers,
         );
         report.phases.add(&phases);
         report.epochs.push(record);
@@ -335,6 +417,8 @@ fn record_epoch_telemetry(
         ("train/backward", phases.backward_ns),
         ("train/step", phases.step_ns),
         ("train/eval", phases.eval_ns),
+        ("train/fanout", phases.fanout_ns),
+        ("train/reduce", phases.reduce_ns),
     ] {
         if ns > 0 {
             scenerec_obs::record_duration(phase, Duration::from_nanos(ns));
@@ -515,9 +599,14 @@ mod tests {
                 "backward_ns",
                 "step_ns",
                 "eval_ns",
+                "fanout_ns",
+                "reduce_ns",
+                "workers",
             ] {
                 assert!(e.field(key).is_some(), "missing {key}");
             }
+            // quick_cfg trains with 2 workers; the count rides on the event.
+            assert_eq!(e.field("workers"), Some(&scenerec_obs::FieldValue::Int(2)));
         }
         // No validation ran, so eval time must be zero and the training
         // phases non-trivial.
@@ -542,5 +631,46 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    /// Trains SceneRec with the given thread count and returns the final
+    /// parameter values (bit-exact `f32`s) plus the epoch records
+    /// (losses + validation metrics).
+    fn train_outcome(threads: usize) -> (Vec<Vec<f32>>, Vec<EpochRecord>) {
+        let data = generate(&GeneratorConfig::tiny(38)).unwrap();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(11), &data);
+        let mut cfg = quick_cfg();
+        cfg.epochs = 2;
+        cfg.batch_size = 8;
+        cfg.threads = threads;
+        let report = train(&mut model, &data, &cfg);
+        let params = model
+            .store()
+            .iter()
+            .map(|(_, p)| p.value().as_slice().to_vec())
+            .collect();
+        (params, report.epochs)
+    }
+
+    #[test]
+    fn parallel_training_bit_identical_across_threads() {
+        // The determinism guarantee: same seed => same final parameters
+        // and same metrics, bit for bit, at ANY worker count. f32 `==`
+        // here is deliberate.
+        let (base_params, base_epochs) = train_outcome(1);
+        for threads in [2usize, 4, 8] {
+            let (params, epochs) = train_outcome(threads);
+            assert_eq!(base_params, params, "params diverged at threads={threads}");
+            assert_eq!(base_epochs, epochs, "records diverged at threads={threads}");
+        }
+    }
+
+    /// CI runs exactly this test by name to pin the `threads = 4` case.
+    #[test]
+    fn parallel_training_threads4_matches_serial() {
+        let (base_params, base_epochs) = train_outcome(1);
+        let (params, epochs) = train_outcome(4);
+        assert_eq!(base_params, params);
+        assert_eq!(base_epochs, epochs);
     }
 }

@@ -36,23 +36,18 @@ pub fn evaluate_full_ranking(
 ) -> EvalSummary {
     let threads = threads.max(1).min(instances.len().max(1));
     let mut ranks = vec![0usize; instances.len()];
-    if threads <= 1 {
-        for (r, inst) in ranks.iter_mut().zip(instances) {
-            *r = rank_one_full(scorer, inst, num_items);
-        }
-    } else {
-        let chunk = instances.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (slot, part) in ranks.chunks_mut(chunk).zip(instances.chunks(chunk)) {
-                scope.spawn(move |_| {
-                    for (r, inst) in slot.iter_mut().zip(part) {
-                        *r = rank_one_full(scorer, inst, num_items);
-                    }
-                });
+    let chunk = instances.len().div_ceil(threads);
+    scenerec_tensor::par::for_each_chunk_pair(
+        &mut ranks,
+        chunk,
+        instances,
+        chunk,
+        |_, slot, part| {
+            for (r, inst) in slot.iter_mut().zip(part) {
+                *r = rank_one_full(scorer, inst, num_items);
             }
-        })
-        .expect("full-ranking worker panicked");
-    }
+        },
+    );
     let metrics = MetricSet::from_ranks(&ranks, k);
     EvalSummary {
         metrics,

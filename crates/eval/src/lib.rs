@@ -11,7 +11,7 @@
 //! [`Scorer`] is the single integration point: every model (SceneRec, its
 //! variants and all six baselines) implements it, and
 //! [`ranking::evaluate`] runs the protocol — in parallel across users via
-//! crossbeam scoped threads.
+//! the shared `scenerec_tensor::par` scoped-thread helpers.
 
 pub mod full;
 pub mod metrics;

@@ -79,8 +79,10 @@ pub fn evaluate_serial(scorer: &dyn Scorer, instances: &[EvalInstance], k: usize
 }
 
 /// Evaluates `scorer` on `instances` at cutoff `k`, fanning users out over
-/// `threads` crossbeam scoped threads (clamped to at least 1). Results are
-/// identical to [`evaluate_serial`] regardless of thread count.
+/// `threads` scoped threads via [`scenerec_tensor::par`] (clamped to at
+/// least 1). Results are identical to [`evaluate_serial`] regardless of
+/// thread count: each instance's rank is computed independently and
+/// written into its own slot.
 pub fn evaluate(
     scorer: &(dyn Scorer + Sync),
     instances: &[EvalInstance],
@@ -95,17 +97,17 @@ pub fn evaluate(
     let latency = latency_histogram();
     let chunk = instances.len().div_ceil(threads);
     let mut ranks = vec![0usize; instances.len()];
-    crossbeam::scope(|scope| {
-        for (slot, part) in ranks.chunks_mut(chunk).zip(instances.chunks(chunk)) {
-            let latency = &latency;
-            scope.spawn(move |_| {
-                for (r, inst) in slot.iter_mut().zip(part) {
-                    *r = timed_rank_one(scorer, inst, latency);
-                }
-            });
-        }
-    })
-    .expect("evaluation worker panicked");
+    scenerec_tensor::par::for_each_chunk_pair(
+        &mut ranks,
+        chunk,
+        instances,
+        chunk,
+        |_, slot, part| {
+            for (r, inst) in slot.iter_mut().zip(part) {
+                *r = timed_rank_one(scorer, inst, &latency);
+            }
+        },
+    );
     let summary = EvalSummary::from_ranks(ranks, k);
     report_evaluation(&summary, start.elapsed());
     summary

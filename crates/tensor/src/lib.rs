@@ -22,10 +22,12 @@
 //!   them (iterator chains over contiguous slices, `chunks_exact`).
 
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod linalg;
 pub mod matrix;
 pub mod numeric;
+pub mod par;
 pub mod stats;
 
 pub use error::{ShapeError, TensorResult};

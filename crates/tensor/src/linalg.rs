@@ -7,12 +7,20 @@
 //! LLVM can auto-vectorize them.
 
 use crate::error::{ShapeError, TensorResult};
+use crate::gemm;
 use crate::matrix::Matrix;
+
+/// Multiply-add count (`m*n*k`) above which matmuls route to the blocked
+/// [`crate::gemm`] kernel instead of the plain ikj loop: packing overhead
+/// only pays off once operands spill the L1/L2 caches.
+const BLOCKED_MIN_MADDS: usize = 48 * 48 * 48;
 
 /// `C = A * B` (shape-checked).
 ///
-/// Uses the classic ikj loop order: the innermost loop walks contiguous rows
-/// of `B` and `C`, which is the cache-friendly order for row-major storage.
+/// Small products use the ikj loop order — the innermost loop walks
+/// contiguous rows of `B` and `C`, the cache-friendly order for row-major
+/// storage, and is branch-free so LLVM auto-vectorizes it. Larger products
+/// dispatch to the cache-blocked, multi-threaded [`crate::gemm`] kernel.
 pub fn try_matmul(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
     if a.cols() != b.rows() {
         return Err(ShapeError::MatMul {
@@ -20,6 +28,36 @@ pub fn try_matmul(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
             rhs: b.shape(),
         });
     }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m * n * k >= BLOCKED_MIN_MADDS {
+        return Ok(gemm::gemm(a, false, b, false, 0));
+    }
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(p);
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A * B`, panicking on shape mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    try_matmul(a, b).expect("matmul shape mismatch")
+}
+
+/// The pre-optimization seed matmul (ikj loop with a per-element zero-skip
+/// branch), kept verbatim as the baseline for the kernel benchmarks and as
+/// an independent reference implementation in tests. Not used on any hot
+/// path: the branch defeats auto-vectorization on dense inputs.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -36,12 +74,74 @@ pub fn try_matmul(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
             }
         }
     }
+    c
+}
+
+/// `C = A^T * B` without materializing `A^T` (shape-checked): `A` is
+/// `k x m`, `B` is `k x n`, the result is `m x n`.
+///
+/// Small products accumulate rank-1 updates row by row (both operands are
+/// walked along their contiguous rows); larger ones dispatch to the blocked
+/// kernel, which absorbs the transpose into its packing step.
+pub fn try_matmul_at(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(ShapeError::MatMul {
+            lhs: (a.cols(), a.rows()),
+            rhs: b.shape(),
+        });
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    if m * n * k >= BLOCKED_MIN_MADDS {
+        return Ok(gemm::gemm(a, true, b, false, 0));
+    }
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            axpy(a_pi, b_row, c.row_mut(i));
+        }
+    }
     Ok(c)
 }
 
-/// `C = A * B`, panicking on shape mismatch.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    try_matmul(a, b).expect("matmul shape mismatch")
+/// `C = A^T * B`, panicking on shape mismatch.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    try_matmul_at(a, b).expect("matmul_at shape mismatch")
+}
+
+/// `C = A * B^T` without materializing `B^T` (shape-checked): `A` is
+/// `m x k`, `B` is `n x k`, the result is `m x n`.
+///
+/// Small products reduce to row-dot-row (both reads contiguous); larger
+/// ones dispatch to the blocked kernel.
+pub fn try_matmul_bt(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::MatMul {
+            lhs: a.shape(),
+            rhs: (b.cols(), b.rows()),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    if m * n * k >= BLOCKED_MIN_MADDS {
+        return Ok(gemm::gemm(a, false, b, true, 0));
+    }
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (c_v, j) in c_row.iter_mut().zip(0..n) {
+            *c_v = dot(a_row, b.row(j));
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A * B^T`, panicking on shape mismatch.
+pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    try_matmul_bt(a, b).expect("matmul_bt shape mismatch")
 }
 
 /// `y = A * x` for a column vector `x` given as a slice; returns `Vec` of
@@ -87,12 +187,32 @@ pub fn matvec_t(a: &Matrix, x: &[f32]) -> Vec<f32> {
 
 /// Dot product of two equal-length slices.
 ///
+/// Accumulates into 8 independent partial sums so the loop carries no
+/// single serial FP dependency chain and LLVM can keep it in vector
+/// registers; the partials are reduced in a fixed pairwise order, so the
+/// result is deterministic for given inputs.
+///
 /// # Panics
 /// Panics if lengths differ (programming error at this level).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let main = a.len() - a.len() % LANES;
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANES)
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        for ((av, bv), lane) in ca.iter().zip(cb).zip(acc.iter_mut()) {
+            *lane += av * bv;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
 }
 
 /// `y += alpha * x` in place.
@@ -201,9 +321,12 @@ pub fn add_scaled(a: &mut Matrix, alpha: f32, b: &Matrix) {
 }
 
 /// Euclidean (L2) norm of a slice.
+///
+/// Shares the multi-accumulator layout of [`dot`] so the squares reduce in
+/// vector registers with a fixed, deterministic reduction order.
 #[inline]
 pub fn norm2(x: &[f32]) -> f32 {
-    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+    dot(x, x).sqrt()
 }
 
 /// Sum of the given slices interpreted as vectors of equal length.
@@ -348,5 +471,66 @@ mod tests {
     #[test]
     fn norm2_of_pythagorean() {
         assert!(close(norm2(&[3.0, 4.0]), 5.0));
+    }
+
+    #[test]
+    fn dot_long_matches_scalar_reference() {
+        // Length chosen to exercise both the 8-lane body and the tail.
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let reference: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (*x as f64) * (*y as f64))
+            .sum();
+        assert!((dot(&a, &b) as f64 - reference).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_dispatch_agrees_with_naive() {
+        // 64^3 madds crosses BLOCKED_MIN_MADDS, so this exercises the
+        // blocked path against the seed loop.
+        let mut v = 0.37f32;
+        let mut next = || {
+            v = (v * 1.7 + 0.3).fract() - 0.5;
+            v
+        };
+        let a = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| next()).collect()).unwrap();
+        let b = Matrix::from_vec(64, 64, (0..64 * 64).map(|_| next()).collect()).unwrap();
+        let fast = matmul(&a, &b);
+        let naive = matmul_naive(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3 x 2
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 0.0]]); // 3 x 3
+        let c = matmul_at(&a, &b);
+        assert_eq!(c, matmul(&a.transpose(), &b));
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2 x 3
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]); // 2 x 3
+        let c = matmul_bt(&a, &b);
+        assert_eq!(c, matmul(&a, &b.transpose()));
+    }
+
+    #[test]
+    fn transpose_variants_reject_bad_shapes() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 3);
+        assert!(matches!(
+            try_matmul_at(&a, &b),
+            Err(ShapeError::MatMul { .. })
+        ));
+        assert!(matches!(
+            try_matmul_bt(&a, &b),
+            Err(ShapeError::MatMul { .. })
+        ));
     }
 }

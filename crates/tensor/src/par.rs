@@ -1,0 +1,183 @@
+//! Dependency-free data-parallel helpers built on [`std::thread::scope`].
+//!
+//! The workspace keeps the same zero-heavy-deps stance as `scenerec-obs`:
+//! no thread pool, no channels, no atomics — callers hand contiguous
+//! chunks of work to scoped threads that borrow straight from the caller's
+//! stack frame and join before the helper returns.
+//!
+//! Every helper is **deterministic by construction**: work is split into
+//! contiguous chunks by index, results come back in index order, and no
+//! output depends on scheduling order. Callers that additionally keep each
+//! chunk's computation independent of the chunk boundaries (as the GEMM
+//! row bands and the evaluator do) get bit-identical results at any
+//! thread count.
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(worker_index)` for `workers` workers on scoped threads and
+/// returns the results **in worker order**. `workers <= 1` runs inline on
+/// the calling thread.
+pub fn map_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 {
+        return (0..workers.max(1)).map(&f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || f(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `out` into contiguous chunks of at most `chunk` elements and
+/// runs `f(chunk_index, chunk)` on one scoped thread per chunk. With a
+/// single chunk (or `chunk == 0`, treated as "everything") `f` runs
+/// inline.
+pub fn for_each_chunk<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = if chunk == 0 { out.len().max(1) } else { chunk };
+    if out.len() <= chunk {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        for (idx, part) in out.chunks_mut(chunk).enumerate() {
+            s.spawn(move || f(idx, part));
+        }
+    });
+}
+
+/// Zips chunks of `out` (of `out_chunk` elements) with chunks of `input`
+/// (of `in_chunk` elements) and runs `f(chunk_index, out_chunk, in_chunk)`
+/// on one scoped thread per pair. The caller picks chunk sizes so the
+/// pairs align (e.g. `band * n` output floats against `band` input rows).
+/// With a single pair `f` runs inline.
+pub fn for_each_chunk_pair<A, B, F>(
+    out: &mut [A],
+    out_chunk: usize,
+    input: &[B],
+    in_chunk: usize,
+    f: F,
+) where
+    A: Send,
+    B: Sync,
+    F: Fn(usize, &mut [A], &[B]) + Sync,
+{
+    let out_chunk = if out_chunk == 0 {
+        out.len().max(1)
+    } else {
+        out_chunk
+    };
+    let in_chunk = if in_chunk == 0 {
+        input.len().max(1)
+    } else {
+        in_chunk
+    };
+    if out.len() <= out_chunk {
+        f(0, out, input);
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        for (idx, (o, i)) in out
+            .chunks_mut(out_chunk)
+            .zip(input.chunks(in_chunk))
+            .enumerate()
+        {
+            s.spawn(move || f(idx, o, i));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn map_workers_returns_in_worker_order() {
+        for workers in [1usize, 2, 4, 8] {
+            let out = map_workers(workers, |w| w * 10);
+            assert_eq!(out, (0..workers).map(|w| w * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_workers_zero_runs_once() {
+        assert_eq!(map_workers(0, |w| w), vec![0]);
+    }
+
+    #[test]
+    fn for_each_chunk_fills_disjoint_ranges() {
+        let mut data = vec![0usize; 103];
+        for_each_chunk(&mut data, 25, |idx, part| {
+            for v in part.iter_mut() {
+                *v = idx + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i / 25 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_single_chunk_runs_inline() {
+        let mut data = vec![0u8; 4];
+        for_each_chunk(&mut data, 100, |idx, part| {
+            assert_eq!(idx, 0);
+            part.fill(7);
+        });
+        assert_eq!(data, vec![7; 4]);
+    }
+
+    #[test]
+    fn chunk_pairs_align() {
+        // 2 output floats per input element.
+        let input: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let mut out = vec![0.0f32; 20];
+        for_each_chunk_pair(&mut out, 6, &input, 3, |_, o, i| {
+            for (pair, x) in o.chunks_mut(2).zip(i) {
+                pair[0] = *x;
+                pair[1] = 2.0 * *x;
+            }
+        });
+        for (k, x) in input.iter().enumerate() {
+            assert_eq!(out[2 * k], *x);
+            assert_eq!(out[2 * k + 1], 2.0 * *x);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_inline() {
+        let input: Vec<u64> = (0..1000).collect();
+        let mut serial = vec![0u64; 1000];
+        let mut parallel = vec![0u64; 1000];
+        let work = |_: usize, o: &mut [u64], i: &[u64]| {
+            for (ov, iv) in o.iter_mut().zip(i) {
+                *ov = iv * iv;
+            }
+        };
+        for_each_chunk_pair(&mut serial, 0, &input, 0, work);
+        for_each_chunk_pair(&mut parallel, 130, &input, 130, work);
+        assert_eq!(serial, parallel);
+    }
+}
