@@ -3,7 +3,7 @@
 //! [`check_gradients`] perturbs every scalar weight of a [`ParamStore`]
 //! (or a sampled subset for big tables), re-evaluates a user-supplied loss
 //! closure, and compares the central difference against the analytic
-//! gradient produced by [`Graph::backward`]. The autodiff test-suite runs
+//! gradient produced by [`Graph::backward`](crate::Graph::backward). The autodiff test-suite runs
 //! this over every operator; the `scenerec-core` tests run it over the full
 //! SceneRec forward pass.
 

@@ -2,7 +2,7 @@
 //!
 //! A [`Graph`] borrows a [`ParamStore`] immutably; every operator call
 //! computes its value eagerly (so shapes fail fast at the call site) and
-//! records an [`Op`] describing how to route gradients backwards.
+//! records an `Op` describing how to route gradients backwards.
 //! [`Graph::backward`] seeds the loss node with gradient `1`, walks the tape
 //! in reverse creation order (a valid reverse topological order, since an
 //! op can only reference earlier nodes), and accumulates parameter
@@ -560,7 +560,7 @@ impl<'s> Graph<'s> {
                         .map(|(&gv, (&x, &y))| gv * act.grad(x, y))
                         .collect();
                     let ga =
-                        Matrix::from_vec(g.rows(), g.cols(), data).expect("activation grad shape");
+                        Matrix::from_vec(g.rows(), g.cols(), data).expect("activation grad shape"); // lint:allow(R1): data zips g element-wise
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::Softmax { a } => {
@@ -572,7 +572,7 @@ impl<'s> Graph<'s> {
                         .zip(g.as_slice())
                         .map(|(&pi, &gi)| pi * (gi - inner))
                         .collect();
-                    let ga = Matrix::from_vec(p.rows(), 1, data).expect("softmax grad shape");
+                    let ga = Matrix::from_vec(p.rows(), 1, data).expect("softmax grad shape"); // lint:allow(R1): data zips p element-wise
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::StackScalars { parts } => {
@@ -615,7 +615,7 @@ impl<'s> Graph<'s> {
                         .map(|(&gv, &x)| gv * numeric::sigmoid(-x))
                         .collect();
                     let ga =
-                        Matrix::from_vec(g.rows(), g.cols(), data).expect("log_sigmoid grad shape");
+                        Matrix::from_vec(g.rows(), g.cols(), data).expect("log_sigmoid grad shape"); // lint:allow(R1): data zips g element-wise
                     accumulate(&mut adj, a.0, &ga);
                 }
                 Op::SquaredNorm { a } => {

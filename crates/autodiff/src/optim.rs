@@ -129,7 +129,7 @@ pub struct Momentum {
     beta: f32,
     /// L2 weight decay (λ of Eq. 15).
     pub weight_decay: WeightDecay,
-    velocity: Vec<Option<Matrix>>,
+    velocity: Vec<Matrix>,
 }
 
 impl Momentum {
@@ -149,7 +149,7 @@ impl Momentum {
                 .iter()
                 .map(|(_, p)| {
                     let (r, c) = p.value().shape();
-                    Some(Matrix::zeros(r, c))
+                    Matrix::zeros(r, c)
                 })
                 .collect();
         }
@@ -161,7 +161,7 @@ impl Optimizer for Momentum {
         self.ensure_state(store);
         for idx in 0..store.len() {
             let id = ParamId(idx);
-            let vel = self.velocity[idx].as_mut().expect("state initialized");
+            let vel = &mut self.velocity[idx];
             match store.param(id).kind() {
                 ParamKind::Dense => {
                     if let Some(g) = grads.dense(id) {
@@ -206,7 +206,7 @@ pub struct RmsProp {
     eps: f32,
     /// L2 weight decay (λ of Eq. 15).
     pub weight_decay: WeightDecay,
-    cache: Vec<Option<Matrix>>,
+    cache: Vec<Matrix>,
 }
 
 impl RmsProp {
@@ -239,7 +239,7 @@ impl RmsProp {
                 .iter()
                 .map(|(_, p)| {
                     let (r, c) = p.value().shape();
-                    Some(Matrix::zeros(r, c))
+                    Matrix::zeros(r, c)
                 })
                 .collect();
         }
@@ -252,7 +252,7 @@ impl Optimizer for RmsProp {
         let (rho, eps, lr) = (self.rho, self.eps, self.lr);
         for idx in 0..store.len() {
             let id = ParamId(idx);
-            let cache = self.cache[idx].as_mut().expect("state initialized");
+            let cache = &mut self.cache[idx];
             match store.param(id).kind() {
                 ParamKind::Dense => {
                     if let Some(g) = grads.dense(id) {
@@ -305,8 +305,8 @@ pub struct Adam {
     /// L2 weight decay (λ of Eq. 15).
     pub weight_decay: WeightDecay,
     t: u64,
-    m: Vec<Option<Matrix>>,
-    v: Vec<Option<Matrix>>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
 }
 
 impl Adam {
@@ -334,7 +334,7 @@ impl Adam {
         if self.m.len() != store.len() {
             let zeros = |p: &crate::param::Param| {
                 let (r, c) = p.value().shape();
-                Some(Matrix::zeros(r, c))
+                Matrix::zeros(r, c)
             };
             self.m = store.iter().map(|(_, p)| zeros(p)).collect();
             self.v = store.iter().map(|(_, p)| zeros(p)).collect();
@@ -351,8 +351,8 @@ impl Optimizer for Adam {
         let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
         for idx in 0..store.len() {
             let id = ParamId(idx);
-            let m = self.m[idx].as_mut().expect("state initialized");
-            let v = self.v[idx].as_mut().expect("state initialized");
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
             match store.param(id).kind() {
                 ParamKind::Dense => {
                     if let Some(g) = grads.dense(id) {

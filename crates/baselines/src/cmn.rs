@@ -164,7 +164,7 @@ impl PairwiseModel for Cmn {
                     query = g.activation(combined, Act::Relu);
                 }
             }
-            o.expect("hops >= 1 guarantees one read")
+            o.expect("hops >= 1 guarantees one read") // lint:allow(R1): with_hops asserts hops >= 1
         };
 
         // score = v^T relu(U (m_u ⊙ e_i) + W o + b)

@@ -9,7 +9,9 @@ use scenerec_autodiff::{Act, Graph, ParamId, ParamStore, Var};
 use scenerec_data::Dataset;
 use scenerec_graph::{BipartiteGraph, CategoryId, ItemId, SceneGraph, UserId};
 use scenerec_tensor::{Initializer, Matrix};
-use std::collections::HashMap;
+// Tape-local caches use BTreeMap: lookup-only today, but lint rule D1
+// bans ordered-iteration hazards from ever creeping into Eqs. 1-15.
+use std::collections::BTreeMap;
 
 use crate::config::NeighborCaps;
 
@@ -227,7 +229,7 @@ impl SceneRec {
         &'s self,
         g: &mut Graph<'s>,
         c: u32,
-        scene_sums: &mut HashMap<u32, Var>,
+        scene_sums: &mut BTreeMap<u32, Var>,
     ) -> Var {
         // h^S (Eq. 3).
         let h_s = *scene_sums
@@ -274,8 +276,8 @@ impl SceneRec {
         &'s self,
         g: &mut Graph<'s>,
         i: ItemId,
-        scene_sums: &mut HashMap<u32, Var>,
-        cat_reprs: &mut HashMap<u32, Var>,
+        scene_sums: &mut BTreeMap<u32, Var>,
+        cat_reprs: &mut BTreeMap<u32, Var>,
     ) -> Var {
         let c = self.item_cat[i.index()];
         // h^C_i (Eq. 8) — zero under nosce (no category/scene layers).
@@ -332,8 +334,8 @@ impl SceneRec {
         &'s self,
         g: &mut Graph<'s>,
         i: ItemId,
-        scene_sums: &mut HashMap<u32, Var>,
-        cat_reprs: &mut HashMap<u32, Var>,
+        scene_sums: &mut BTreeMap<u32, Var>,
+        cat_reprs: &mut BTreeMap<u32, Var>,
     ) -> Var {
         let m_u = self.item_user_repr(g, i);
         let m_s = self.item_scene_repr(g, i, scene_sums, cat_reprs);
@@ -347,8 +349,8 @@ impl SceneRec {
         g: &mut Graph<'s>,
         m_user: Var,
         i: ItemId,
-        scene_sums: &mut HashMap<u32, Var>,
-        cat_reprs: &mut HashMap<u32, Var>,
+        scene_sums: &mut BTreeMap<u32, Var>,
+        cat_reprs: &mut BTreeMap<u32, Var>,
     ) -> Var {
         let m_item = self.item_repr(g, i, scene_sums, cat_reprs);
         let cat = g.concat(&[m_user, m_item]);
@@ -403,8 +405,8 @@ impl PairwiseModel for SceneRec {
 
     fn build_score<'s>(&'s self, g: &mut Graph<'s>, user: UserId, item: ItemId) -> Var {
         let m_user = self.user_repr(g, user);
-        let mut scene_sums = HashMap::new();
-        let mut cat_reprs = HashMap::new();
+        let mut scene_sums = BTreeMap::new();
+        let mut cat_reprs = BTreeMap::new();
         self.score_with_user(g, m_user, item, &mut scene_sums, &mut cat_reprs)
     }
 
@@ -412,8 +414,8 @@ impl PairwiseModel for SceneRec {
         // Share the user representation and all category-level
         // computations across the candidate list.
         let m_user = self.user_repr(g, user);
-        let mut scene_sums = HashMap::new();
-        let mut cat_reprs = HashMap::new();
+        let mut scene_sums = BTreeMap::new();
+        let mut cat_reprs = BTreeMap::new();
         items
             .iter()
             .map(|&i| self.score_with_user(g, m_user, i, &mut scene_sums, &mut cat_reprs))

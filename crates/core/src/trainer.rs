@@ -16,11 +16,11 @@ use scenerec_autodiff::{GradStore, Graph};
 use scenerec_data::Dataset;
 use scenerec_eval::{evaluate, EvalSummary};
 use scenerec_graph::ItemId;
-use scenerec_obs::{obs_event, FieldValue, Level};
+use scenerec_obs::{obs_event, FieldValue, Level, Stopwatch};
 use scenerec_tensor::stats::RunningStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Optimizer selection for training runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -258,10 +258,10 @@ pub fn train<M: PairwiseModel + Sync>(
     let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(batch);
     for epoch in 0..cfg.epochs {
         let mut phases = PhaseBreakdown::default();
-        let mut mark = Instant::now();
+        let mut mark = Stopwatch::start();
         pairs.shuffle(&mut rng);
         let mut loss_stats = RunningStats::new();
-        phases.sample_ns += elapsed_ns(&mut mark);
+        phases.sample_ns += mark.lap_ns();
 
         for chunk in pairs.chunks(batch) {
             grads.clear();
@@ -269,7 +269,7 @@ pub fn train<M: PairwiseModel + Sync>(
             // Rejection-sample all negatives for the batch serially: the
             // number of draws per pair is data-dependent, so only a fixed
             // consumption order keeps the RNG stream thread-invariant.
-            mark = Instant::now();
+            mark = Stopwatch::start();
             triples.clear();
             for &(u, pos) in chunk {
                 let neg = loop {
@@ -280,7 +280,7 @@ pub fn train<M: PairwiseModel + Sync>(
                 };
                 triples.push((u, pos, neg));
             }
-            phases.sample_ns += elapsed_ns(&mut mark);
+            phases.sample_ns += mark.lap_ns();
 
             // Fan out: contiguous sub-ranges, one tape per example. A
             // single worker (or a single-example batch) runs inline.
@@ -288,33 +288,33 @@ pub fn train<M: PairwiseModel + Sync>(
             let sub = triples.len().div_ceil(fan.max(1));
             let model_ref: &M = model;
             let triples_ref: &[(u32, u32, u32)] = &triples;
-            let fan_start = Instant::now();
+            let fan_start = Stopwatch::start();
             let worker_out = scenerec_tensor::par::map_workers(fan, |w| {
                 let lo = (w * sub).min(triples_ref.len());
                 let hi = (lo + sub).min(triples_ref.len());
                 let mut out = Vec::with_capacity(hi - lo);
                 let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
                 for &(u, pos, neg) in &triples_ref[lo..hi] {
-                    let mut wmark = Instant::now();
+                    let mut wmark = Stopwatch::start();
                     let mut g = Graph::new(model_ref.store());
                     let p = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
                     let n = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
                     let loss = g.bpr_loss(p, n);
                     let loss_val = g.scalar(loss);
-                    fwd_ns += elapsed_ns(&mut wmark);
+                    fwd_ns += wmark.lap_ns();
                     let mut example_grads = GradStore::new(model_ref.store());
                     g.backward(loss, &mut example_grads);
-                    bwd_ns += elapsed_ns(&mut wmark);
+                    bwd_ns += wmark.lap_ns();
                     out.push((loss_val, example_grads));
                 }
                 (out, fwd_ns, bwd_ns)
             });
-            phases.fanout_ns += fan_start.elapsed().as_nanos() as u64;
+            phases.fanout_ns += fan_start.elapsed_ns();
 
             // Reduce in example order (workers come back in worker order
             // and each holds a contiguous sub-range, so flattening is the
             // original example order).
-            mark = Instant::now();
+            mark = Stopwatch::start();
             for (out, fwd_ns, bwd_ns) in worker_out {
                 phases.forward_ns += fwd_ns;
                 phases.backward_ns += bwd_ns;
@@ -323,7 +323,7 @@ pub fn train<M: PairwiseModel + Sync>(
                     grads.merge(example_grads);
                 }
             }
-            phases.reduce_ns += elapsed_ns(&mut mark);
+            phases.reduce_ns += mark.lap_ns();
             if chunk.len() > 1 {
                 // Mean gradient over the batch, matching the per-example
                 // loss scale of batch_size = 1.
@@ -334,7 +334,7 @@ pub fn train<M: PairwiseModel + Sync>(
                 grad_norm_hist.observe(norm as f64);
             }
             opt.step(model.store_mut(), &grads);
-            phases.step_ns += elapsed_ns(&mut mark);
+            phases.step_ns += mark.lap_ns();
         }
 
         let mut record = EpochRecord {
@@ -346,9 +346,9 @@ pub fn train<M: PairwiseModel + Sync>(
 
         let should_eval = cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0;
         if should_eval && !data.split.validation.is_empty() {
-            mark = Instant::now();
+            mark = Stopwatch::start();
             let summary = validate(model, data, cfg);
-            phases.eval_ns += elapsed_ns(&mut mark);
+            phases.eval_ns += mark.lap_ns();
             record.val_ndcg = Some(summary.metrics.ndcg);
             record.val_hr = Some(summary.metrics.hr);
             if summary.metrics.ndcg > report.best_val_ndcg {
@@ -386,15 +386,6 @@ pub fn train<M: PairwiseModel + Sync>(
         }
     }
     report
-}
-
-/// Restarts `mark` and returns the nanoseconds since the previous mark.
-#[inline]
-fn elapsed_ns(mark: &mut Instant) -> u64 {
-    let now = Instant::now();
-    let ns = now.duration_since(*mark).as_nanos() as u64;
-    *mark = now;
-    ns
 }
 
 fn opt_metric(v: Option<f32>) -> FieldValue {

@@ -40,7 +40,7 @@ impl GridSearchReport {
     /// # Panics
     /// Panics when the sweep was empty.
     pub fn best(&self) -> &GridPoint {
-        self.points.first().expect("non-empty grid")
+        self.points.first().expect("non-empty grid") // lint:allow(R1): documented panicking accessor
     }
 }
 

@@ -24,9 +24,8 @@ use rand::{Rng, SeedableRng};
 use scenerec_graph::{
     BipartiteGraphBuilder, CategoryId, GraphError, ItemId, SceneGraphBuilder, SceneId, UserId,
 };
-use scenerec_obs::{obs_event, Level};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use scenerec_obs::{obs_event, Level, Stopwatch};
+use std::collections::{BTreeMap, HashSet};
 
 /// Generates a complete dataset from the configuration.
 ///
@@ -45,7 +44,7 @@ use std::time::Instant;
 /// propagates (should-not-happen) graph-validation failures.
 pub fn generate(cfg: &GeneratorConfig) -> Result<Dataset, String> {
     cfg.validate()?;
-    let total = Instant::now();
+    let total = Stopwatch::start();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let phase = scenerec_obs::span("generate/taxonomy");
@@ -130,8 +129,11 @@ pub fn generate(cfg: &GeneratorConfig) -> Result<Dataset, String> {
 
     // ---- sessions & co-view counts ----------------------------------------
     let phase = phase.next("generate/sessions");
-    let mut pair_counts: HashMap<(u32, u32), f32> = HashMap::new();
-    let mut cat_pair_counts: HashMap<(u32, u32), f32> = HashMap::new();
+    // BTreeMaps, not HashMaps: these are iterated below to build the
+    // item-item and category-category layers, and that traversal order
+    // must be identical across process runs (lint rule D1).
+    let mut pair_counts: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+    let mut cat_pair_counts: BTreeMap<(u32, u32), f32> = BTreeMap::new();
     let mut count_session = |items: &[u32]| {
         for (ai, &a) in items.iter().enumerate() {
             for &b in &items[ai + 1..] {
@@ -228,7 +230,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Result<Dataset, String> {
         "users" => cfg.num_users,
         "items" => cfg.num_items,
         "interactions" => interactions.num_interactions() as u64,
-        "seconds" => total.elapsed().as_secs_f64(),
+        "seconds" => total.elapsed_seconds(),
     );
 
     Ok(Dataset {

@@ -22,14 +22,16 @@
 
 use scenerec_graph::SceneGraph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Symmetric category co-occurrence counts.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoOccurrence {
     num_categories: u32,
-    /// `(a, b) -> count` with `a < b`.
-    counts: HashMap<(u32, u32), f64>,
+    /// `(a, b) -> count` with `a < b`. A `BTreeMap` so that
+    /// [`Self::iter_pairs`] yields a deterministic, sorted pair order
+    /// (lint rule D1) — mined scenes must be byte-identical across runs.
+    counts: BTreeMap<(u32, u32), f64>,
     /// Per-category total mass.
     totals: Vec<f64>,
 }
@@ -39,7 +41,7 @@ impl CoOccurrence {
     pub fn new(num_categories: u32) -> Self {
         CoOccurrence {
             num_categories,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             totals: vec![0.0; num_categories as usize],
         }
     }

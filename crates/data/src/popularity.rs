@@ -58,7 +58,7 @@ impl WeightedSampler {
 
     /// Draws one value.
     pub fn sample(&self, rng: &mut impl Rng) -> u32 {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = *self.cumulative.last().expect("non-empty"); // lint:allow(R1): constructor rejects empty samplers
         let x = rng.gen::<f64>() * total;
         let idx = self.cumulative.partition_point(|&c| c < x);
         self.values[idx.min(self.values.len() - 1)]
@@ -66,7 +66,7 @@ impl WeightedSampler {
 
     /// Probability mass of the value at `index`.
     pub fn probability_at(&self, index: usize) -> f64 {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = *self.cumulative.last().expect("non-empty"); // lint:allow(R1): constructor rejects empty samplers
         let prev = if index == 0 {
             0.0
         } else {

@@ -76,8 +76,9 @@ impl LeaveOneOutSplit {
             }
             let mut pool = positives.clone();
             pool.shuffle(rng);
-            let test_pos = pool.pop().expect("len >= 3");
-            let valid_pos = pool.pop().expect("len >= 3");
+            let (Some(test_pos), Some(valid_pos)) = (pool.pop(), pool.pop()) else {
+                continue; // unreachable: positives.len() >= 3 checked above
+            };
             for &i in &pool {
                 train.push((user, ItemId(i)));
             }

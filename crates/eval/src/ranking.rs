@@ -3,9 +3,8 @@
 use crate::metrics::{rank_of_positive, MetricSet};
 use scenerec_data::EvalInstance;
 use scenerec_graph::{ItemId, UserId};
-use scenerec_obs::{obs_event, Level};
+use scenerec_obs::{obs_event, Level, Stopwatch};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Bucket edges (microseconds) of the per-user ranking latency
 /// histogram `eval/user_latency_us`: 10µs .. 1s.
@@ -67,7 +66,7 @@ impl EvalSummary {
 
 /// Evaluates `scorer` on `instances` at cutoff `k`, serially.
 pub fn evaluate_serial(scorer: &dyn Scorer, instances: &[EvalInstance], k: usize) -> EvalSummary {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let latency = latency_histogram();
     let ranks: Vec<usize> = instances
         .iter()
@@ -93,7 +92,7 @@ pub fn evaluate(
     if threads == 1 || instances.len() < 2 {
         return evaluate_serial(scorer, instances, k);
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let latency = latency_histogram();
     let chunk = instances.len().div_ceil(threads);
     let mut ranks = vec![0usize; instances.len()];
@@ -135,7 +134,7 @@ fn timed_rank_one(
     inst: &EvalInstance,
     latency: &scenerec_obs::metrics::Histogram,
 ) -> usize {
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let rank = rank_one(scorer, inst);
     latency.observe(t.elapsed().as_secs_f64() * 1e6);
     rank

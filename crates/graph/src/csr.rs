@@ -190,6 +190,7 @@ impl CsrGraph {
                 edges.push((v, d, w));
             }
         }
+        // lint:allow(R1): edges come from a valid graph
         CsrGraph::from_edges(num_src, self.num_dst, edges).expect("pruning preserves validity")
     }
 
@@ -198,7 +199,7 @@ impl CsrGraph {
     pub fn transpose(&self) -> CsrGraph {
         let edges: Vec<(u32, u32, f32)> = self.iter_edges().map(|(s, d, w)| (d, s, w)).collect();
         CsrGraph::from_edges(self.num_dst, self.num_src(), edges)
-            .expect("transposing preserves validity")
+            .expect("transposing preserves validity") // lint:allow(R1): edges come from a valid graph
     }
 
     /// Mean out-degree.

@@ -1,0 +1,29 @@
+// Fixture: D1 violations — HashMap/HashSet iteration in a data crate.
+// Checked as `crates/data/src/fixture.rs`; never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub struct Co {
+    counts: HashMap<(u32, u32), f64>,
+}
+
+impl Co {
+    pub fn total(&self) -> f64 {
+        self.counts.values().sum() // D1: randomized order
+    }
+}
+
+pub fn merge(pair_counts: &HashMap<u32, f32>) -> f32 {
+    let mut acc = 0.0;
+    for (_, v) in pair_counts {
+        // D1: for-iteration
+        acc += v;
+    }
+    let seen: HashSet<u32> = HashSet::new();
+    let mut listed: Vec<u32> = seen.iter().copied().collect(); // D1
+    listed.sort_unstable();
+    acc
+}
+
+pub fn lookup_only(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied() // fine: point lookup, no iteration
+}

@@ -1,0 +1,25 @@
+// Fixture: D2 violations — unseeded RNG outside tests.
+// Checked as `crates/core/src/fixture.rs`; never compiled.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn sample() -> f32 {
+    let mut rng = rand::thread_rng(); // D2
+    rng.gen()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy() // D2
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed) // fine: explicit seed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_is_fine_in_tests() {
+        let _ = rand::thread_rng(); // exempt
+    }
+}

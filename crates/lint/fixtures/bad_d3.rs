@@ -1,0 +1,15 @@
+// Fixture: D3 violations — ad-hoc clocks in model/data code.
+// Checked as `crates/core/src/fixture.rs`; never compiled.
+use std::time::{Instant, SystemTime};
+
+pub fn timed_work() -> u64 {
+    let start = Instant::now(); // D3
+    heavy();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn wall_clock() -> SystemTime {
+    SystemTime::now() // D3
+}
+
+fn heavy() {}

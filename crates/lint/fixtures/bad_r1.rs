@@ -1,0 +1,21 @@
+// Fixture: R1 violations — unwrap/expect/panic! in library code.
+// Checked as `crates/graph/src/fixture.rs`; never compiled.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // R1
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number") // R1
+}
+
+pub fn guard(x: u32) {
+    if x > 10 {
+        panic!("too big: {x}"); // R1
+    }
+}
+
+pub fn handled(v: &[u32]) -> u32 {
+    // fine: the fallible path is handled, not aborted.
+    v.first().copied().unwrap_or(0)
+}

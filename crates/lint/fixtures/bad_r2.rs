@@ -1,0 +1,13 @@
+// Fixture: R2 violation — unsafe block without a SAFETY comment.
+// Checked as `crates/tensor/src/fixture.rs`; never compiled.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p } // R2: missing justification comment
+}
+
+pub fn read_documented(p: *const u8, len: usize, i: usize) -> u8 {
+    assert!(i < len);
+    // SAFETY: i is bounds-checked against len just above, and the
+    // caller guarantees p points at len readable bytes.
+    unsafe { *p.add(i) }
+}

@@ -1,0 +1,18 @@
+// Fixture: fully clean library code — the lint must stay silent.
+// Checked as `crates/core/src/fixture.rs`; never compiled.
+use std::collections::BTreeMap;
+
+pub fn deterministic_sum(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+pub fn fallible(v: &[u32]) -> Result<u32, String> {
+    v.first()
+        .copied()
+        .ok_or_else(|| "empty slice".to_string())
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint:allow(R1): value is guaranteed by the caller's invariant
+    x.unwrap()
+}

@@ -1,0 +1,410 @@
+//! A minimal Rust lexer: just enough structure for the lint rules.
+//!
+//! The workspace builds offline, so no `syn`/`proc-macro2` is available;
+//! instead the rules run over a token stream produced here. The lexer
+//! understands everything that could make a naive text scan lie about
+//! code: line/block comments (nested), string/char/byte/raw-string
+//! literals, lifetimes vs. char literals, and raw identifiers. Tokens
+//! carry 1-based line numbers so diagnostics point at real source lines.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`r#ident` is normalized to `ident`).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String/char/byte/numeric literal (contents deliberately dropped).
+    Literal,
+    /// Lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokKind,
+}
+
+/// A comment (line or block) with its text and starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Raw comment text including the delimiters.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Invalid input never panics: unrecognized bytes become
+/// `Punct` tokens and unterminated literals/comments end at EOF.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, kind: TokKind) {
+        self.out.tokens.push(Tok { line, kind });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string_literal(line);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident_or_prefixed_literal(line);
+            } else {
+                self.bump();
+                self.push(line, TokKind::Punct(c));
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    /// Consumes a `"…"` literal (escape-aware).
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(line, TokKind::Literal);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'x'`).
+    fn quote(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape + closing quote.
+                self.bump();
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(line, TokKind::Literal);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                // Lifetime: consume the identifier characters.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(line, TokKind::Lifetime);
+            }
+            Some(_) => {
+                // Plain char literal like 'x' or '('.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(line, TokKind::Literal);
+            }
+            None => self.push(line, TokKind::Literal),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Literal);
+    }
+
+    /// Identifier, keyword, raw identifier, or a `r"…"`/`b"…"`/`br#"…"#`
+    /// prefixed literal.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        // Raw/byte string prefixes must be checked before lexing the
+        // prefix as an identifier.
+        if let Some(consumed) = self.try_raw_or_byte_string() {
+            if consumed {
+                self.push(line, TokKind::Literal);
+                return;
+            }
+        }
+        // Raw identifier r#name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            let is_ident = self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_');
+            if is_ident {
+                self.bump();
+                self.bump();
+            }
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Ident(name));
+    }
+
+    /// Detects and consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `b'c'`. Returns `Some(true)` when a literal was consumed,
+    /// `None`/`Some(false)` otherwise.
+    fn try_raw_or_byte_string(&mut self) -> Option<bool> {
+        let c0 = self.peek(0)?;
+        let idx = match c0 {
+            'r' => 1usize,
+            'b' => {
+                if self.peek(1) == Some('r') {
+                    2
+                } else if self.peek(1) == Some('\'') {
+                    // Byte char literal b'x'.
+                    self.bump(); // b
+                    self.quote_byte();
+                    return Some(true);
+                } else if self.peek(1) == Some('"') {
+                    // Byte string b"…": consume prefix, then the string.
+                    self.bump();
+                    let line = self.line;
+                    self.string_literal(line);
+                    // string_literal already pushed a Literal token.
+                    self.out.tokens.pop();
+                    return Some(true);
+                } else {
+                    return Some(false);
+                }
+            }
+            _ => return Some(false),
+        };
+        // Count hashes after the r/br prefix.
+        let mut hashes = 0usize;
+        while self.peek(idx + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(idx + hashes) != Some('"') {
+            return Some(false);
+        }
+        // Consume prefix, hashes, opening quote.
+        for _ in 0..(idx + hashes + 1) {
+            self.bump();
+        }
+        // Consume until `"` followed by `hashes` hashes.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        Some(true)
+    }
+
+    /// Consumes a byte char literal body after the `b` prefix.
+    fn quote_byte(&mut self) {
+        self.bump(); // opening '
+        if self.peek(0) == Some('\\') {
+            self.bump();
+        }
+        self.bump(); // the char
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unwrap() here\n/* panic! */ let y;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert!(!idents("// unwrap()\nfoo").contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ids = idents(r#"let s = "don't unwrap() or panic!"; s.len()"#);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"thread_rng() \" inside\"#; after()";
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let literals = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ real");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ real"), vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn range_after_integer_is_not_a_float() {
+        let l = lex("for i in 0..10 {}");
+        let puncts: Vec<char> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(puncts.iter().filter(|&&c| c == '.').count() == 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! `scenerec-lint` — a static-analysis pass over the SceneRec workspace.
+//!
+//! PR 2 made bit-identical parallel training the repo's headline
+//! guarantee; this crate machine-checks the invariants that guarantee
+//! rests on. It lexes every `crates/*/src/**/*.rs` (no `syn` is
+//! available offline, so a purpose-built lexer in [`lexer`] provides the
+//! token stream) and enforces five rules (see [`rules`]):
+//!
+//! * **D1** — no iteration over `HashMap`/`HashSet` in numeric/data
+//!   crates: randomized iteration order leaks into Eq. 1–15 sums and the
+//!   mined graphs of Table 1.
+//! * **D2** — no unseeded RNG (`thread_rng`, `from_entropy`): every
+//!   random stream must be reproducible from a config seed.
+//! * **D3** — no `Instant::now`/`SystemTime::now` in model/data crates:
+//!   timing belongs to `scenerec_obs` spans and stopwatches.
+//! * **R1** — no `unwrap()`/`expect()`/`panic!` in library crates:
+//!   fallible paths must surface typed errors.
+//! * **R2** — every `unsafe` block carries a `// SAFETY:` comment.
+//!
+//! Violations can be suppressed per-line with `// lint:allow(RULE)` or
+//! per-file via the checked-in `lint.toml` allowlist. The binary exits
+//! nonzero when any violation remains, making it CI-gateable:
+//!
+//! ```text
+//! cargo run -p scenerec-lint            # lint the workspace
+//! cargo run -p scenerec-lint -- --list  # show files that would be linted
+//! ```
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use rules::{check_source, Violation};
+
+use std::path::Path;
+
+/// Lints the whole workspace rooted at `root`, using `lint.toml` when
+/// present. Returns all violations, sorted by file then line.
+pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let cfg_path = root.join("lint.toml");
+    let cfg = if cfg_path.is_file() {
+        let text = std::fs::read_to_string(&cfg_path)
+            .map_err(|e| format!("reading {}: {e}", cfg_path.display()))?;
+        Config::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Config::default()
+    };
+    let files = walk::workspace_sources(root).map_err(|e| format!("walking workspace: {e}"))?;
+    let mut out = Vec::new();
+    for rel in files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("reading {}: {e}", rel.display()))?;
+        out.extend(check_source(&rel_str, &src, &cfg));
+    }
+    Ok(out)
+}

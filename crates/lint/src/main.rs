@@ -1,0 +1,75 @@
+//! CLI entry point for `scenerec-lint`.
+
+use scenerec_lint::walk;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("scenerec-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut list_only = false;
+    for a in args {
+        match a.as_str() {
+            "--list" => list_only = true,
+            "--help" | "-h" => {
+                print_help();
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = walk::find_workspace_root(&cwd).map_err(|e| e.to_string())?;
+
+    if list_only {
+        let files = walk::workspace_sources(&root).map_err(|e| e.to_string())?;
+        for f in files {
+            println!("{}", f.display());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let violations = scenerec_lint::check_workspace(&root)?;
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("scenerec-lint: workspace clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "scenerec-lint: {} violation(s); suppress with `// lint:allow(RULE)` \
+             or the lint.toml allowlist only with justification",
+            violations.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_help() {
+    println!(
+        "scenerec-lint — determinism & reliability invariants for the SceneRec workspace
+
+USAGE:
+    cargo run -p scenerec-lint [-- --list]
+
+RULES:
+    D1  no HashMap/HashSet iteration in numeric/data crates
+    D2  no unseeded RNG (thread_rng / from_entropy) outside tests
+    D3  no Instant::now / SystemTime::now outside the obs crate
+    R1  no unwrap() / expect() / panic! in library crates
+    R2  unsafe blocks must carry a // SAFETY: comment
+
+Suppressions: `// lint:allow(RULE): reason` on or above the line, or a
+file-level entry in lint.toml under [allow]."
+    );
+}

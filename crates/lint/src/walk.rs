@@ -1,0 +1,78 @@
+//! Workspace discovery: find the root and enumerate lintable sources.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml found above the current directory",
+            ));
+        }
+    }
+}
+
+/// Every `crates/*/src/**/*.rs` under `root`, workspace-relative,
+/// sorted for deterministic diagnostics. `third_party/` (vendored
+/// stand-ins) and non-`src` trees are not walked.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(Path::to_path_buf).unwrap_or(p))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).unwrap();
+        assert!(root.join("crates").is_dir());
+        let files = workspace_sources(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|p| p.ends_with("crates/core/src/model.rs")));
+        assert!(!files.iter().any(|p| p.starts_with("third_party")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+}

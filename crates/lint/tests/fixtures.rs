@@ -1,0 +1,142 @@
+//! Fixture tests: every rule class must fire on its known-bad snippet
+//! and stay silent on clean code. The fixtures live under
+//! `crates/lint/fixtures/` and are never compiled — they are checked as
+//! if they lived at a library-source path in the relevant crate.
+
+use scenerec_lint::{check_source, Config};
+
+fn rules_fired(fixture: &str, as_path: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_source(as_path, fixture, &Config::default())
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d1_fixture_flags_hash_iteration() {
+    let v = check_source(
+        "crates/data/src/fixture.rs",
+        include_str!("../fixtures/bad_d1.rs"),
+        &Config::default(),
+    );
+    let d1: Vec<_> = v.iter().filter(|v| v.rule == "D1").collect();
+    assert_eq!(d1.len(), 3, "{v:?}");
+    // The point lookup at the bottom of the fixture must not fire.
+    assert!(v.iter().all(|v| v.rule == "D1"), "{v:?}");
+}
+
+#[test]
+fn d2_fixture_flags_unseeded_rng() {
+    let v = check_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/bad_d2.rs"),
+        &Config::default(),
+    );
+    let d2: Vec<_> = v.iter().filter(|v| v.rule == "D2").collect();
+    assert_eq!(d2.len(), 2, "{v:?}");
+}
+
+#[test]
+fn d3_fixture_flags_clocks() {
+    let v = check_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/bad_d3.rs"),
+        &Config::default(),
+    );
+    let d3: Vec<_> = v.iter().filter(|v| v.rule == "D3").collect();
+    assert_eq!(d3.len(), 2, "{v:?}");
+}
+
+#[test]
+fn r1_fixture_flags_aborts() {
+    let v = check_source(
+        "crates/graph/src/fixture.rs",
+        include_str!("../fixtures/bad_r1.rs"),
+        &Config::default(),
+    );
+    let r1: Vec<_> = v.iter().filter(|v| v.rule == "R1").collect();
+    assert_eq!(r1.len(), 3, "{v:?}");
+}
+
+#[test]
+fn r2_fixture_flags_undocumented_unsafe() {
+    let v = check_source(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/bad_r2.rs"),
+        &Config::default(),
+    );
+    let r2: Vec<_> = v.iter().filter(|v| v.rule == "R2").collect();
+    assert_eq!(r2.len(), 1, "exactly the undocumented block: {v:?}");
+}
+
+#[test]
+fn all_five_rule_classes_fire() {
+    let mut fired: Vec<&str> = Vec::new();
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_d1.rs"),
+        "crates/data/src/fixture.rs",
+    ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_d2.rs"),
+        "crates/core/src/fixture.rs",
+    ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_d3.rs"),
+        "crates/core/src/fixture.rs",
+    ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_r1.rs"),
+        "crates/graph/src/fixture.rs",
+    ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_r2.rs"),
+        "crates/tensor/src/fixture.rs",
+    ));
+    fired.sort_unstable();
+    fired.dedup();
+    assert_eq!(fired, vec!["D1", "D2", "D3", "R1", "R2"]);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let v = check_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/clean.rs"),
+        &Config::default(),
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn diagnostics_are_rustc_style() {
+    let v = check_source(
+        "crates/graph/src/fixture.rs",
+        include_str!("../fixtures/bad_r1.rs"),
+        &Config::default(),
+    );
+    let line = v[0].to_string();
+    assert!(
+        line.starts_with("crates/graph/src/fixture.rs:") && line.contains("error[R1]"),
+        "{line}"
+    );
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    // The acceptance gate: the lint exits 0 on this repository. Running
+    // it in-process here keeps the invariant under `cargo test` too.
+    let here = std::env::current_dir().expect("cwd");
+    let root = scenerec_lint::walk::find_workspace_root(&here).expect("workspace root");
+    let violations = scenerec_lint::check_workspace(&root).expect("lint run");
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -8,6 +8,7 @@
 
 use crate::event::{Event, Field, Level};
 use crate::sink::{Sink, StderrSink};
+use crate::sync::lock_unpoisoned;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -49,7 +50,7 @@ pub fn set_stderr_level(level: Level) {
 
 /// Attaches a sink; every subsequent event is offered to it.
 pub fn add_sink(sink: Arc<dyn Sink>) -> SinkHandle {
-    let mut t = table().lock().unwrap();
+    let mut t = lock_unpoisoned(table());
     let id = t.next_id;
     t.next_id += 1;
     t.sinks.push((id, sink));
@@ -59,7 +60,7 @@ pub fn add_sink(sink: Arc<dyn Sink>) -> SinkHandle {
 /// Detaches a previously added sink, flushing it first.
 pub fn remove_sink(handle: SinkHandle) {
     let removed = {
-        let mut t = table().lock().unwrap();
+        let mut t = lock_unpoisoned(table());
         t.sinks
             .iter()
             .position(|(id, _)| *id == handle.0)
@@ -80,7 +81,7 @@ pub fn emit(level: Level, target: &str, message: impl Into<String>, fields: Vec<
         StderrSink::new(stderr_level()).emit(&event);
     }
     let sinks: Vec<Arc<dyn Sink>> = {
-        let t = table().lock().unwrap();
+        let t = lock_unpoisoned(table());
         t.sinks.iter().map(|(_, s)| s.clone()).collect()
     };
     for s in sinks {

@@ -32,13 +32,16 @@ mod manifest;
 pub mod metrics;
 mod sink;
 mod span;
+mod sync;
 
 pub use dispatch::{add_sink, emit, remove_sink, set_stderr_level, SinkHandle};
 pub use event::{Event, Field, FieldValue, Level};
 pub use manifest::{git_revision, RunManifest};
 pub use metrics::{metrics_snapshot, reset_metrics, MetricsSnapshot};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
-pub use span::{record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard};
+pub use span::{
+    record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard, Stopwatch,
+};
 
 /// Emits a leveled event with structured fields.
 ///

@@ -4,8 +4,9 @@
 //! Handles are `Arc`s onto atomics, so recording is lock-free; the
 //! registry mutex is only taken on first registration and snapshots.
 
+use crate::sync::lock_unpoisoned;
 use serde::Value;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -163,9 +164,9 @@ impl Histogram {
 
 #[derive(Default)]
 struct Registry {
-    counters: HashMap<String, Arc<Counter>>,
-    gauges: HashMap<String, Arc<Gauge>>,
-    histograms: HashMap<String, Arc<Histogram>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -175,7 +176,7 @@ fn registry() -> &'static Mutex<Registry> {
 
 /// Fetches (registering on first use) the counter named `name`.
 pub fn counter(name: &str) -> Arc<Counter> {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_unpoisoned(registry());
     reg.counters
         .entry(name.to_string())
         .or_insert_with(|| Arc::new(Counter::default()))
@@ -184,7 +185,7 @@ pub fn counter(name: &str) -> Arc<Counter> {
 
 /// Fetches (registering on first use) the gauge named `name`.
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_unpoisoned(registry());
     reg.gauges
         .entry(name.to_string())
         .or_insert_with(|| Arc::new(Gauge::default()))
@@ -195,7 +196,7 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// the given bucket edges. Edges are fixed by the first registration;
 /// later calls reuse the existing histogram.
 pub fn histogram(name: &str, edges: &[f64]) -> Arc<Histogram> {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_unpoisoned(registry());
     reg.histograms
         .entry(name.to_string())
         .or_insert_with(|| Arc::new(Histogram::new(edges)))
@@ -284,20 +285,20 @@ impl MetricsSnapshot {
 
 /// Snapshots every registered metric.
 pub fn metrics_snapshot() -> MetricsSnapshot {
-    let reg = registry().lock().unwrap();
-    let mut counters: Vec<(String, u64)> = reg
+    // The registry maps are BTreeMaps, so each section comes out
+    // already sorted by name — deterministic without a post-sort.
+    let reg = lock_unpoisoned(registry());
+    let counters: Vec<(String, u64)> = reg
         .counters
         .iter()
         .map(|(k, c)| (k.clone(), c.get()))
         .collect();
-    counters.sort();
-    let mut gauges: Vec<(String, f64)> = reg
+    let gauges: Vec<(String, f64)> = reg
         .gauges
         .iter()
         .map(|(k, g)| (k.clone(), g.get()))
         .collect();
-    gauges.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut histograms: Vec<HistogramSnapshot> = reg
+    let histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .iter()
         .map(|(k, h)| HistogramSnapshot {
@@ -310,7 +311,6 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
             p99: h.quantile(0.99),
         })
         .collect();
-    histograms.sort_by(|a, b| a.name.cmp(&b.name));
     MetricsSnapshot {
         counters,
         gauges,
@@ -321,7 +321,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 /// Clears the metrics registry. Existing handles keep working but are
 /// detached from future snapshots.
 pub fn reset_metrics() {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_unpoisoned(registry());
     reg.counters.clear();
     reg.gauges.clear();
     reg.histograms.clear();

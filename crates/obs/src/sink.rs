@@ -1,6 +1,7 @@
 //! Event sinks: stderr text logger, JSONL writer, in-memory capture.
 
 use crate::event::{Event, Level};
+use crate::sync::lock_unpoisoned;
 use serde::Value;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -81,12 +82,12 @@ impl Sink for JsonlSink {
             return;
         }
         let line = serde_json::to_string(&event.to_value()).unwrap_or_default();
-        let mut w = self.writer.lock().unwrap();
+        let mut w = lock_unpoisoned(&self.writer);
         let _ = writeln!(w, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap().flush();
+        let _ = lock_unpoisoned(&self.writer).flush();
     }
 }
 
@@ -105,9 +106,7 @@ impl MemorySink {
 
     /// All captured events, in emission order.
     pub fn events(&self) -> Vec<Event> {
-        self.events
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.events)
             .iter()
             .map(|(_, e)| e.clone())
             .collect()
@@ -116,9 +115,7 @@ impl MemorySink {
     /// Captured events emitted by the calling thread.
     pub fn events_for_current_thread(&self) -> Vec<Event> {
         let me = std::thread::current().id();
-        self.events
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.events)
             .iter()
             .filter(|(tid, _)| *tid == me)
             .map(|(_, e)| e.clone())
@@ -128,10 +125,7 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn emit(&self, event: &Event) {
-        self.events
-            .lock()
-            .unwrap()
-            .push((std::thread::current().id(), event.clone()));
+        lock_unpoisoned(&self.events).push((std::thread::current().id(), event.clone()));
     }
 }
 

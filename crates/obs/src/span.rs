@@ -6,7 +6,8 @@
 //! epoch granularity — accumulate per-sample costs locally and report
 //! them once via [`record_duration`].
 
-use std::collections::HashMap;
+use crate::sync::lock_unpoisoned;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -18,9 +19,9 @@ struct PhaseStat {
     max_ns: u64,
 }
 
-fn registry() -> &'static Mutex<HashMap<String, PhaseStat>> {
-    static REG: OnceLock<Mutex<HashMap<String, PhaseStat>>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(HashMap::new()))
+fn registry() -> &'static Mutex<BTreeMap<String, PhaseStat>> {
+    static REG: OnceLock<Mutex<BTreeMap<String, PhaseStat>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Aggregated wall-time statistics for one named phase.
@@ -86,6 +87,54 @@ impl Drop for SpanGuard {
     }
 }
 
+/// A monotonic timer for code that needs raw elapsed time rather than
+/// a named registry entry (per-phase accounting in the trainer, event
+/// payload fields, …).
+///
+/// Model/data crates use this instead of calling `Instant::now()`
+/// directly so that every clock read goes through the obs layer —
+/// `scenerec-lint` rule D3 enforces exactly that.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    mark: Instant,
+}
+
+impl Stopwatch {
+    /// Starts (or restarts) the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            mark: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start (or the last [`Self::lap_ns`]).
+    pub fn elapsed(&self) -> Duration {
+        self.mark.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating into `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.mark.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Elapsed seconds as a float (for event payloads).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.mark.elapsed().as_secs_f64()
+    }
+
+    /// Returns the nanoseconds since the previous mark and restarts the
+    /// clock — for chained per-phase accounting in a loop.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now
+            .duration_since(self.mark)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.mark = now;
+        ns
+    }
+}
+
 /// Opens a scoped timer for `name`.
 pub fn span(name: impl Into<String>) -> SpanGuard {
     SpanGuard {
@@ -97,7 +146,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
 /// Records an externally measured duration under `name`.
 pub fn record_duration(name: impl Into<String>, elapsed: Duration) {
     let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_unpoisoned(registry());
     let stat = reg.entry(name.into()).or_default();
     if stat.count == 0 {
         stat.min_ns = ns;
@@ -110,11 +159,11 @@ pub fn record_duration(name: impl Into<String>, elapsed: Duration) {
     stat.total_ns = stat.total_ns.saturating_add(ns);
 }
 
-/// Snapshot of all recorded phases, sorted by name.
+/// Snapshot of all recorded phases, sorted by name (the registry is a
+/// `BTreeMap`, so iteration order is already deterministic).
 pub fn timing_snapshot() -> Vec<PhaseTiming> {
-    let reg = registry().lock().unwrap();
-    let mut out: Vec<PhaseTiming> = reg
-        .iter()
+    let reg = lock_unpoisoned(registry());
+    reg.iter()
         .map(|(name, s)| PhaseTiming {
             name: name.clone(),
             count: s.count,
@@ -122,15 +171,13 @@ pub fn timing_snapshot() -> Vec<PhaseTiming> {
             min_ns: s.min_ns,
             max_ns: s.max_ns,
         })
-        .collect();
-    out.sort_by(|a, b| a.name.cmp(&b.name));
-    out
+        .collect()
 }
 
 /// Clears the timing registry (intended for tests and between bench
 /// configurations).
 pub fn reset_timings() {
-    registry().lock().unwrap().clear();
+    lock_unpoisoned(registry()).clear();
 }
 
 #[cfg(test)]

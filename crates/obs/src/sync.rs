@@ -1,0 +1,12 @@
+//! Internal synchronization helpers.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard when a panicking thread poisoned the
+/// mutex. Telemetry state (sink tables, metric registries, timing
+/// stats) stays usable after a worker panic — observability must never
+/// abort the program it observes, and every registry write is a simple
+/// insert/update that cannot leave the table half-modified.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -42,7 +42,7 @@ const KC: usize = 256;
 const MADDS_PER_THREAD: usize = 1 << 21;
 
 /// Picks a thread count for an `m x k x n` product: one thread per
-/// [`MADDS_PER_THREAD`] multiply-adds, capped by `m` and the hardware.
+/// `MADDS_PER_THREAD` multiply-adds, capped by `m` and the hardware.
 pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
     let madds = m.saturating_mul(n).saturating_mul(k);
     (madds / MADDS_PER_THREAD)
@@ -202,8 +202,8 @@ fn micro_kernel(
     {
         // Fixed-size array views: LLVM sees the exact trip counts, drops
         // the bounds checks, and keeps `acc` in vector registers.
-        let a_word: &[f32; MR] = a_word.try_into().unwrap();
-        let b_word: &[f32; NR] = b_word.try_into().unwrap();
+        let a_word: &[f32; MR] = a_word.try_into().unwrap(); // lint:allow(R1): chunks_exact(MR) slice
+        let b_word: &[f32; NR] = b_word.try_into().unwrap(); // lint:allow(R1): chunks_exact(NR) slice
         for lane in 0..MR {
             let a_ip = a_word[lane];
             let row = &mut acc[lane];

@@ -52,6 +52,7 @@ impl Initializer {
                 (0..n).map(|_| d.sample(rng)).collect()
             }
         };
+        // lint:allow(R1): every arm fills exactly n = rows*cols values
         Matrix::from_vec(rows, cols, data).expect("init buffer length is rows*cols")
     }
 }

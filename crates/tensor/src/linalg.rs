@@ -49,7 +49,7 @@ pub fn try_matmul(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
 
 /// `C = A * B`, panicking on shape mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    try_matmul(a, b).expect("matmul shape mismatch")
+    try_matmul(a, b).expect("matmul shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// The pre-optimization seed matmul (ikj loop with a per-element zero-skip
@@ -108,7 +108,7 @@ pub fn try_matmul_at(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
 
 /// `C = A^T * B`, panicking on shape mismatch.
 pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
-    try_matmul_at(a, b).expect("matmul_at shape mismatch")
+    try_matmul_at(a, b).expect("matmul_at shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// `C = A * B^T` without materializing `B^T` (shape-checked): `A` is
@@ -141,7 +141,7 @@ pub fn try_matmul_bt(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
 
 /// `C = A * B^T`, panicking on shape mismatch.
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    try_matmul_bt(a, b).expect("matmul_bt shape mismatch")
+    try_matmul_bt(a, b).expect("matmul_bt shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// `y = A * x` for a column vector `x` given as a slice; returns `Vec` of
@@ -158,7 +158,7 @@ pub fn try_matvec(a: &Matrix, x: &[f32]) -> TensorResult<Vec<f32>> {
 
 /// `y = A * x`, panicking on shape mismatch.
 pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
-    try_matvec(a, x).expect("matvec shape mismatch")
+    try_matvec(a, x).expect("matvec shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// `y = A^T * x` without materializing the transpose; `x.len()` must equal
@@ -182,7 +182,7 @@ pub fn try_matvec_t(a: &Matrix, x: &[f32]) -> TensorResult<Vec<f32>> {
 
 /// `y = A^T * x`, panicking on shape mismatch.
 pub fn matvec_t(a: &Matrix, x: &[f32]) -> Vec<f32> {
-    try_matvec_t(a, x).expect("matvec_t shape mismatch")
+    try_matvec_t(a, x).expect("matvec_t shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// Dot product of two equal-length slices.
@@ -252,17 +252,17 @@ pub fn try_hadamard(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
 
 /// Element-wise `A + B`, panicking on shape mismatch.
 pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
-    try_add(a, b).expect("add shape mismatch")
+    try_add(a, b).expect("add shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// Element-wise `A - B`, panicking on shape mismatch.
 pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
-    try_sub(a, b).expect("sub shape mismatch")
+    try_sub(a, b).expect("sub shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// Element-wise product, panicking on shape mismatch.
 pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
-    try_hadamard(a, b).expect("hadamard shape mismatch")
+    try_hadamard(a, b).expect("hadamard shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 fn elementwise(
@@ -317,7 +317,7 @@ pub fn try_add_scaled(a: &mut Matrix, alpha: f32, b: &Matrix) -> TensorResult<()
 
 /// `A += alpha * B`, panicking on shape mismatch.
 pub fn add_scaled(a: &mut Matrix, alpha: f32, b: &Matrix) {
-    try_add_scaled(a, alpha, b).expect("add_scaled shape mismatch")
+    try_add_scaled(a, alpha, b).expect("add_scaled shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
 /// Euclidean (L2) norm of a slice.

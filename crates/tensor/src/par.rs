@@ -35,7 +35,12 @@ where
         let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || f(w))).collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise the worker's panic on the caller with its
+                // original payload instead of a generic join error.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

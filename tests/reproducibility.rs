@@ -1,0 +1,85 @@
+//! End-to-end reproducibility: the artifact-level guarantee that lint
+//! rules D1/D2 enforce at the source level — same seed, same bytes.
+//!
+//! Each run builds its dataset, model, and RNG state from scratch, so a
+//! `HashMap` iteration order or an unseeded RNG leaking anywhere into
+//! generation, mining, or training shows up here as a byte difference
+//! (every `HashMap` instance gets its own random hash seed, even within
+//! one process).
+
+use scenerec_core::checkpoint;
+use scenerec_core::trainer::{train, OptimizerKind, TrainConfig};
+use scenerec_core::{SceneRec, SceneRecConfig};
+use scenerec_data::mining::{mine_scenes, CoOccurrence, MiningConfig};
+use scenerec_data::{generate, Dataset, GeneratorConfig};
+use std::path::PathBuf;
+
+fn fresh_dataset() -> Dataset {
+    generate(&GeneratorConfig::tiny(2026)).unwrap()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("scenerec-repro-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn generated_datasets_are_byte_identical() {
+    let a = serde_json::to_string(&fresh_dataset()).unwrap();
+    let b = serde_json::to_string(&fresh_dataset()).unwrap();
+    assert_eq!(a, b, "same seed must generate byte-identical datasets");
+}
+
+#[test]
+fn mined_scene_graphs_are_byte_identical() {
+    let run = || {
+        let data = fresh_dataset();
+        let co = CoOccurrence::from_scene_graph(&data.scene_graph);
+        let scenes = mine_scenes(
+            &co,
+            &MiningConfig {
+                min_affinity: 0.1,
+                ..MiningConfig::default()
+            },
+        );
+        (
+            serde_json::to_string(&co).unwrap(),
+            serde_json::to_string(&data.scene_graph).unwrap(),
+            scenes,
+        )
+    };
+    let (co_a, graph_a, scenes_a) = run();
+    let (co_b, graph_b, scenes_b) = run();
+    assert_eq!(co_a, co_b, "co-view counts must serialize identically");
+    assert_eq!(graph_a, graph_b, "scene graphs must serialize identically");
+    assert_eq!(scenes_a, scenes_b, "mined scenes must match exactly");
+}
+
+#[test]
+fn twice_trained_checkpoints_are_byte_identical() {
+    let cfg = TrainConfig {
+        epochs: 1,
+        learning_rate: 5e-3,
+        lambda: 1e-6,
+        optimizer: OptimizerKind::RmsProp,
+        eval_every: 0,
+        patience: 0,
+        threads: 2,
+        ..TrainConfig::default()
+    };
+    let run = |tag: &str| -> Vec<u8> {
+        let data = fresh_dataset();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(7), &data);
+        train(&mut model, &data, &cfg);
+        let path = tmp_path(tag);
+        checkpoint::save(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let first = run("first.json");
+    let second = run("second.json");
+    assert_eq!(
+        first, second,
+        "one-epoch training with the same seed must checkpoint byte-for-byte identically"
+    );
+}
