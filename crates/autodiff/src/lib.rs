@@ -61,4 +61,5 @@ pub mod optim;
 pub mod param;
 
 pub use graph::{Act, Graph, Var};
+pub use optim::{OptimSlot, OptimState, Optimizer};
 pub use param::{GradStore, ParamId, ParamKind, ParamStore};

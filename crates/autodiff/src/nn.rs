@@ -70,6 +70,12 @@ impl Dense {
     pub fn bias(&self) -> ParamId {
         self.b
     }
+
+    /// The layer's activation (the serving path freezes layers into plain
+    /// matrices and must replay the exact same nonlinearity).
+    pub fn act(&self) -> Act {
+        self.act
+    }
 }
 
 /// A multi-layer perceptron: hidden layers with a shared activation, plus a
@@ -141,6 +147,12 @@ impl Mlp {
     /// Output dimension of the last layer.
     pub fn out_dim(&self) -> usize {
         self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// The layers in application order (read-only; used by checkpoint
+    /// export and the frozen serving engine).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
     }
 }
 

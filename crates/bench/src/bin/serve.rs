@@ -1,0 +1,250 @@
+//! Serving throughput report: per-request tape scoring (`top_k_unseen`)
+//! vs the frozen batched engine (`scenerec-serve`) replaying the same
+//! request log at several worker counts.
+//!
+//! ```text
+//! cargo run -p scenerec-bench --bin serve --release -- \
+//!     [--requests 2000] [--baseline-requests 200] [--k 10] \
+//!     [--workers 1,2,4] [--epochs 2] [--out results/BENCH_serve.json]
+//! ```
+//!
+//! Before timing anything the binary asserts engine/tape parity on a few
+//! users, so the reported speedup compares paths that provably return
+//! the same recommendations. Writes a `BENCH_serve.json` run manifest
+//! with baseline and per-worker-count throughput, freeze cost, and
+//! latency p50/p99 from the serve-side histograms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenerec_bench::cli::Args;
+use scenerec_bench::HarnessConfig;
+use scenerec_core::trainer::train;
+use scenerec_core::{top_k_unseen, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, DatasetProfile};
+use scenerec_graph::UserId;
+use scenerec_obs::{metrics, reset_metrics, RunManifest};
+use scenerec_serve::{replay, EngineConfig, FrozenEngine, ReplayConfig, Request};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Must match the scheduler's latency histogram registration.
+const LATENCY_EDGES: [f64; 15] = [
+    1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
+];
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeConfig {
+    requests: usize,
+    baseline_requests: usize,
+    k: usize,
+    workers: Vec<usize>,
+    epochs: usize,
+    num_users: u32,
+    num_items: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Throughput {
+    requests: usize,
+    total_ns: u64,
+    per_request_ns: f64,
+    requests_per_sec: f64,
+}
+
+impl Throughput {
+    fn from_run(requests: usize, total_ns: u64) -> Self {
+        Throughput {
+            requests,
+            total_ns,
+            per_request_ns: total_ns as f64 / requests.max(1) as f64,
+            requests_per_sec: requests as f64 / (total_ns as f64 / 1e9),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkerRun {
+    workers: usize,
+    cold: Throughput,
+    warm: Throughput,
+    cold_latency_p50_ns: f64,
+    cold_latency_p99_ns: f64,
+    speedup_vs_baseline: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeResults {
+    baseline: Throughput,
+    freeze_ns: u64,
+    runs: Vec<WorkerRun>,
+    best_speedup_vs_baseline: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let hc = HarnessConfig::default();
+    let num_requests: usize = args.get_or("requests", 2000);
+    let baseline_requests: usize = args.get_or("baseline-requests", 200);
+    let k: usize = args.get_or("k", hc.k);
+    let epochs: usize = args.get_or("epochs", 2);
+    let workers: Vec<usize> = args
+        .get("workers")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--workers wants comma-separated ints")
+        })
+        .collect();
+
+    let data = generate(&DatasetProfile::Electronics.config(hc.scale, hc.data_seed))
+        .unwrap_or_else(|e| panic!("dataset generation: {e}"));
+    println!(
+        "Electronics @ {:?}: {} users, {} items",
+        hc.scale,
+        data.num_users(),
+        data.num_items()
+    );
+
+    let mut model = SceneRec::new(
+        SceneRecConfig::default()
+            .with_dim(hc.dim)
+            .with_seed(hc.model_seed),
+        &data,
+    );
+    let mut tc = hc.train_config();
+    tc.epochs = epochs;
+    tc.eval_every = 0;
+    tc.patience = 0;
+    let t = Instant::now();
+    train(&mut model, &data, &tc);
+    println!(
+        "trained {epochs} epoch(s) in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    // Freeze (timed: it is the engine's startup cost).
+    let t = Instant::now();
+    let engine = FrozenEngine::from_model(&model, &data, EngineConfig::default())
+        .unwrap_or_else(|e| panic!("freeze: {e}"));
+    let freeze_ns = t.elapsed().as_nanos() as u64;
+    println!("froze model in {:.1}ms", freeze_ns as f64 / 1e6);
+
+    // Parity guard: the two paths must agree before we compare speed.
+    for user in [0u32, 1, data.num_users() / 2, data.num_users() - 1] {
+        let served = engine
+            .top_k(user, k)
+            .unwrap_or_else(|e| panic!("top_k: {e}"));
+        let tape = top_k_unseen(&model, &data, UserId(user), k);
+        assert_eq!(served.len(), tape.len(), "user {user}: length mismatch");
+        for (a, b) in served.iter().zip(&tape) {
+            assert_eq!(a.item, b.item, "user {user}: item mismatch");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "user {user}: score bits mismatch"
+            );
+        }
+    }
+    engine.clear_cache();
+    println!("parity guard passed (engine == tape on sampled users)\n");
+
+    // One seeded request log drives everything.
+    let mut rng = StdRng::seed_from_u64(hc.data_seed);
+    let requests: Vec<Request> = (0..num_requests)
+        .map(|_| Request {
+            user: rng.gen_range(0..data.num_users()),
+            k,
+        })
+        .collect();
+
+    // Baseline: the training-side per-request path on a capped prefix
+    // (the tape rebuilds the full graph per request; at full log length
+    // the baseline alone would dominate the run).
+    let baseline_n = baseline_requests.clamp(1, requests.len());
+    let mut sink = 0usize;
+    let t = Instant::now();
+    for req in &requests[..baseline_n] {
+        sink += top_k_unseen(&model, &data, UserId(req.user), req.k).len();
+    }
+    let baseline = Throughput::from_run(baseline_n, t.elapsed().as_nanos() as u64);
+    assert!(sink > 0);
+    println!(
+        "baseline (tape, per-request): {:>10.0} req/s  ({:.2} ms/req over {} reqs)",
+        baseline.requests_per_sec,
+        baseline.per_request_ns / 1e6,
+        baseline_n
+    );
+
+    let mut runs = Vec::new();
+    for &w in &workers {
+        let cfg = ReplayConfig {
+            workers: w,
+            max_batch: 32,
+        };
+        // Cold: empty cache, fresh metrics so the histogram covers
+        // exactly this run.
+        engine.clear_cache();
+        reset_metrics();
+        let t = Instant::now();
+        let responses = replay(&engine, &requests, &cfg);
+        let cold = Throughput::from_run(responses.len(), t.elapsed().as_nanos() as u64);
+        let latency = metrics::histogram("serve/latency_ns", &LATENCY_EDGES);
+        let (p50, p99) = (latency.quantile(0.5), latency.quantile(0.99));
+
+        // Warm: same log again with the cache populated.
+        let t = Instant::now();
+        let responses = replay(&engine, &requests, &cfg);
+        let warm = Throughput::from_run(responses.len(), t.elapsed().as_nanos() as u64);
+
+        let speedup = cold.requests_per_sec / baseline.requests_per_sec;
+        println!(
+            "engine  workers={w}: cold {:>10.0} req/s ({speedup:>7.1}x)  warm {:>10.0} req/s  p50 {:.1}µs p99 {:.1}µs",
+            cold.requests_per_sec,
+            warm.requests_per_sec,
+            p50 / 1e3,
+            p99 / 1e3,
+        );
+        runs.push(WorkerRun {
+            workers: w,
+            cold,
+            warm,
+            cold_latency_p50_ns: p50,
+            cold_latency_p99_ns: p99,
+            speedup_vs_baseline: speedup,
+        });
+    }
+
+    let best = runs
+        .iter()
+        .map(|r| r.speedup_vs_baseline)
+        .fold(0.0f64, f64::max);
+    println!("\nbest cold speedup vs per-request tape: {best:.1}x");
+
+    let results = ServeResults {
+        baseline,
+        freeze_ns,
+        runs,
+        best_speedup_vs_baseline: best,
+    };
+    let out = args.get("out").unwrap_or("results/BENCH_serve.json");
+    let manifest = RunManifest::new("serve")
+        .with_config(&ServeConfig {
+            requests: num_requests,
+            baseline_requests: baseline_n,
+            k,
+            workers,
+            epochs,
+            num_users: data.num_users(),
+            num_items: data.num_items(),
+        })
+        .with_seed(hc.data_seed)
+        .with_scale(format!("{:?}", hc.scale).to_ascii_lowercase())
+        .with_results(&results)
+        .capture_telemetry();
+    manifest
+        .write_json(out)
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[serve] wrote {out}");
+}

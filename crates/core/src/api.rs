@@ -5,6 +5,7 @@
 //! optimization, evaluation — is generic over this trait, guaranteeing
 //! that Table 2's comparison uses the identical protocol for all ten rows.
 
+use crate::freeze::FrozenModel;
 use scenerec_autodiff::{Graph, ParamStore, Var};
 use scenerec_eval::Scorer;
 use scenerec_graph::{ItemId, UserId};
@@ -40,6 +41,17 @@ pub trait PairwiseModel {
         let mut g = Graph::new(self.store());
         let vars = self.build_scores(&mut g, user, items);
         vars.into_iter().map(|v| g.scalar(v)).collect()
+    }
+
+    /// Exports a dense, tape-free snapshot for the serving engine
+    /// (`scenerec-serve`), or `None` when the model does not support
+    /// freezing.
+    ///
+    /// Implementations must guarantee **exact** f32 parity: scoring the
+    /// frozen snapshot through `scenerec_tensor::score::score_bt` must
+    /// reproduce [`PairwiseModel::score_values`] bit for bit.
+    fn freeze(&self) -> Option<FrozenModel> {
+        None
     }
 }
 

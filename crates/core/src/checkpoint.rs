@@ -6,18 +6,32 @@
 //! the stored parameters are validated against it (names, shapes, order)
 //! before being swapped in — a mismatched dataset or config fails loudly
 //! instead of silently mis-indexing embeddings.
+//!
+//! ## Round-trip guarantees
+//!
+//! * **f32 values are lossless**: floats serialize through an exact f32→f64
+//!   widening and a shortest-round-trip decimal rendering, so
+//!   save → load → save produces byte-identical files (pinned by the
+//!   `save_load_save_is_byte_identical` test).
+//! * **Optimizer state is preserved** (format v2): RMSProp's `cache`,
+//!   Adam's `m`/`v`/`t` and Momentum's `velocity` ride along as an
+//!   optional [`OptimState`]. Version-1 checkpoints (no optimizer field)
+//!   still load; resuming from them restarts moment estimates from zero.
 
 use crate::config::SceneRecConfig;
 use crate::model::SceneRec;
 use crate::PairwiseModel;
-use scenerec_autodiff::ParamStore;
+use scenerec_autodiff::{OptimState, ParamStore};
 use scenerec_data::Dataset;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Oldest checkpoint format version this build can still load.
+pub const CHECKPOINT_MIN_VERSION: u32 = 1;
 
 /// A serializable snapshot of a trained SceneRec model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,6 +42,9 @@ pub struct Checkpoint {
     pub config: SceneRecConfig,
     /// All trained parameters.
     pub params: ParamStore,
+    /// Optimizer state for exact training resume (absent in v1 files and
+    /// in checkpoints saved without one).
+    pub optimizer: Option<OptimState>,
 }
 
 /// Errors raised on checkpoint load.
@@ -57,15 +74,28 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Saves `model` to `path` as JSON.
+/// Saves `model` to `path` as JSON (no optimizer state).
 ///
 /// # Errors
 /// Filesystem and serialization failures.
 pub fn save(model: &SceneRec, path: &Path) -> Result<(), CheckpointError> {
+    save_with_optimizer(model, None, path)
+}
+
+/// Saves `model` plus the optimizer state (when given) to `path` as JSON.
+///
+/// # Errors
+/// Filesystem and serialization failures.
+pub fn save_with_optimizer(
+    model: &SceneRec,
+    optimizer: Option<&OptimState>,
+    path: &Path,
+) -> Result<(), CheckpointError> {
     let ckpt = Checkpoint {
         version: CHECKPOINT_VERSION,
         config: model.config().clone(),
         params: model.store().clone(),
+        optimizer: optimizer.cloned(),
     };
     let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Io(e.to_string()))?;
     fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
@@ -77,16 +107,30 @@ pub fn save(model: &SceneRec, path: &Path) -> Result<(), CheckpointError> {
 /// See [`CheckpointError`]; in particular, loading against a dataset with
 /// different universe sizes is rejected.
 pub fn load(path: &Path, data: &Dataset) -> Result<SceneRec, CheckpointError> {
+    load_with_optimizer(path, data).map(|(model, _)| model)
+}
+
+/// Loads a checkpoint plus its optimizer state (when present).
+///
+/// Accepts format versions [`CHECKPOINT_MIN_VERSION`]..=[`CHECKPOINT_VERSION`];
+/// v1 files predate optimizer state and yield `None`.
+///
+/// # Errors
+/// See [`CheckpointError`].
+pub fn load_with_optimizer(
+    path: &Path,
+    data: &Dataset,
+) -> Result<(SceneRec, Option<OptimState>), CheckpointError> {
     let json = fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
     let ckpt: Checkpoint =
         serde_json::from_str(&json).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    if ckpt.version != CHECKPOINT_VERSION {
+    if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&ckpt.version) {
         return Err(CheckpointError::BadVersion(ckpt.version));
     }
     let mut model = SceneRec::new(ckpt.config, data);
     validate_topology(model.store(), &ckpt.params)?;
     *model.store_mut() = ckpt.params;
-    Ok(model)
+    Ok((model, ckpt.optimizer))
 }
 
 fn validate_topology(fresh: &ParamStore, stored: &ParamStore) -> Result<(), CheckpointError> {
@@ -175,6 +219,7 @@ mod tests {
             version: 99,
             config: model.config().clone(),
             params: model.store().clone(),
+            optimizer: None,
         };
         let path = tmp("model3.json");
         std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
@@ -190,5 +235,68 @@ mod tests {
         let data = generate(&GeneratorConfig::tiny(75)).unwrap();
         let err = load(Path::new("/nonexistent/model.json"), &data).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    /// save → load → save must be byte-identical, **including** the
+    /// optimizer state: any lossy f32 rendering or dropped field would
+    /// show up as a diff here.
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        use crate::trainer::{make_optimizer, train_with_optimizer};
+
+        let data = generate(&GeneratorConfig::tiny(76)).unwrap();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let cfg = TrainConfig {
+            epochs: 2,
+            eval_every: 0,
+            patience: 0,
+            threads: 2,
+            ..TrainConfig::default()
+        };
+        let mut opt = make_optimizer(&cfg);
+        train_with_optimizer(&mut model, &data, &cfg, opt.as_mut());
+        let state = opt.export_state();
+        assert!(
+            !state.slots.is_empty(),
+            "RMSProp after training must have cache state"
+        );
+
+        let first = tmp("roundtrip_a.json");
+        let second = tmp("roundtrip_b.json");
+        save_with_optimizer(&model, Some(&state), &first).unwrap();
+        let (restored, restored_state) = load_with_optimizer(&first, &data).unwrap();
+        save_with_optimizer(&restored, restored_state.as_ref(), &second).unwrap();
+        let a = std::fs::read(&first).unwrap();
+        let b = std::fs::read(&second).unwrap();
+        assert_eq!(a, b, "save → load → save changed the bytes");
+
+        // The restored state must resume the optimizer it came from.
+        let mut resumed = make_optimizer(&cfg);
+        resumed
+            .import_state(restored_state.as_ref().unwrap())
+            .unwrap();
+        assert_eq!(resumed.export_state(), state);
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+
+    /// Version-1 checkpoints predate the `optimizer` field; they must
+    /// still load (with no optimizer state).
+    #[test]
+    fn v1_checkpoint_without_optimizer_field_loads() {
+        let data = generate(&GeneratorConfig::tiny(77)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let path = tmp("v1.json");
+        save(&model, &path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let v1 = json
+            .replace("\"version\":2", "\"version\":1")
+            .replace(",\"optimizer\":null", "");
+        assert_ne!(json, v1, "fixture edit did not apply");
+        std::fs::write(&path, v1).unwrap();
+        let (restored, state) = load_with_optimizer(&path, &data).unwrap();
+        assert!(state.is_none());
+        assert_eq!(restored.config().dim, 8);
+        std::fs::remove_file(&path).ok();
     }
 }

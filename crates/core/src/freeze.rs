@@ -1,0 +1,192 @@
+//! Frozen-model export: the dense, tape-free snapshot a serving engine
+//! loads.
+//!
+//! Training-side scoring rebuilds the full Eq. 1–14 computation graph per
+//! request; at serving time the graph-structured parts are **pure
+//! functions of the trained parameters** — the user representation `m_u`
+//! (Eq. 1) and the fused item representation `m_i` (Eq. 13) never depend
+//! on the candidate pairing. Freezing evaluates them once per entity on
+//! the ordinary tape (so the values are bit-identical to what
+//! `score_values` would compute) and stores them as contiguous row-major
+//! matrices, leaving only the pairing head (Eq. 14's rating MLP, or a dot
+//! product for embedding baselines) to run per request.
+//!
+//! The head is replayed with `scenerec_tensor::score::score_bt`, whose
+//! per-element reduction order matches the tape's `affine` operator, so a
+//! frozen engine reproduces `PairwiseModel::score_values` **bit for bit**
+//! (see `tests/serving_parity.rs`).
+
+use scenerec_autodiff::Act;
+use scenerec_tensor::Matrix;
+
+/// One frozen dense layer `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+pub struct FrozenLayer {
+    /// Weight matrix, `out_dim x in_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+    /// Activation applied element-wise after the affine map.
+    pub act: Act,
+}
+
+/// How a frozen model pairs a user row with an item row.
+#[derive(Debug, Clone)]
+pub enum FrozenHead {
+    /// `score = u · i + bias[item]` — embedding-dot baselines (BPR-MF).
+    DotBias {
+        /// Per-item additive bias (zeros when the model has none).
+        bias: Vec<f32>,
+    },
+    /// `score = MLP([u ‖ i])` — SceneRec's Eq. 14 rating head.
+    Mlp {
+        /// Layers in application order; the last outputs a single scalar.
+        layers: Vec<FrozenLayer>,
+    },
+}
+
+/// A tape-free snapshot of a trained [`crate::PairwiseModel`].
+///
+/// `users.row(u)` and `items.row(i)` are the final per-entity
+/// representations; [`FrozenModel::head`] tells the engine how to combine
+/// a pair into a preference score.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    /// Source model's display name.
+    pub name: String,
+    /// One row per user.
+    pub users: Matrix,
+    /// One row per item.
+    pub items: Matrix,
+    /// The pairing head.
+    pub head: FrozenHead,
+}
+
+impl FrozenModel {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.rows()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.items.rows()
+    }
+
+    /// Checks internal consistency (dimensions of head vs. embeddings).
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let (du, di) = (self.users.cols(), self.items.cols());
+        match &self.head {
+            FrozenHead::DotBias { bias } => {
+                if du != di {
+                    return Err(format!("dot head with user dim {du} vs item dim {di}"));
+                }
+                if bias.len() != self.items.rows() {
+                    return Err(format!(
+                        "bias length {} vs {} items",
+                        bias.len(),
+                        self.items.rows()
+                    ));
+                }
+            }
+            FrozenHead::Mlp { layers } => {
+                let Some(first) = layers.first() else {
+                    return Err("MLP head with no layers".to_owned());
+                };
+                if first.w.cols() != du + di {
+                    return Err(format!(
+                        "MLP head expects input {} but [u ‖ i] has {}",
+                        first.w.cols(),
+                        du + di
+                    ));
+                }
+                let mut dim = first.w.cols();
+                for (idx, layer) in layers.iter().enumerate() {
+                    if layer.w.cols() != dim {
+                        return Err(format!(
+                            "layer {idx} expects input {} but receives {dim}",
+                            layer.w.cols()
+                        ));
+                    }
+                    if layer.b.len() != layer.w.rows() {
+                        return Err(format!(
+                            "layer {idx} bias length {} vs {} outputs",
+                            layer.b.len(),
+                            layer.w.rows()
+                        ));
+                    }
+                    dim = layer.w.rows();
+                }
+                if dim != 1 {
+                    return Err(format!("MLP head outputs {dim} values, want a scalar"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_model() -> FrozenModel {
+        FrozenModel {
+            name: "dot".to_owned(),
+            users: Matrix::zeros(3, 4),
+            items: Matrix::zeros(5, 4),
+            head: FrozenHead::DotBias { bias: vec![0.0; 5] },
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dot() {
+        assert!(dot_model().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bias_mismatch() {
+        let mut m = dot_model();
+        if let FrozenHead::DotBias { bias } = &mut m.head {
+            bias.pop();
+        }
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_mlp_dims() {
+        let m = FrozenModel {
+            name: "mlp".to_owned(),
+            users: Matrix::zeros(2, 4),
+            items: Matrix::zeros(2, 4),
+            head: FrozenHead::Mlp {
+                layers: vec![FrozenLayer {
+                    w: Matrix::zeros(1, 6), // wants 8 inputs
+                    b: vec![0.0],
+                    act: Act::Identity,
+                }],
+            },
+        };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_scalar_output() {
+        let m = FrozenModel {
+            name: "mlp".to_owned(),
+            users: Matrix::zeros(2, 2),
+            items: Matrix::zeros(2, 2),
+            head: FrozenHead::Mlp {
+                layers: vec![FrozenLayer {
+                    w: Matrix::zeros(3, 4),
+                    b: vec![0.0; 3],
+                    act: Act::Identity,
+                }],
+            },
+        };
+        assert!(m.validate().is_err());
+    }
+}

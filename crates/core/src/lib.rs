@@ -49,6 +49,7 @@ pub mod api;
 pub mod case_study;
 pub mod checkpoint;
 pub mod config;
+pub mod freeze;
 pub mod model;
 pub mod recommend;
 pub mod trainer;
@@ -56,5 +57,7 @@ pub mod tuning;
 
 pub use api::{ModelScorer, PairwiseModel};
 pub use config::{NeighborCaps, SceneRecConfig, Variant};
+pub use freeze::{FrozenHead, FrozenLayer, FrozenModel};
 pub use model::SceneRec;
+pub use recommend::{top_k_for_user, top_k_unseen, Recommendation};
 pub use trainer::{train, TrainConfig, TrainReport};

@@ -421,6 +421,59 @@ impl PairwiseModel for SceneRec {
             .map(|&i| self.score_with_user(g, m_user, i, &mut scene_sums, &mut cat_reprs))
             .collect()
     }
+
+    fn freeze(&self) -> Option<crate::freeze::FrozenModel> {
+        use crate::freeze::{FrozenHead, FrozenLayer, FrozenModel};
+
+        // Eqs. 1 and 13 depend only on the entity, never on the pairing, so
+        // they are evaluated once per entity on the ordinary tape — the
+        // values are the exact f32s `score_values` would produce. Chunked
+        // tapes bound memory at paper-scale catalogs; tape-local caches only
+        // deduplicate Vars, they never change node values, so the chunking
+        // is value-invariant.
+        const CHUNK: usize = 256;
+        let d = self.cfg.dim;
+        let num_users = self.user_items.len();
+        let num_items = self.item_cat.len();
+
+        let mut users = Matrix::zeros(num_users, d);
+        for chunk_start in (0..num_users).step_by(CHUNK) {
+            let mut g = Graph::new(&self.store);
+            for u in chunk_start..(chunk_start + CHUNK).min(num_users) {
+                let v = self.user_repr(&mut g, UserId(u as u32));
+                users.set_row(u, g.value(v).as_slice());
+            }
+        }
+
+        let mut items = Matrix::zeros(num_items, d);
+        for chunk_start in (0..num_items).step_by(CHUNK) {
+            let mut g = Graph::new(&self.store);
+            let mut scene_sums = BTreeMap::new();
+            let mut cat_reprs = BTreeMap::new();
+            for i in chunk_start..(chunk_start + CHUNK).min(num_items) {
+                let v = self.item_repr(&mut g, ItemId(i as u32), &mut scene_sums, &mut cat_reprs);
+                items.set_row(i, g.value(v).as_slice());
+            }
+        }
+
+        let layers = self
+            .rating
+            .layers()
+            .iter()
+            .map(|layer| FrozenLayer {
+                w: self.store.value(layer.weight()).clone(),
+                b: self.store.value(layer.bias()).as_slice().to_vec(),
+                act: layer.act(),
+            })
+            .collect();
+
+        Some(FrozenModel {
+            name: self.name().to_owned(),
+            users,
+            items,
+            head: FrozenHead::Mlp { layers },
+        })
+    }
 }
 
 #[cfg(test)]

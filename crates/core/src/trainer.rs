@@ -212,8 +212,25 @@ pub fn train<M: PairwiseModel + Sync>(
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = make_optimizer(cfg);
+    train_with_optimizer(model, data, cfg, opt.as_mut())
+}
+
+/// [`train`] with a caller-owned optimizer.
+///
+/// This is the checkpoint-resume entry point: the caller builds the
+/// optimizer (typically via [`make_optimizer`]), restores a saved
+/// [`scenerec_autodiff::OptimState`] into it with
+/// `Optimizer::import_state`, trains, and exports the state again for the
+/// next checkpoint. [`train`] is the common wrapper that owns the
+/// optimizer internally and discards its state.
+pub fn train_with_optimizer<M: PairwiseModel + Sync>(
+    model: &mut M,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    opt: &mut dyn Optimizer,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut grads = GradStore::new(model.store());
 
     // All known positives per user (for negative rejection).
@@ -439,7 +456,9 @@ pub fn test<M: PairwiseModel + Sync>(model: &M, data: &Dataset, cfg: &TrainConfi
     evaluate(&ModelScorer(model), &data.split.test, cfg.k, cfg.threads)
 }
 
-fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
+/// Builds the optimizer selected by `cfg` (with its weight decay), for use
+/// with [`train_with_optimizer`].
+pub fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
     match cfg.optimizer {
         OptimizerKind::RmsProp => {
             Box::new(RmsProp::new(cfg.learning_rate).with_weight_decay(cfg.lambda))

@@ -1,0 +1,177 @@
+//! LRU cache for per-user top-K results with explicit invalidation.
+//!
+//! Determinism notes: recency is tracked with a logical `u64` stamp (no
+//! wall clock — lint rule D3 bans `Instant::now` here), and both indices
+//! are `BTreeMap`s so every traversal order is fixed. A cache hit returns
+//! a value that is bit-identical to what a recompute would produce (the
+//! engine is pure given frozen weights), so caching never changes
+//! responses — only latency.
+
+use scenerec_core::Recommendation;
+use std::collections::BTreeMap;
+
+/// Cache key: one entry per (user, k) pair.
+type Key = (u32, u32);
+
+#[derive(Debug, Clone)]
+struct Slot {
+    stamp: u64,
+    recs: Vec<Recommendation>,
+}
+
+/// A bounded least-recently-used map from (user, k) to ranked results.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    next_stamp: u64,
+    entries: BTreeMap<Key, Slot>,
+    /// Reverse index: logical stamp -> key, used to find the LRU victim.
+    recency: BTreeMap<u64, Key>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            next_stamp: 0,
+            entries: BTreeMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up `(user, k)`, refreshing its recency on a hit.
+    pub fn get(&mut self, user: u32, k: u32) -> Option<Vec<Recommendation>> {
+        let slot = self.entries.get_mut(&(user, k))?;
+        let old = slot.stamp;
+        slot.stamp = self.next_stamp;
+        let recs = slot.recs.clone();
+        self.recency.remove(&old);
+        self.recency.insert(self.next_stamp, (user, k));
+        self.next_stamp += 1;
+        Some(recs)
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, user: u32, k: u32, recs: Vec<Recommendation>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(old) = self.entries.get(&(user, k)) {
+            self.recency.remove(&old.stamp);
+        } else if self.entries.len() >= self.capacity {
+            // Evict the entry with the smallest (oldest) stamp.
+            if let Some((&oldest, &victim)) = self.recency.iter().next() {
+                self.recency.remove(&oldest);
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            (user, k),
+            Slot {
+                stamp: self.next_stamp,
+                recs,
+            },
+        );
+        self.recency.insert(self.next_stamp, (user, k));
+        self.next_stamp += 1;
+    }
+
+    /// Drops every cached result for `user` (all k values). Call after the
+    /// user's seen-set or embedding changes.
+    pub fn invalidate_user(&mut self, user: u32) {
+        let doomed: Vec<Key> = self
+            .entries
+            .range((user, 0)..=(user, u32::MAX))
+            .map(|(&key, _)| key)
+            .collect();
+        for key in doomed {
+            if let Some(slot) = self.entries.remove(&key) {
+                self.recency.remove(&slot.stamp);
+            }
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenerec_graph::ItemId;
+
+    fn rec(item: u32, score: f32) -> Vec<Recommendation> {
+        vec![Recommendation {
+            item: ItemId(item),
+            score,
+        }]
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(1, 10).is_none());
+        c.insert(1, 10, rec(7, 0.5));
+        assert_eq!(c.get(1, 10), Some(rec(7, 0.5)));
+        // Different k is a different entry.
+        assert!(c.get(1, 5).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, 1, rec(1, 0.1));
+        c.insert(2, 1, rec(2, 0.2));
+        // Touch user 1 so user 2 becomes the LRU victim.
+        assert!(c.get(1, 1).is_some());
+        c.insert(3, 1, rec(3, 0.3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1, 1).is_some());
+        assert!(c.get(2, 1).is_none());
+        assert!(c.get(3, 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, 1, rec(1, 0.1));
+        c.insert(1, 1, rec(9, 0.9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, 1), Some(rec(9, 0.9)));
+    }
+
+    #[test]
+    fn invalidate_user_drops_all_k() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, 1, rec(1, 0.1));
+        c.insert(1, 5, rec(1, 0.1));
+        c.insert(2, 1, rec(2, 0.2));
+        c.invalidate_user(1);
+        assert!(c.get(1, 1).is_none());
+        assert!(c.get(1, 5).is_none());
+        assert!(c.get(2, 1).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, 1, rec(1, 0.1));
+        assert!(c.get(1, 1).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! The frozen inference engine: batched scoring, seen-item filtering,
+//! top-K selection, and a result cache behind one handle.
+//!
+//! # Parity contract
+//!
+//! For any user/item the engine's scores are **bit-identical** to what
+//! the training-side `PairwiseModel::score_values` would produce on a
+//! tape, and [`FrozenEngine::top_k`] returns exactly what
+//! `top_k_for_user` would (same scores, same tie-breaks). This holds
+//! because:
+//!
+//! * the frozen user/item rows are tape-evaluated values (see
+//!   `scenerec_core::freeze`),
+//! * the head replays through `score_bt`, whose per-element reduction
+//!   order matches the tape's `affine` operator and is invariant to the
+//!   thread count and band size,
+//! * candidates are scanned in ascending item order and ties resolve to
+//!   the smaller item id, matching the training-side stable sort.
+//!
+//! The cache never changes responses — a hit returns the same bits a
+//! recompute would — so serving stays deterministic at any worker count.
+
+use crate::cache::ResultCache;
+use crate::mask::SeenMask;
+use crate::topk::select_top_k;
+use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, Recommendation};
+use scenerec_data::Dataset;
+use scenerec_graph::UserId;
+use scenerec_obs::metrics;
+use scenerec_tensor::score::try_score_bt;
+use scenerec_tensor::{linalg, Matrix};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+
+/// Tuning knobs for a [`FrozenEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Candidate rows scored per kernel call (bounds scratch memory).
+    pub band: usize,
+    /// Threads handed to the scoring kernel within one request.
+    pub threads: usize,
+    /// Max entries in the (user, k) result cache; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            band: 512,
+            threads: 1,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Errors raised by the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The source model does not support freezing.
+    Unsupported(String),
+    /// The frozen snapshot (or checkpoint) is inconsistent or unloadable.
+    Invalid(String),
+    /// A request named a user outside the frozen universe.
+    UserOutOfRange {
+        /// The offending user id.
+        user: u32,
+        /// The number of users the engine was frozen with.
+        num_users: usize,
+    },
+    /// A request named an item outside the frozen universe.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// The number of items the engine was frozen with.
+        num_items: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Unsupported(name) => {
+                write!(f, "model `{name}` does not support freezing")
+            }
+            ServeError::Invalid(e) => write!(f, "invalid frozen model: {e}"),
+            ServeError::UserOutOfRange { user, num_users } => {
+                write!(f, "user {user} out of range (engine has {num_users} users)")
+            }
+            ServeError::ItemOutOfRange { item, num_items } => {
+                write!(f, "item {item} out of range (engine has {num_items} items)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A tape-free serving engine over a [`FrozenModel`].
+#[derive(Debug)]
+pub struct FrozenEngine {
+    frozen: FrozenModel,
+    seen: Vec<SeenMask>,
+    config: EngineConfig,
+    cache: Mutex<ResultCache>,
+}
+
+impl FrozenEngine {
+    /// Builds an engine from an already-frozen model plus each user's
+    /// seen-item list (index = user id).
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] when the snapshot fails validation or the
+    /// seen list does not cover every user.
+    pub fn new(
+        frozen: FrozenModel,
+        seen_items: &[Vec<u32>],
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        frozen.validate().map_err(ServeError::Invalid)?;
+        if seen_items.len() != frozen.num_users() {
+            return Err(ServeError::Invalid(format!(
+                "seen lists cover {} users but the model has {}",
+                seen_items.len(),
+                frozen.num_users()
+            )));
+        }
+        let num_items = frozen.num_items() as u32;
+        let seen = seen_items
+            .iter()
+            .map(|items| SeenMask::from_items(num_items, items))
+            .collect();
+        let cache = Mutex::new(ResultCache::new(config.cache_capacity));
+        Ok(FrozenEngine {
+            frozen,
+            seen,
+            config,
+            cache,
+        })
+    }
+
+    /// Freezes `model` and builds the seen masks from the dataset's
+    /// training interactions (the same exclusion set `top_k_unseen` uses).
+    ///
+    /// # Errors
+    /// [`ServeError::Unsupported`] when the model cannot freeze;
+    /// [`ServeError::Invalid`] on an inconsistent snapshot.
+    pub fn from_model<M: PairwiseModel>(
+        model: &M,
+        data: &Dataset,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let frozen = model
+            .freeze()
+            .ok_or_else(|| ServeError::Unsupported(model.name().to_owned()))?;
+        let seen: Vec<Vec<u32>> = (0..data.num_users())
+            .map(|u| data.train_graph.items_of(UserId(u)).to_vec())
+            .collect();
+        Self::new(frozen, &seen, config)
+    }
+
+    /// Loads a SceneRec checkpoint and freezes it for serving.
+    ///
+    /// # Errors
+    /// [`ServeError::Invalid`] on checkpoint load failures.
+    pub fn from_checkpoint(
+        path: &Path,
+        data: &Dataset,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let model = scenerec_core::checkpoint::load(path, data)
+            .map_err(|e| ServeError::Invalid(e.to_string()))?;
+        Self::from_model(&model, data, config)
+    }
+
+    /// The frozen snapshot's display name.
+    pub fn name(&self) -> &str {
+        &self.frozen.name
+    }
+
+    /// Number of users in the frozen universe.
+    pub fn num_users(&self) -> usize {
+        self.frozen.num_users()
+    }
+
+    /// Number of items in the frozen universe.
+    pub fn num_items(&self) -> usize {
+        self.frozen.num_items()
+    }
+
+    /// The seen-item mask for `user`.
+    ///
+    /// # Errors
+    /// [`ServeError::UserOutOfRange`].
+    pub fn seen_mask(&self, user: u32) -> Result<&SeenMask, ServeError> {
+        self.seen
+            .get(user as usize)
+            .ok_or(ServeError::UserOutOfRange {
+                user,
+                num_users: self.num_users(),
+            })
+    }
+
+    /// Scores an explicit item list for `user` (no seen filtering).
+    ///
+    /// Bit-identical to `PairwiseModel::score_values` on the same ids.
+    ///
+    /// # Errors
+    /// Out-of-range user or item ids.
+    pub fn score_items(&self, user: u32, items: &[u32]) -> Result<Vec<f32>, ServeError> {
+        let num_items = self.num_items();
+        if (user as usize) >= self.num_users() {
+            return Err(ServeError::UserOutOfRange {
+                user,
+                num_users: self.num_users(),
+            });
+        }
+        if let Some(&bad) = items.iter().find(|&&i| (i as usize) >= num_items) {
+            return Err(ServeError::ItemOutOfRange {
+                item: bad,
+                num_items,
+            });
+        }
+        let u = self.frozen.users.row(user as usize);
+        let band = self.config.band.max(1);
+        let mut out = Vec::with_capacity(items.len());
+        match &self.frozen.head {
+            FrozenHead::DotBias { bias } => {
+                for &i in items {
+                    let row = self.frozen.items.row(i as usize);
+                    out.push(linalg::dot(u, row) + bias[i as usize]);
+                }
+            }
+            FrozenHead::Mlp { layers } => {
+                let du = self.frozen.users.cols();
+                let di = self.frozen.items.cols();
+                for chunk in items.chunks(band) {
+                    let mut h = Matrix::zeros(chunk.len(), du + di);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        let row = h.row_mut(r);
+                        row[..du].copy_from_slice(u);
+                        row[du..].copy_from_slice(self.frozen.items.row(i as usize));
+                    }
+                    for layer in layers {
+                        let mut y = try_score_bt(&h, &layer.w, Some(&layer.b), self.config.threads)
+                            .map_err(|e| ServeError::Invalid(e.to_string()))?;
+                        for v in y.as_mut_slice() {
+                            *v = layer.act.apply(*v);
+                        }
+                        h = y;
+                    }
+                    out.extend_from_slice(h.as_slice());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scores every item in the catalog for `user` (no seen filtering).
+    ///
+    /// # Errors
+    /// [`ServeError::UserOutOfRange`].
+    pub fn score_all(&self, user: u32) -> Result<Vec<f32>, ServeError> {
+        let ids: Vec<u32> = (0..self.num_items() as u32).collect();
+        self.score_items(user, &ids)
+    }
+
+    /// Top-K unseen recommendations for `user`, served through the cache.
+    ///
+    /// Identical output to the training-side `top_k_unseen`.
+    ///
+    /// # Errors
+    /// [`ServeError::UserOutOfRange`].
+    pub fn top_k(&self, user: u32, k: usize) -> Result<Vec<Recommendation>, ServeError> {
+        metrics::counter("serve/requests").inc();
+        let key_k = u32::try_from(k).unwrap_or(u32::MAX);
+        if (user as usize) < self.num_users() {
+            if let Some(hit) = self.lock_cache().get(user, key_k) {
+                metrics::counter("serve/cache_hits").inc();
+                return Ok(hit);
+            }
+        }
+        metrics::counter("serve/cache_misses").inc();
+        let mask = self.seen_mask(user)?;
+        let candidates: Vec<u32> = (0..self.num_items() as u32)
+            .filter(|&i| !mask.contains(i))
+            .collect();
+        let scores = self.score_items(user, &candidates)?;
+        let recs = select_top_k(candidates.iter().copied().zip(scores), k);
+        self.lock_cache().insert(user, key_k, recs.clone());
+        Ok(recs)
+    }
+
+    /// Marks `item` as seen for `user` and drops the user's cached
+    /// results, so the next request reflects the new exclusion.
+    ///
+    /// # Errors
+    /// [`ServeError::UserOutOfRange`].
+    pub fn mark_seen(&mut self, user: u32, item: u32) -> Result<(), ServeError> {
+        let num_users = self.num_users();
+        let mask = self
+            .seen
+            .get_mut(user as usize)
+            .ok_or(ServeError::UserOutOfRange { user, num_users })?;
+        mask.insert(item);
+        self.lock_cache().invalidate_user(user);
+        Ok(())
+    }
+
+    /// Drops cached results for one user without touching the seen mask.
+    pub fn invalidate_user(&self, user: u32) {
+        self.lock_cache().invalidate_user(user);
+    }
+
+    /// Drops every cached result.
+    pub fn clear_cache(&self) {
+        self.lock_cache().clear();
+    }
+
+    /// Number of cached (user, k) entries — test/diagnostic hook.
+    pub fn cache_len(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// A cache mutex can only be poisoned by a panic inside one of the
+    /// short lock sections above, none of which leave the cache in a
+    /// broken state — recover the guard instead of propagating.
+    fn lock_cache(&self) -> MutexGuard<'_, ResultCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenerec_core::FrozenHead;
+
+    /// A tiny hand-built dot-product model: 3 users, 4 items, dim 2.
+    fn toy_frozen() -> FrozenModel {
+        let mut users = Matrix::zeros(3, 2);
+        users.set_row(0, &[1.0, 0.0]);
+        users.set_row(1, &[0.0, 1.0]);
+        users.set_row(2, &[1.0, 1.0]);
+        let mut items = Matrix::zeros(4, 2);
+        items.set_row(0, &[1.0, 0.0]);
+        items.set_row(1, &[0.0, 1.0]);
+        items.set_row(2, &[0.5, 0.5]);
+        items.set_row(3, &[2.0, 0.0]);
+        FrozenModel {
+            name: "toy".to_owned(),
+            users,
+            items,
+            head: FrozenHead::DotBias { bias: vec![0.0; 4] },
+        }
+    }
+
+    fn toy_engine(seen: &[Vec<u32>]) -> FrozenEngine {
+        FrozenEngine::new(toy_frozen(), seen, EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn scores_match_manual_dot() {
+        let engine = toy_engine(&[vec![], vec![], vec![]]);
+        let scores = engine.score_all(0).unwrap();
+        assert_eq!(scores, vec![1.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn top_k_excludes_seen_and_ranks() {
+        let engine = toy_engine(&[vec![3], vec![], vec![]]);
+        let recs = engine.top_k(0, 2).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].item.raw(), 0); // item 3 (score 2.0) is seen
+        assert_eq!(recs[1].item.raw(), 2);
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_result() {
+        let engine = toy_engine(&[vec![], vec![], vec![]]);
+        let first = engine.top_k(2, 3).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        let second = engine.top_k(2, 3).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn mark_seen_invalidates_and_refilters() {
+        let mut engine = toy_engine(&[vec![], vec![], vec![]]);
+        let before = engine.top_k(0, 1).unwrap();
+        assert_eq!(before[0].item.raw(), 3);
+        engine.mark_seen(0, 3).unwrap();
+        let after = engine.top_k(0, 1).unwrap();
+        assert_eq!(after[0].item.raw(), 0);
+    }
+
+    #[test]
+    fn out_of_range_requests_error() {
+        let engine = toy_engine(&[vec![], vec![], vec![]]);
+        assert!(matches!(
+            engine.top_k(99, 1),
+            Err(ServeError::UserOutOfRange { user: 99, .. })
+        ));
+        assert!(matches!(
+            engine.score_items(0, &[17]),
+            Err(ServeError::ItemOutOfRange { item: 17, .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_wrong_seen_count() {
+        let err = FrozenEngine::new(toy_frozen(), &[vec![]], EngineConfig::default());
+        assert!(matches!(err, Err(ServeError::Invalid(_))));
+    }
+}

@@ -1,0 +1,45 @@
+//! # scenerec-serve — tape-free batched inference serving
+//!
+//! Training-side scoring (`PairwiseModel::score_values`) rebuilds the
+//! full Eq. 1–14 computation graph on an autodiff tape for every request.
+//! That is the right tool for gradients and for small evaluation runs,
+//! but at serving time the graph-structured parts of the model are pure
+//! functions of the trained parameters. This crate consumes a
+//! [`FrozenModel`](scenerec_core::FrozenModel) snapshot — per-entity
+//! representations precomputed once on the tape — and serves top-K
+//! requests through dense batched kernels instead.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! checkpoint ──load──▶ SceneRec ──freeze()──▶ FrozenModel
+//!                                                 │
+//!                     FrozenEngine::new ◀─────────┘
+//!                        │  seen-item bitmasks, (user,k) LRU cache
+//!                        ▼
+//!        scheduler::replay(requests, workers) ──▶ responses (NDJSON)
+//! ```
+//!
+//! ## Invariants
+//!
+//! * **Parity**: engine scores are bit-identical to the tape
+//!   (`tests/serving_parity.rs`), and `top_k` matches the training-side
+//!   `top_k_for_user` including tie-breaks.
+//! * **Determinism**: no wall-clock in any decision path (the LRU uses a
+//!   logical stamp), all maps are ordered, and the scheduler reassembles
+//!   responses by request index — worker count never changes output
+//!   bytes (`tests/determinism.rs`).
+//! * **No panics in the serving path**: fallible APIs return
+//!   [`ServeError`]; malformed requests become error responses.
+
+pub mod cache;
+pub mod engine;
+pub mod mask;
+pub mod scheduler;
+pub mod topk;
+
+pub use cache::ResultCache;
+pub use engine::{EngineConfig, FrozenEngine, ServeError};
+pub use mask::SeenMask;
+pub use scheduler::{replay, responses_to_json, ReplayConfig, Request, Response};
+pub use topk::select_top_k;

@@ -1,0 +1,100 @@
+//! Seen-item bitmask: O(1) membership with one bit per catalog item.
+//!
+//! The training-side `top_k_for_user` takes a `HashSet<u32>` of seen
+//! items; at serving scale a bitmask is both faster (no hashing, no probe
+//! chains) and deterministic to iterate, which keeps lint rule D1 out of
+//! the picture entirely.
+
+/// A fixed-size bitmask over item ids `0..num_items`.
+#[derive(Debug, Clone, Default)]
+pub struct SeenMask {
+    words: Vec<u64>,
+    num_items: u32,
+}
+
+impl SeenMask {
+    /// An empty mask over `num_items` items.
+    pub fn new(num_items: u32) -> Self {
+        SeenMask {
+            words: vec![0u64; (num_items as usize).div_ceil(64)],
+            num_items,
+        }
+    }
+
+    /// A mask with the given items set (out-of-range ids are ignored).
+    pub fn from_items(num_items: u32, items: &[u32]) -> Self {
+        let mut mask = Self::new(num_items);
+        for &i in items {
+            mask.insert(i);
+        }
+        mask
+    }
+
+    /// Marks `item` as seen (no-op when out of range).
+    pub fn insert(&mut self, item: u32) {
+        if item < self.num_items {
+            self.words[(item / 64) as usize] |= 1u64 << (item % 64);
+        }
+    }
+
+    /// Whether `item` is marked (out-of-range ids are unseen).
+    #[inline]
+    pub fn contains(&self, item: u32) -> bool {
+        item < self.num_items && (self.words[(item / 64) as usize] >> (item % 64)) & 1 == 1
+    }
+
+    /// Number of marked items.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The item universe size this mask covers.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut m = SeenMask::new(130);
+        for i in [0u32, 63, 64, 65, 129] {
+            assert!(!m.contains(i));
+            m.insert(i);
+            assert!(m.contains(i));
+        }
+        assert_eq!(m.count(), 5);
+        assert!(!m.contains(1));
+        assert!(!m.contains(128));
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let mut m = SeenMask::new(10);
+        m.insert(10);
+        m.insert(1000);
+        assert_eq!(m.count(), 0);
+        assert!(!m.contains(10));
+        assert!(!m.contains(1000));
+    }
+
+    #[test]
+    fn from_items_matches_inserts() {
+        let items = [3u32, 7, 7, 64];
+        let m = SeenMask::from_items(100, &items);
+        assert_eq!(m.count(), 3);
+        for i in 0..100u32 {
+            assert_eq!(m.contains(i), items.contains(&i));
+        }
+    }
+
+    #[test]
+    fn zero_items_mask_is_empty() {
+        let m = SeenMask::new(0);
+        assert_eq!(m.count(), 0);
+        assert!(!m.contains(0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Micro-batching request scheduler.
+//!
+//! A replayed request log is split into contiguous micro-batches handed
+//! out through a shared cursor; a fixed pool of scoped workers (via
+//! `scenerec_tensor::par::map_workers`) drains the queue. Responses are
+//! reassembled **by request index**, so the output order — and, because
+//! the engine is pure and its cache hit/miss behavior cannot change
+//! response values, the output bytes — are identical at any worker count.
+//! Which worker serves which batch is the *only* nondeterminism, and it
+//! is unobservable in the results (pinned by `tests/determinism.rs`).
+//!
+//! Serving telemetry goes through `scenerec-obs`: queue-depth and
+//! batch-size histograms plus per-request latency, all readable from a
+//! `metrics_snapshot()` or a run manifest.
+
+use crate::engine::FrozenEngine;
+use scenerec_core::Recommendation;
+use scenerec_obs::metrics;
+use scenerec_obs::Stopwatch;
+use scenerec_tensor::par;
+use std::sync::{Mutex, MutexGuard};
+
+/// One inference request: top-`k` unseen items for `user`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The requesting user id.
+    pub user: u32,
+    /// How many recommendations to return.
+    pub k: usize,
+}
+
+/// One served response, in the same position as its request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The requesting user id.
+    pub user: u32,
+    /// The requested k.
+    pub k: usize,
+    /// Ranked recommendations (empty when `error` is set).
+    pub recs: Vec<Recommendation>,
+    /// Human-readable failure, e.g. an out-of-range user id.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// Renders the response as one compact JSON object.
+    ///
+    /// Scores use Rust's shortest-round-trip `f32` formatting, so equal
+    /// bit patterns always render to equal bytes — the determinism tests
+    /// compare this rendering across worker counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(32 + self.recs.len() * 24);
+        s.push_str("{\"user\":");
+        s.push_str(&self.user.to_string());
+        s.push_str(",\"k\":");
+        s.push_str(&self.k.to_string());
+        s.push_str(",\"recs\":[");
+        for (i, r) in self.recs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"item\":");
+            s.push_str(&r.item.raw().to_string());
+            s.push_str(",\"score\":");
+            s.push_str(&r.score.to_string());
+            s.push('}');
+        }
+        s.push(']');
+        if let Some(e) = &self.error {
+            s.push_str(",\"error\":");
+            s.push_str(&format!("{e:?}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders a response stream as newline-delimited JSON.
+pub fn responses_to_json(responses: &[Response]) -> String {
+    let mut s = String::new();
+    for r in responses {
+        s.push_str(&r.to_json());
+        s.push('\n');
+    }
+    s
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Worker threads draining the queue (>= 1).
+    pub workers: usize,
+    /// Max requests per micro-batch (>= 1).
+    pub max_batch: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            workers: 1,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Bucket edges for queue-depth / batch-size histograms.
+const COUNT_EDGES: [f64; 15] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0,
+];
+
+/// Bucket edges for per-request latency in nanoseconds (1 µs .. 10 s).
+const LATENCY_EDGES: [f64; 15] = [
+    1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
+];
+
+/// Replays a request log through the engine with a worker pool and
+/// returns responses in request order.
+///
+/// Each worker repeatedly claims the next `max_batch` requests from a
+/// shared cursor and serves them; results carry their request index and
+/// are reassembled after the pool joins. Failures (e.g. unknown users)
+/// become `Response::error` instead of tearing down the batch.
+pub fn replay(engine: &FrozenEngine, requests: &[Request], config: &ReplayConfig) -> Vec<Response> {
+    let workers = config.workers.max(1);
+    let max_batch = config.max_batch.max(1);
+    let queue_hist = metrics::histogram("serve/queue_depth", &COUNT_EDGES);
+    let batch_hist = metrics::histogram("serve/batch_size", &COUNT_EDGES);
+    let latency_hist = metrics::histogram("serve/latency_ns", &LATENCY_EDGES);
+    let cursor: Mutex<usize> = Mutex::new(0);
+
+    let per_worker: Vec<Vec<(usize, Response)>> = par::map_workers(workers, |_| {
+        let mut local: Vec<(usize, Response)> = Vec::new();
+        loop {
+            let (start, end) = {
+                let mut cur = lock_cursor(&cursor);
+                if *cur >= requests.len() {
+                    break;
+                }
+                queue_hist.observe((requests.len() - *cur) as f64);
+                let start = *cur;
+                let end = (start + max_batch).min(requests.len());
+                *cur = end;
+                (start, end)
+            };
+            batch_hist.observe((end - start) as f64);
+            for (offset, req) in requests[start..end].iter().enumerate() {
+                let watch = Stopwatch::start();
+                let response = serve_one(engine, req);
+                latency_hist.observe(watch.elapsed_ns() as f64);
+                local.push((start + offset, response));
+            }
+        }
+        local
+    });
+
+    let mut slots: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+    for (idx, response) in per_worker.into_iter().flatten() {
+        slots[idx] = Some(response);
+    }
+    let out: Vec<Response> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
+    out
+}
+
+fn serve_one(engine: &FrozenEngine, req: &Request) -> Response {
+    match engine.top_k(req.user, req.k) {
+        Ok(recs) => Response {
+            user: req.user,
+            k: req.k,
+            recs,
+            error: None,
+        },
+        Err(e) => Response {
+            user: req.user,
+            k: req.k,
+            recs: Vec::new(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// The cursor critical section cannot leave shared state inconsistent
+/// (it only advances an index), so a poisoned lock is safe to recover.
+fn lock_cursor(cursor: &Mutex<usize>) -> MutexGuard<'_, usize> {
+    match cursor.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use scenerec_core::{FrozenHead, FrozenModel};
+    use scenerec_tensor::Matrix;
+
+    fn toy_engine() -> FrozenEngine {
+        let mut users = Matrix::zeros(3, 2);
+        users.set_row(0, &[1.0, 0.0]);
+        users.set_row(1, &[0.0, 1.0]);
+        users.set_row(2, &[0.5, 0.5]);
+        let mut items = Matrix::zeros(5, 2);
+        for i in 0..5 {
+            items.set_row(i, &[i as f32 * 0.25, 1.0 - i as f32 * 0.25]);
+        }
+        let frozen = FrozenModel {
+            name: "toy".to_owned(),
+            users,
+            items,
+            head: FrozenHead::DotBias { bias: vec![0.0; 5] },
+        };
+        FrozenEngine::new(frozen, &[vec![0], vec![], vec![4]], EngineConfig::default()).unwrap()
+    }
+
+    fn log() -> Vec<Request> {
+        (0..40u32)
+            .map(|i| Request {
+                user: i % 3,
+                k: 1 + (i as usize % 4),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order() {
+        let engine = toy_engine();
+        let reqs = log();
+        let out = replay(&engine, &reqs, &ReplayConfig::default());
+        assert_eq!(out.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&out) {
+            assert_eq!(req.user, resp.user);
+            assert_eq!(req.k, resp.k);
+            assert!(resp.error.is_none());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_bytes() {
+        let reqs = log();
+        let reference = responses_to_json(&replay(
+            &toy_engine(),
+            &reqs,
+            &ReplayConfig {
+                workers: 1,
+                max_batch: 4,
+            },
+        ));
+        for workers in [2, 4] {
+            let got = responses_to_json(&replay(
+                &toy_engine(),
+                &reqs,
+                &ReplayConfig {
+                    workers,
+                    max_batch: 4,
+                },
+            ));
+            assert_eq!(reference, got, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn unknown_user_becomes_error_response() {
+        let engine = toy_engine();
+        let out = replay(
+            &engine,
+            &[Request { user: 42, k: 3 }],
+            &ReplayConfig::default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].recs.is_empty());
+        assert!(out[0].error.as_deref().is_some_and(|e| e.contains("42")));
+    }
+
+    #[test]
+    fn empty_log_yields_empty_responses() {
+        let engine = toy_engine();
+        assert!(replay(&engine, &[], &ReplayConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_compact_and_stable() {
+        let r = Response {
+            user: 1,
+            k: 2,
+            recs: vec![Recommendation {
+                item: scenerec_graph::ItemId(7),
+                score: 0.5,
+            }],
+            error: None,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"user\":1,\"k\":2,\"recs\":[{\"item\":7,\"score\":0.5}]}"
+        );
+    }
+}

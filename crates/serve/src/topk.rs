@@ -1,0 +1,165 @@
+//! Heap-based top-K selection over pre-computed scores.
+//!
+//! The training-side [`top_k_for_user`](scenerec_core::top_k_for_user)
+//! stable-sorts the full candidate list (scored in ascending item order)
+//! descending by score and truncates; ties therefore come out in
+//! ascending item order. This module reproduces that exact ranking with a
+//! size-K binary heap instead of an O(n log n) sort: a candidate replaces
+//! the current worst entry only when it scores strictly higher, or ties
+//! the score with a smaller item id. The final output is sorted by
+//! (score descending, item ascending), which for candidates fed in
+//! ascending item order is bit-for-bit the sort-and-truncate result.
+
+use scenerec_core::Recommendation;
+use scenerec_graph::ItemId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Total order used by serving: NaN compares equal, mirroring the
+/// `partial_cmp(..).unwrap_or(Equal)` fallback in the training-side sort.
+#[inline]
+fn score_ord(a: f32, b: f32) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+/// Heap entry ordered so the heap's max element is the *worst* kept
+/// candidate: lower score is "greater", and among equal scores the larger
+/// item id is "greater" (smaller ids win ties).
+#[derive(Debug, Clone, Copy)]
+struct Worst {
+    score: f32,
+    item: u32,
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        score_ord(other.score, self.score).then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// Selects the top `k` of `candidates` by (score descending, item id
+/// ascending) using a bounded heap.
+///
+/// Equivalent to stable-sorting candidates listed in ascending item order
+/// descending by score and truncating to `k` — the exact contract of the
+/// training-side `top_k_for_user`. `k = 0` and `k > len` both behave like
+/// the sort-based oracle (empty result / all candidates ranked).
+pub fn select_top_k<I>(candidates: I, k: usize) -> Vec<Recommendation>
+where
+    I: IntoIterator<Item = (u32, f32)>,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (item, score) in candidates {
+        if heap.len() < k {
+            heap.push(Worst { score, item });
+            continue;
+        }
+        let replaces = match heap.peek() {
+            Some(worst) => match score_ord(score, worst.score) {
+                Ordering::Greater => true,
+                Ordering::Equal => item < worst.item,
+                Ordering::Less => false,
+            },
+            None => true,
+        };
+        if replaces {
+            heap.pop();
+            heap.push(Worst { score, item });
+        }
+    }
+    let mut out: Vec<Recommendation> = heap
+        .into_iter()
+        .map(|w| Recommendation {
+            item: ItemId(w.item),
+            score: w.score,
+        })
+        .collect();
+    out.sort_by(|a, b| score_ord(b.score, a.score).then_with(|| a.item.raw().cmp(&b.item.raw())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The oracle the heap must match: stable sort desc + truncate, over
+    /// candidates listed in ascending item order.
+    fn oracle(candidates: &[(u32, f32)], k: usize) -> Vec<Recommendation> {
+        let mut v: Vec<Recommendation> = candidates
+            .iter()
+            .map(|&(item, score)| Recommendation {
+                item: ItemId(item),
+                score,
+            })
+            .collect();
+        v.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_oracle_on_distinct_scores() {
+        let cands: Vec<(u32, f32)> = (0..50u32).map(|i| (i, ((i * 37) % 50) as f32)).collect();
+        for k in [0, 1, 3, 10, 50, 80] {
+            assert_eq!(select_top_k(cands.iter().copied(), k), oracle(&cands, k));
+        }
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item() {
+        // Scores collide heavily; the stable sort keeps ascending item order.
+        let cands: Vec<(u32, f32)> = (0..40u32).map(|i| (i, (i % 4) as f32)).collect();
+        for k in [1, 5, 12, 40] {
+            assert_eq!(select_top_k(cands.iter().copied(), k), oracle(&cands, k));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_all_ranked() {
+        let cands = [(0u32, 1.0f32), (1, 3.0), (2, 2.0)];
+        let got = select_top_k(cands.iter().copied(), 10);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got, oracle(&cands, 10));
+    }
+
+    #[test]
+    fn k_zero_and_empty_candidates() {
+        assert!(select_top_k([(0u32, 1.0f32)].iter().copied(), 0).is_empty());
+        assert!(select_top_k(std::iter::empty::<(u32, f32)>(), 5).is_empty());
+    }
+
+    /// NaN is outside the parity contract (models emit finite scores);
+    /// the NaN-compares-Equal fallback makes the sort-based oracle's
+    /// order unspecified. The heap must still be deterministic and
+    /// well-formed: correct length, and identical output on every call.
+    #[test]
+    fn nan_scores_are_deterministic_and_well_formed() {
+        let cands = [(0u32, f32::NAN), (1, 1.0f32), (2, f32::NAN), (3, 2.0)];
+        let first = select_top_k(cands.iter().copied(), 2);
+        assert_eq!(first.len(), 2);
+        for _ in 0..5 {
+            let again = select_top_k(cands.iter().copied(), 2);
+            assert_eq!(first.len(), again.len());
+            assert!(first
+                .iter()
+                .zip(&again)
+                .all(|(a, b)| a.item == b.item && a.score.to_bits() == b.score.to_bits()));
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod linalg;
 pub mod matrix;
 pub mod numeric;
 pub mod par;
+pub mod score;
 pub mod stats;
 
 pub use error::{ShapeError, TensorResult};

@@ -1,0 +1,154 @@
+//! Batched scoring kernels for the serving path.
+//!
+//! Serving must be **bit-faithful** to the tape the model was trained and
+//! validated on: the autodiff `affine`/`dot` operators reduce every output
+//! element with [`linalg::dot`]'s fixed 8-lane pairwise order, while the
+//! blocked [`crate::gemm`] kernel accumulates its register tile serially
+//! over `k` — a different (if equally deterministic) floating-point order.
+//! A frozen engine scoring through `gemm` would drift from
+//! `model.score_values` in the last bits and break exact-parity testing.
+//!
+//! [`score_bt`] therefore computes `C = A·Bᵀ (+ bias)` strictly
+//! **dot-per-element**, never dispatching to the blocked kernel, and
+//! threads over *row bands* of the output so every element is produced by
+//! the same `linalg::dot` call regardless of the thread count. The result
+//! is bit-identical to scoring each row with `linalg::matvec` + bias, at
+//! any `threads`.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::linalg;
+use crate::matrix::Matrix;
+use crate::par;
+
+/// `C = A·Bᵀ + bias` (shape-checked): `A` is `m x k`, `B` is `n x k`,
+/// `bias` (when given) has length `n`, the result is `m x n` with
+/// `C[i][j] = dot(A.row(i), B.row(j)) + bias[j]`.
+///
+/// Every element is one [`linalg::dot`] plus one scalar add — the exact
+/// float sequence of the tape's `affine` operator (`matvec` then
+/// `axpy(1.0, b, y)`) — so frozen-engine scores match tape scores bit for
+/// bit. `threads > 1` splits the *output rows* into contiguous bands via
+/// [`par::for_each_chunk_pair`]; per-element results do not depend on the
+/// band boundaries, so the output is bit-identical at any thread count.
+pub fn try_score_bt(
+    a: &Matrix,
+    b: &Matrix,
+    bias: Option<&[f32]>,
+    threads: usize,
+) -> TensorResult<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::MatMul {
+            lhs: a.shape(),
+            rhs: (b.cols(), b.rows()),
+        });
+    }
+    let (m, _k) = a.shape();
+    let n = b.rows();
+    if let Some(bias) = bias {
+        if bias.len() != n {
+            return Err(ShapeError::Mismatch {
+                lhs: (bias.len(), 1),
+                rhs: (n, 1),
+                op: "score_bt bias",
+            });
+        }
+    }
+    let mut c = Matrix::zeros(m, n);
+    let band = if threads <= 1 {
+        m.max(1)
+    } else {
+        m.div_ceil(threads)
+    };
+    let a_rows: Vec<&[f32]> = a.iter_rows().collect();
+    par::for_each_chunk_pair(c.as_mut_slice(), band * n, &a_rows, band, |_, out, rows| {
+        for (c_row, a_row) in out.chunks_mut(n).zip(rows) {
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                let mut v = linalg::dot(a_row, b.row(j));
+                if let Some(bias) = bias {
+                    v += bias[j];
+                }
+                *c_v = v;
+            }
+        }
+    });
+    Ok(c)
+}
+
+/// `C = A·Bᵀ + bias`, panicking on shape mismatch.
+pub fn score_bt(a: &Matrix, b: &Matrix, bias: Option<&[f32]>, threads: usize) -> Matrix {
+    try_score_bt(a, b, bias, threads).expect("score_bt shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: f32) -> Vec<f32> {
+        let mut v = seed;
+        (0..n)
+            .map(|_| {
+                v = (v * 1.9 + 0.13).fract() - 0.5;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_per_row_matvec_bitwise() {
+        let (m, n, k) = (7, 13, 33);
+        let a = Matrix::from_vec(m, k, pseudo(m * k, 0.3)).unwrap();
+        let b = Matrix::from_vec(n, k, pseudo(n * k, 0.7)).unwrap();
+        let bias = pseudo(n, 0.11);
+        let c = score_bt(&a, &b, Some(&bias), 1);
+        for i in 0..m {
+            // The tape path: y = matvec(B, x); y += 1.0 * bias.
+            let mut y = linalg::matvec(&b, a.row(i));
+            linalg::axpy(1.0, &bias, &mut y);
+            for (j, want) in y.iter().enumerate() {
+                assert_eq!(
+                    c.get(i, j).to_bits(),
+                    want.to_bits(),
+                    "element ({i},{j}) differs from the tape order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_at_any_thread_count() {
+        let (m, n, k) = (23, 57, 64);
+        let a = Matrix::from_vec(m, k, pseudo(m * k, 0.21)).unwrap();
+        let b = Matrix::from_vec(n, k, pseudo(n * k, 0.81)).unwrap();
+        let base = score_bt(&a, &b, None, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let c = score_bt(&a, &b, None, threads);
+            assert_eq!(
+                base.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                c.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_bias_equals_zero_free_sum() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let c = score_bt(&a, &b, None, 1);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 3.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(try_score_bt(&a, &b, None, 1).is_err());
+        let b2 = Matrix::zeros(4, 3);
+        let bias = vec![0.0; 3]; // wrong: needs len 4
+        assert!(try_score_bt(&a, &b2, Some(&bias), 1).is_err());
+    }
+}

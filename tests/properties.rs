@@ -6,9 +6,20 @@ use scenerec_data::split::LeaveOneOutSplit;
 use scenerec_data::{generate, GeneratorConfig};
 use scenerec_eval::metrics::{hit_at_k, ndcg_at_k, rank_of_positive, MetricSet};
 use scenerec_graph::CsrGraph;
+use scenerec_serve::select_top_k;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The serving top-K oracle: score candidates in ascending item order,
+/// stable-sort descending by score (NaN-safe Equal fallback), truncate —
+/// exactly what `scenerec_core::top_k_for_user` does after scoring.
+fn brute_force_top_k(candidates: &[(u32, f32)], k: usize) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, f32)> = candidates.to_vec();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    v.truncate(k);
+    v.into_iter().map(|(i, s)| (i, s.to_bits())).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -103,5 +114,66 @@ proptest! {
         prop_assert!((total_weight - stored_weight).abs() < 1e-3 * total_weight.max(1.0));
         // Transpose twice is identity.
         prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    /// The serving heap select matches the sort-and-truncate oracle for
+    /// arbitrary finite scores and any k — including k = 0, k larger
+    /// than the candidate count, and the empty candidate list.
+    #[test]
+    fn serve_top_k_matches_brute_force(
+        scores in prop::collection::vec(-100.0f32..100.0, 0..80),
+        k in 0usize..100,
+    ) {
+        let candidates: Vec<(u32, f32)> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        let got: Vec<(u32, u32)> = select_top_k(candidates.iter().copied(), k)
+            .into_iter()
+            .map(|r| (r.item.raw(), r.score.to_bits()))
+            .collect();
+        prop_assert_eq!(got, brute_force_top_k(&candidates, k));
+    }
+
+    /// With heavy ties (scores snapped to a coarse grid) the heap must
+    /// reproduce the stable sort's tie order: ascending item id.
+    #[test]
+    fn serve_top_k_breaks_ties_like_stable_sort(
+        raw in prop::collection::vec(0u32..4, 1..80),
+        k in 0usize..90,
+    ) {
+        let candidates: Vec<(u32, f32)> =
+            raw.iter().enumerate().map(|(i, &s)| (i as u32, s as f32)).collect();
+        let got: Vec<(u32, u32)> = select_top_k(candidates.iter().copied(), k)
+            .into_iter()
+            .map(|r| (r.item.raw(), r.score.to_bits()))
+            .collect();
+        prop_assert_eq!(got, brute_force_top_k(&candidates, k));
+    }
+
+    /// Masking items out of the candidate stream behaves like an
+    /// all-items-seen filter: with every candidate masked the result is
+    /// empty; with a partial mask the surviving ranking equals the
+    /// oracle over the surviving candidates.
+    #[test]
+    fn serve_top_k_respects_candidate_filtering(
+        scores in prop::collection::vec(-10.0f32..10.0, 1..60),
+        mask_mod in 1usize..4,
+        k in 1usize..20,
+    ) {
+        let all: Vec<(u32, f32)> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        // "Seen" = every index divisible by mask_mod (mask_mod == 1 masks all).
+        let unseen: Vec<(u32, f32)> = all
+            .iter()
+            .copied()
+            .filter(|(i, _)| (*i as usize) % mask_mod != 0)
+            .collect();
+        let got: Vec<(u32, u32)> = select_top_k(unseen.iter().copied(), k)
+            .into_iter()
+            .map(|r| (r.item.raw(), r.score.to_bits()))
+            .collect();
+        prop_assert_eq!(got, brute_force_top_k(&unseen, k));
+        if mask_mod == 1 {
+            prop_assert!(got.is_empty());
+        }
     }
 }

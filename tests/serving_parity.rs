@@ -1,0 +1,141 @@
+//! Serving parity: the frozen engine must reproduce the training-side
+//! scoring path **bit for bit**.
+//!
+//! `FrozenEngine` replays the model head through dense kernels instead of
+//! the autodiff tape; any reassociated reduction, lossy export, or
+//! tie-break drift would show up here as a `to_bits` mismatch. Covers
+//! both head shapes: SceneRec (Eq. 14 rating MLP) and BPR-MF (dot +
+//! item bias).
+
+use scenerec_baselines::BprMf;
+use scenerec_core::trainer::{train, TrainConfig};
+use scenerec_core::{top_k_unseen, PairwiseModel, SceneRec, SceneRecConfig};
+use scenerec_data::{generate, Dataset, GeneratorConfig};
+use scenerec_graph::{ItemId, UserId};
+use scenerec_serve::{EngineConfig, FrozenEngine};
+
+const SAMPLED_USERS: u32 = 50;
+const TOP_K: usize = 10;
+
+fn dataset() -> Dataset {
+    let mut cfg = GeneratorConfig::tiny(2021);
+    cfg.num_users = 60; // enough to sample 50 distinct users
+    generate(&cfg).expect("dataset generation")
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        eval_every: 0,
+        patience: 0,
+        threads: 2,
+        ..TrainConfig::default()
+    }
+}
+
+/// Exact-equality check of every score the engine produces against the
+/// tape, plus top-K (items AND score bits) for the sampled users.
+fn assert_parity<M: PairwiseModel + Sync>(model: &M, data: &Dataset) {
+    let engine = FrozenEngine::from_model(model, data, EngineConfig::default())
+        .unwrap_or_else(|e| panic!("freezing {} failed: {e}", model.name()));
+    assert_eq!(engine.num_users(), data.num_users() as usize);
+    assert_eq!(engine.num_items(), data.num_items() as usize);
+
+    let all_items: Vec<ItemId> = (0..data.num_items()).map(ItemId).collect();
+    let all_ids: Vec<u32> = (0..data.num_items()).collect();
+
+    for user in 0..SAMPLED_USERS {
+        // Full-catalog scores: exact f32 equality, compared as bits so a
+        // -0.0/0.0 or NaN drift cannot slip through.
+        let tape: Vec<u32> = model
+            .score_values(UserId(user), &all_items)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        let frozen: Vec<u32> = engine
+            .score_items(user, &all_ids)
+            .expect("engine scoring")
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        assert_eq!(
+            tape,
+            frozen,
+            "{}: user {user} frozen scores diverged from the tape",
+            model.name()
+        );
+
+        // Top-K: identical items in identical order with identical bits.
+        let served = engine.top_k(user, TOP_K).expect("engine top_k");
+        let trained = top_k_unseen(model, data, UserId(user), TOP_K);
+        assert_eq!(
+            served.len(),
+            trained.len(),
+            "{}: user {user} top-k length",
+            model.name()
+        );
+        for (rank, (a, b)) in served.iter().zip(&trained).enumerate() {
+            assert_eq!(
+                a.item,
+                b.item,
+                "{}: user {user} rank {rank} item mismatch",
+                model.name()
+            );
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{}: user {user} rank {rank} score bits mismatch",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenerec_frozen_scores_match_tape_bit_for_bit() {
+    let data = dataset();
+    let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+    train(&mut model, &data, &train_cfg());
+    assert_parity(&model, &data);
+}
+
+#[test]
+fn bprmf_frozen_scores_match_tape_bit_for_bit() {
+    let data = dataset();
+    let mut model = BprMf::new(&data, 16, 11);
+    train(&mut model, &data, &train_cfg());
+    assert_parity(&model, &data);
+}
+
+/// Band size and kernel thread count must not perturb a single bit.
+#[test]
+fn parity_is_invariant_to_band_and_threads() {
+    let data = dataset();
+    let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+    train(&mut model, &data, &train_cfg());
+
+    let reference = FrozenEngine::from_model(&model, &data, EngineConfig::default())
+        .expect("freeze")
+        .score_all(0)
+        .expect("score");
+    for (band, threads) in [(1usize, 1usize), (7, 2), (64, 4), (100_000, 3)] {
+        let engine = FrozenEngine::from_model(
+            &model,
+            &data,
+            EngineConfig {
+                band,
+                threads,
+                cache_capacity: 0,
+            },
+        )
+        .expect("freeze");
+        let got = engine.score_all(0).expect("score");
+        assert!(
+            reference
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "band={band} threads={threads} perturbed scores"
+        );
+    }
+}
