@@ -182,6 +182,7 @@ fn main() {
         let cfg = ReplayConfig {
             workers: w,
             max_batch: 32,
+            ..ReplayConfig::default()
         };
         // Cold: empty cache, fresh metrics so the histogram covers
         // exactly this run.

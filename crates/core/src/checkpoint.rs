@@ -1,37 +1,64 @@
 //! Model checkpointing: persist a trained model's parameters and
 //! configuration, restore them into a freshly constructed model.
 //!
-//! A checkpoint stores the [`SceneRecConfig`] alongside the raw
-//! [`ParamStore`]; on load, the topology is rebuilt from the dataset and
-//! the stored parameters are validated against it (names, shapes, order)
-//! before being swapped in — a mismatched dataset or config fails loudly
-//! instead of silently mis-indexing embeddings.
+//! ## Format v3 — sectioned, checksummed, atomically committed
+//!
+//! A v3 checkpoint is a sequence of named sections, each carrying its
+//! byte length and CRC-32, closed by a trailing commit marker over the
+//! whole file:
+//!
+//! ```text
+//! scenerec-checkpoint v3\n
+//! section config <len> <crc32>\n     JSON SceneRecConfig
+//! section params <len> <crc32>\n     JSON ParamStore
+//! section optimizer <len> <crc32>\n  JSON OptimState   (optional)
+//! section trainer <len> <crc32>\n    JSON TrainerState (optional)
+//! commit <crc32-of-everything-above>\n
+//! ```
+//!
+//! Writes go to `<path>.tmp` first and are moved into place with an
+//! atomic `rename`, so a crash mid-save can never clobber the previous
+//! good checkpoint. Loads verify every CRC and the commit marker and
+//! return **typed** [`CheckpointError`]s — a truncated file, a flipped
+//! bit, or a missing commit marker is a recoverable condition, never a
+//! panic. [`CheckpointStore`] keeps a retention window of N checkpoints
+//! and [`CheckpointStore::load_latest_good`] falls back across it,
+//! which is what makes crash-resumed training self-healing
+//! (`tests/chaos.rs` drives both under injected faults).
 //!
 //! ## Round-trip guarantees
 //!
-//! * **f32 values are lossless**: floats serialize through an exact f32→f64
-//!   widening and a shortest-round-trip decimal rendering, so
+//! * **f32 values are lossless**: floats serialize through an exact
+//!   f32→f64 widening and a shortest-round-trip decimal rendering, so
 //!   save → load → save produces byte-identical files (pinned by the
 //!   `save_load_save_is_byte_identical` test).
-//! * **Optimizer state is preserved** (format v2): RMSProp's `cache`,
-//!   Adam's `m`/`v`/`t` and Momentum's `velocity` ride along as an
-//!   optional [`OptimState`]. Version-1 checkpoints (no optimizer field)
-//!   still load; resuming from them restarts moment estimates from zero.
+//! * **Optimizer state is preserved**: RMSProp's `cache`, Adam's
+//!   `m`/`v`/`t` and Momentum's `velocity` ride along as an optional
+//!   [`OptimState`] section.
+//! * **v1/v2 compatibility**: the JSON formats of earlier releases
+//!   (detected by their leading `{`) still load; v1 files predate
+//!   optimizer state and yield `None`.
 
 use crate::config::SceneRecConfig;
 use crate::model::SceneRec;
+use crate::trainer::TrainerState;
 use crate::PairwiseModel;
 use scenerec_autodiff::{OptimState, ParamStore};
 use scenerec_data::Dataset;
+use scenerec_faults::{crc32, Injector};
+use scenerec_obs::metrics;
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Oldest checkpoint format version this build can still load.
 pub const CHECKPOINT_MIN_VERSION: u32 = 1;
+
+/// Magic prefix of a v3+ checkpoint file.
+const MAGIC: &[u8] = b"scenerec-checkpoint v";
 
 /// A serializable snapshot of a trained SceneRec model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,17 +72,33 @@ pub struct Checkpoint {
     /// Optimizer state for exact training resume (absent in v1 files and
     /// in checkpoints saved without one).
     pub optimizer: Option<OptimState>,
+    /// Resumable-trainer bookkeeping (absent outside `train_resumable`).
+    pub trainer: Option<TrainerState>,
 }
 
-/// Errors raised on checkpoint load.
+/// Errors raised on checkpoint save/load.
 #[derive(Debug)]
 pub enum CheckpointError {
-    /// Filesystem or JSON failure.
+    /// Filesystem or serialization failure (including injected I/O).
     Io(String),
     /// Unknown format version.
     BadVersion(u32),
     /// The stored parameters do not match the freshly built topology.
     TopologyMismatch(String),
+    /// The file ends before the structure does (torn write, short read,
+    /// or a missing commit marker).
+    Truncated(String),
+    /// A section's bytes do not match their recorded CRC-32.
+    CorruptSection(String),
+    /// The file's structure is unparseable (bad magic, garbled header).
+    Malformed(String),
+    /// Every checkpoint in a retention window failed to load.
+    NoUsable {
+        /// How many checkpoint files were tried.
+        tried: usize,
+        /// The error from the newest candidate.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -68,13 +111,39 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::TopologyMismatch(e) => {
                 write!(f, "checkpoint does not match the dataset/config: {e}")
             }
+            CheckpointError::Truncated(e) => write!(f, "checkpoint truncated: {e}"),
+            CheckpointError::CorruptSection(s) => {
+                write!(f, "checkpoint section `{s}` fails its CRC-32 check")
+            }
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::NoUsable { tried, last } => {
+                write!(
+                    f,
+                    "no usable checkpoint among {tried} candidates (newest: {last})"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Saves `model` to `path` as JSON (no optimizer state).
+/// Everything a checkpoint can restore.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The reconstructed model.
+    pub model: SceneRec,
+    /// Optimizer state, when the checkpoint carried one.
+    pub optimizer: Option<OptimState>,
+    /// Resumable-trainer state, when the checkpoint carried one.
+    pub trainer: Option<TrainerState>,
+}
+
+// ---------------------------------------------------------------------
+// Saving
+// ---------------------------------------------------------------------
+
+/// Saves `model` to `path` (no optimizer state).
 ///
 /// # Errors
 /// Filesystem and serialization failures.
@@ -82,7 +151,7 @@ pub fn save(model: &SceneRec, path: &Path) -> Result<(), CheckpointError> {
     save_with_optimizer(model, None, path)
 }
 
-/// Saves `model` plus the optimizer state (when given) to `path` as JSON.
+/// Saves `model` plus the optimizer state (when given) to `path`.
 ///
 /// # Errors
 /// Filesystem and serialization failures.
@@ -91,15 +160,100 @@ pub fn save_with_optimizer(
     optimizer: Option<&OptimState>,
     path: &Path,
 ) -> Result<(), CheckpointError> {
+    save_full(model, optimizer, None, path, &Injector::disabled())
+}
+
+/// Saves a full checkpoint (model, optimizer, trainer state) through the
+/// fault injector's `checkpoint/write` and `checkpoint/commit` points.
+///
+/// The write is atomic with respect to the destination: bytes go to
+/// `<path>.tmp` and are `rename`d into place only after the full file is
+/// on disk, so a failure at any point leaves the previous checkpoint at
+/// `path` untouched.
+///
+/// # Errors
+/// Filesystem, serialization, and injected failures.
+pub fn save_full(
+    model: &SceneRec,
+    optimizer: Option<&OptimState>,
+    trainer: Option<&TrainerState>,
+    path: &Path,
+    injector: &Injector,
+) -> Result<(), CheckpointError> {
     let ckpt = Checkpoint {
         version: CHECKPOINT_VERSION,
         config: model.config().clone(),
         params: model.store().clone(),
         optimizer: optimizer.cloned(),
+        trainer: trainer.cloned(),
     };
-    let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    fs::write(path, json).map_err(|e| CheckpointError::Io(e.to_string()))
+    let mut bytes = encode_v3(&ckpt)?;
+    // A torn write: the injector may corrupt the bytes that reach disk.
+    injector.corrupt("checkpoint/write", &mut bytes);
+    injector
+        .io("checkpoint/write")
+        .map_err(|e| CheckpointError::Io(e.to_string()))?;
+    let tmp = tmp_path(path);
+    fs::write(&tmp, &bytes).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    if let Err(e) = injector.io("checkpoint/commit") {
+        fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e.to_string()));
+    }
+    fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    metrics::counter("checkpoint/saves").inc();
+    Ok(())
 }
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn encode_v3(ckpt: &Checkpoint) -> Result<Vec<u8>, CheckpointError> {
+    fn push_section(out: &mut Vec<u8>, name: &str, payload: &[u8]) {
+        out.extend_from_slice(
+            format!("section {name} {} {:08x}\n", payload.len(), crc32(payload)).as_bytes(),
+        );
+        out.extend_from_slice(payload);
+        out.push(b'\n');
+    }
+    let json = |v: Result<String, serde::Error>| v.map_err(|e| CheckpointError::Io(e.to_string()));
+
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("scenerec-checkpoint v{}\n", ckpt.version).as_bytes());
+    push_section(
+        &mut out,
+        "config",
+        json(serde_json::to_string(&ckpt.config))?.as_bytes(),
+    );
+    push_section(
+        &mut out,
+        "params",
+        json(serde_json::to_string(&ckpt.params))?.as_bytes(),
+    );
+    if let Some(opt) = &ckpt.optimizer {
+        push_section(
+            &mut out,
+            "optimizer",
+            json(serde_json::to_string(opt))?.as_bytes(),
+        );
+    }
+    if let Some(tr) = &ckpt.trainer {
+        push_section(
+            &mut out,
+            "trainer",
+            json(serde_json::to_string(tr))?.as_bytes(),
+        );
+    }
+    let commit = crc32(&out);
+    out.extend_from_slice(format!("commit {commit:08x}\n").as_bytes());
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------
 
 /// Loads a checkpoint from `path` and reconstructs the model over `data`.
 ///
@@ -121,16 +275,207 @@ pub fn load_with_optimizer(
     path: &Path,
     data: &Dataset,
 ) -> Result<(SceneRec, Option<OptimState>), CheckpointError> {
-    let json = fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let ckpt: Checkpoint =
-        serde_json::from_str(&json).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&ckpt.version) {
-        return Err(CheckpointError::BadVersion(ckpt.version));
-    }
+    load_full(path, data, &Injector::disabled()).map(|l| (l.model, l.optimizer))
+}
+
+/// Loads everything a checkpoint holds, routing the raw bytes through
+/// the fault injector's `checkpoint/read` point.
+///
+/// # Errors
+/// See [`CheckpointError`] — every corruption mode maps to a typed error;
+/// no input bytes can make this panic.
+pub fn load_full(
+    path: &Path,
+    data: &Dataset,
+    injector: &Injector,
+) -> Result<Loaded, CheckpointError> {
+    let mut bytes = fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    injector
+        .io("checkpoint/read")
+        .map_err(|e| CheckpointError::Io(e.to_string()))?;
+    injector.corrupt("checkpoint/read", &mut bytes);
+    let ckpt = decode(&bytes)?;
     let mut model = SceneRec::new(ckpt.config, data);
     validate_topology(model.store(), &ckpt.params)?;
     *model.store_mut() = ckpt.params;
-    Ok((model, ckpt.optimizer))
+    Ok(Loaded {
+        model,
+        optimizer: ckpt.optimizer,
+        trainer: ckpt.trainer,
+    })
+}
+
+/// Decodes checkpoint bytes of any supported version.
+fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if bytes.starts_with(MAGIC) {
+        return decode_v3(bytes);
+    }
+    if bytes.first() == Some(&b'{') {
+        // Legacy v1/v2 single-line JSON.
+        let json = std::str::from_utf8(bytes)
+            .map_err(|e| CheckpointError::Malformed(format!("legacy checkpoint not UTF-8: {e}")))?;
+        let ckpt: Checkpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if !(CHECKPOINT_MIN_VERSION..3).contains(&ckpt.version) {
+            return Err(CheckpointError::BadVersion(ckpt.version));
+        }
+        return Ok(ckpt);
+    }
+    Err(CheckpointError::Malformed(
+        "unrecognized checkpoint header (neither v3 magic nor legacy JSON)".to_string(),
+    ))
+}
+
+/// One section of a v3 file, with its byte extents — exposed so the
+/// corruption-matrix test can target every boundary programmatically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionSpan {
+    /// Section name (`config`, `params`, `optimizer`, `trainer`).
+    pub name: String,
+    /// Byte offset of the section's header line.
+    pub header_start: usize,
+    /// Byte offset of the first payload byte.
+    pub payload_start: usize,
+    /// Byte offset one past the last payload byte.
+    pub payload_end: usize,
+}
+
+/// Parses the section table of a v3 checkpoint without decoding payloads.
+///
+/// # Errors
+/// The same structural errors as a full load.
+pub fn section_spans(bytes: &[u8]) -> Result<Vec<SectionSpan>, CheckpointError> {
+    walk_v3(bytes).map(|(spans, _)| spans)
+}
+
+fn decode_v3(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let (spans, version) = walk_v3(bytes)?;
+    let mut config: Option<SceneRecConfig> = None;
+    let mut params: Option<ParamStore> = None;
+    let mut optimizer: Option<OptimState> = None;
+    let mut trainer: Option<TrainerState> = None;
+    for span in &spans {
+        let payload = &bytes[span.payload_start..span.payload_end];
+        let text = std::str::from_utf8(payload).map_err(|e| {
+            CheckpointError::Malformed(format!("section `{}` is not UTF-8: {e}", span.name))
+        })?;
+        let bad = |e: serde::Error| {
+            CheckpointError::Malformed(format!("section `{}` JSON: {e}", span.name))
+        };
+        match span.name.as_str() {
+            "config" => config = Some(serde_json::from_str(text).map_err(bad)?),
+            "params" => params = Some(serde_json::from_str(text).map_err(bad)?),
+            "optimizer" => optimizer = Some(serde_json::from_str(text).map_err(bad)?),
+            "trainer" => trainer = Some(serde_json::from_str(text).map_err(bad)?),
+            // Unknown sections from a future minor revision are skipped.
+            _ => {}
+        }
+    }
+    let config =
+        config.ok_or_else(|| CheckpointError::Malformed("missing `config` section".to_string()))?;
+    let params =
+        params.ok_or_else(|| CheckpointError::Malformed("missing `params` section".to_string()))?;
+    Ok(Checkpoint {
+        version,
+        config,
+        params,
+        optimizer,
+        trainer,
+    })
+}
+
+/// Walks a v3 file: validates the magic/version, every section header,
+/// every section CRC, and the trailing commit marker.
+fn walk_v3(bytes: &[u8]) -> Result<(Vec<SectionSpan>, u32), CheckpointError> {
+    let (magic_line, mut pos) = read_line(bytes, 0, "magic line")?;
+    let version: u32 = magic_line
+        .strip_prefix("scenerec-checkpoint v")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Malformed(format!("bad magic line `{magic_line}`")))?;
+    if version != 3 {
+        return Err(CheckpointError::BadVersion(version));
+    }
+
+    let mut spans = Vec::new();
+    loop {
+        let header_start = pos;
+        let (line, after) = read_line(bytes, pos, "section or commit header")?;
+        if let Some(rest) = line.strip_prefix("commit ") {
+            let recorded = u32::from_str_radix(rest.trim(), 16)
+                .map_err(|_| CheckpointError::Malformed(format!("bad commit marker `{line}`")))?;
+            let actual = crc32(&bytes[..header_start]);
+            if recorded != actual {
+                return Err(CheckpointError::CorruptSection("commit".to_string()));
+            }
+            if after != bytes.len() {
+                return Err(CheckpointError::Malformed(
+                    "trailing bytes after commit marker".to_string(),
+                ));
+            }
+            return Ok((spans, version));
+        }
+        let parts: Vec<&str> = line.split(' ').collect();
+        let (name, len, recorded) = match parts.as_slice() {
+            ["section", name, len, crc] => {
+                let len: usize = len.parse().map_err(|_| {
+                    CheckpointError::Malformed(format!("bad section length in `{line}`"))
+                })?;
+                let crc = u32::from_str_radix(crc, 16).map_err(|_| {
+                    CheckpointError::Malformed(format!("bad section CRC in `{line}`"))
+                })?;
+                (name.to_string(), len, crc)
+            }
+            _ => {
+                return Err(CheckpointError::Malformed(format!(
+                    "expected a section or commit header, got `{line}`"
+                )))
+            }
+        };
+        let payload_start = after;
+        let payload_end = payload_start.checked_add(len).filter(|&e| e < bytes.len());
+        let Some(payload_end) = payload_end else {
+            return Err(CheckpointError::Truncated(format!(
+                "section `{name}` claims {len} payload bytes past end of file"
+            )));
+        };
+        if bytes[payload_end] != b'\n' {
+            return Err(CheckpointError::Malformed(format!(
+                "section `{name}` payload is not newline-terminated"
+            )));
+        }
+        if crc32(&bytes[payload_start..payload_end]) != recorded {
+            return Err(CheckpointError::CorruptSection(name));
+        }
+        spans.push(SectionSpan {
+            name,
+            header_start,
+            payload_start,
+            payload_end,
+        });
+        pos = payload_end + 1;
+    }
+}
+
+/// Reads one `\n`-terminated ASCII line starting at `pos`.
+fn read_line<'a>(
+    bytes: &'a [u8],
+    pos: usize,
+    what: &str,
+) -> Result<(&'a str, usize), CheckpointError> {
+    if pos >= bytes.len() {
+        return Err(CheckpointError::Truncated(format!(
+            "unexpected end of file (expected {what})"
+        )));
+    }
+    let rest = &bytes[pos..];
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        return Err(CheckpointError::Truncated(format!(
+            "{what} is not newline-terminated"
+        )));
+    };
+    let line = std::str::from_utf8(&rest[..nl])
+        .map_err(|e| CheckpointError::Malformed(format!("{what} is not UTF-8: {e}")))?;
+    Ok((line, pos + nl + 1))
 }
 
 fn validate_topology(fresh: &ParamStore, stored: &ParamStore) -> Result<(), CheckpointError> {
@@ -161,11 +506,128 @@ fn validate_topology(fresh: &ParamStore, stored: &ParamStore) -> Result<(), Chec
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Retention-window store
+// ---------------------------------------------------------------------
+
+/// A directory of epoch-stamped checkpoints with a bounded retention
+/// window and newest-first fallback loading.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl CheckpointStore {
+    /// A store over `dir` keeping at most `retain` checkpoints
+    /// (`retain` is clamped to at least 1).
+    pub fn new(dir: impl Into<PathBuf>, retain: usize) -> Self {
+        CheckpointStore {
+            dir: dir.into(),
+            retain: retain.max(1),
+        }
+    }
+
+    /// The file path used for `epoch`'s checkpoint.
+    pub fn path_for(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("ckpt-{epoch:08}.sck"))
+    }
+
+    /// Saves an epoch checkpoint and prunes files beyond the retention
+    /// window (oldest first).
+    ///
+    /// # Errors
+    /// Save failures; pruning failures are ignored (stale files only
+    /// waste space, they are never loaded before newer good ones).
+    pub fn save(
+        &self,
+        model: &SceneRec,
+        optimizer: Option<&OptimState>,
+        trainer: Option<&TrainerState>,
+        epoch: usize,
+        injector: &Injector,
+    ) -> Result<PathBuf, CheckpointError> {
+        fs::create_dir_all(&self.dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let path = self.path_for(epoch);
+        save_full(model, optimizer, trainer, &path, injector)?;
+        let files = self.list()?;
+        if files.len() > self.retain {
+            for (_, stale) in &files[..files.len() - self.retain] {
+                fs::remove_file(stale).ok();
+            }
+        }
+        Ok(path)
+    }
+
+    /// Every checkpoint in the store, ascending by epoch.
+    ///
+    /// # Errors
+    /// Directory read failures (a missing directory is an empty store).
+    pub fn list(&self) -> Result<Vec<(usize, PathBuf)>, CheckpointError> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(CheckpointError::Io(e.to_string())),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(epoch) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".sck"))
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            out.push((epoch, entry.path()));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads the newest checkpoint that passes every integrity check,
+    /// falling back across the retained window. Corrupt candidates are
+    /// counted on the `checkpoint/fallbacks` obs counter and skipped.
+    ///
+    /// Returns `Ok(None)` for an empty store.
+    ///
+    /// # Errors
+    /// [`CheckpointError::NoUsable`] when checkpoints exist but none
+    /// load; directory read failures.
+    pub fn load_latest_good(
+        &self,
+        data: &Dataset,
+        injector: &Injector,
+    ) -> Result<Option<(Loaded, usize)>, CheckpointError> {
+        let files = self.list()?;
+        if files.is_empty() {
+            return Ok(None);
+        }
+        let mut last_err: Option<CheckpointError> = None;
+        for (epoch, path) in files.iter().rev() {
+            match load_full(path, data, injector) {
+                Ok(loaded) => return Ok(Some((loaded, *epoch))),
+                Err(e) => {
+                    metrics::counter("checkpoint/fallbacks").inc();
+                    last_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(CheckpointError::NoUsable {
+            tried: files.len(),
+            last: last_err.map(|e| e.to_string()).unwrap_or_default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trainer::{test as eval_test, train, TrainConfig};
     use scenerec_data::{generate, GeneratorConfig};
+    use scenerec_faults::{Fault, FaultPlan, Trigger};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("scenerec-checkpoint-tests");
@@ -187,7 +649,7 @@ mod tests {
         train(&mut model, &data, &cfg);
         let before = eval_test(&model, &data, &cfg);
 
-        let path = tmp("model.json");
+        let path = tmp("model.sck");
         save(&model, &path).unwrap();
         let restored = load(&path, &data).unwrap();
         let after = eval_test(&restored, &data, &cfg);
@@ -200,7 +662,7 @@ mod tests {
     fn load_rejects_different_dataset() {
         let data = generate(&GeneratorConfig::tiny(72)).unwrap();
         let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
-        let path = tmp("model2.json");
+        let path = tmp("model2.sck");
         save(&model, &path).unwrap();
 
         let mut other_cfg = GeneratorConfig::tiny(73);
@@ -220,8 +682,9 @@ mod tests {
             config: model.config().clone(),
             params: model.store().clone(),
             optimizer: None,
+            trainer: None,
         };
-        let path = tmp("model3.json");
+        let path = tmp("model3.sck");
         std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
         assert!(matches!(
             load(&path, &data).unwrap_err(),
@@ -233,7 +696,7 @@ mod tests {
     #[test]
     fn load_missing_file_is_io_error() {
         let data = generate(&GeneratorConfig::tiny(75)).unwrap();
-        let err = load(Path::new("/nonexistent/model.json"), &data).unwrap_err();
+        let err = load(Path::new("/nonexistent/model.sck"), &data).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
     }
 
@@ -261,14 +724,15 @@ mod tests {
             "RMSProp after training must have cache state"
         );
 
-        let first = tmp("roundtrip_a.json");
-        let second = tmp("roundtrip_b.json");
+        let first = tmp("roundtrip_a.sck");
+        let second = tmp("roundtrip_b.sck");
         save_with_optimizer(&model, Some(&state), &first).unwrap();
         let (restored, restored_state) = load_with_optimizer(&first, &data).unwrap();
         save_with_optimizer(&restored, restored_state.as_ref(), &second).unwrap();
         let a = std::fs::read(&first).unwrap();
         let b = std::fs::read(&second).unwrap();
         assert_eq!(a, b, "save → load → save changed the bytes");
+        assert!(a.starts_with(MAGIC), "current saves must be v3");
 
         // The restored state must resume the optimizer it came from.
         let mut resumed = make_optimizer(&cfg);
@@ -286,17 +750,147 @@ mod tests {
     fn v1_checkpoint_without_optimizer_field_loads() {
         let data = generate(&GeneratorConfig::tiny(77)).unwrap();
         let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
-        let path = tmp("v1.json");
-        save(&model, &path).unwrap();
-        let json = std::fs::read_to_string(&path).unwrap();
+        let ckpt = Checkpoint {
+            version: 2,
+            config: model.config().clone(),
+            params: model.store().clone(),
+            optimizer: None,
+            trainer: None,
+        };
+        let json = serde_json::to_string(&ckpt).unwrap();
         let v1 = json
             .replace("\"version\":2", "\"version\":1")
-            .replace(",\"optimizer\":null", "");
+            .replace(",\"optimizer\":null", "")
+            .replace(",\"trainer\":null", "");
         assert_ne!(json, v1, "fixture edit did not apply");
+        let path = tmp("v1.json");
         std::fs::write(&path, v1).unwrap();
         let (restored, state) = load_with_optimizer(&path, &data).unwrap();
         assert!(state.is_none());
         assert_eq!(restored.config().dim, 8);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Legacy v2 JSON (whole-checkpoint JSON object) still loads.
+    #[test]
+    fn v2_json_checkpoint_loads() {
+        let data = generate(&GeneratorConfig::tiny(78)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let ckpt = Checkpoint {
+            version: 2,
+            config: model.config().clone(),
+            params: model.store().clone(),
+            optimizer: None,
+            trainer: None,
+        };
+        let path = tmp("v2.json");
+        std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
+        let restored = load(&path, &data).unwrap();
+        assert_eq!(restored.config().dim, 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let data = generate(&GeneratorConfig::tiny(79)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(4), &data);
+        let path = tmp("trunc.sck");
+        save(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [1usize, 24, bytes.len() / 2, bytes.len() - 2] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = load(&path, &data).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated(_)
+                        | CheckpointError::Malformed(_)
+                        | CheckpointError::CorruptSection(_)
+                ),
+                "cut={cut}: {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_corrupt_section() {
+        let data = generate(&GeneratorConfig::tiny(80)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(4), &data);
+        let path = tmp("flip.sck");
+        save(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let spans = section_spans(&bytes).unwrap();
+        let params = spans.iter().find(|s| s.name == "params").unwrap();
+        let mut broken = bytes.clone();
+        broken[params.payload_start + 5] ^= 0x10;
+        std::fs::write(&path, &broken).unwrap();
+        match load(&path, &data).unwrap_err() {
+            CheckpointError::CorruptSection(name) => assert_eq!(name, "params"),
+            other => panic!("expected CorruptSection, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_commit_failure_preserves_previous_checkpoint() {
+        let data = generate(&GeneratorConfig::tiny(81)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(4), &data);
+        let path = tmp("atomic.sck");
+        save(&model, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let injector = Injector::new(FaultPlan::new(3).inject(
+            "checkpoint/commit",
+            Trigger::Nth(1),
+            Fault::Io,
+        ));
+        let other = SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(9), &data);
+        let err = save_full(&other, None, None, &path, &injector).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            good,
+            "failed commit must not clobber the previous checkpoint"
+        );
+        assert!(!tmp_path(&path).exists(), "tmp file must be cleaned up");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_retains_window_and_falls_back() {
+        let data = generate(&GeneratorConfig::tiny(82)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(4), &data);
+        let dir = tmp("store_fallback");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::new(&dir, 2);
+        let off = Injector::disabled();
+        for epoch in [1usize, 2, 3] {
+            store.save(&model, None, None, epoch, &off).unwrap();
+        }
+        let epochs: Vec<usize> = store.list().unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(epochs, vec![2, 3], "retention window is 2");
+
+        // Corrupt the newest; fallback must land on epoch 2.
+        let newest = store.path_for(3);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (_, epoch) = store.load_latest_good(&data, &off).unwrap().unwrap();
+        assert_eq!(epoch, 2);
+
+        // Corrupt everything: typed NoUsable, not a panic.
+        let second = store.path_for(2);
+        std::fs::write(&second, b"garbage").unwrap();
+        let err = store.load_latest_good(&data, &off).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::NoUsable { tried: 2, .. }),
+            "{err}"
+        );
+
+        // Empty store: Ok(None).
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(store.load_latest_good(&data, &off).unwrap().is_none());
     }
 }

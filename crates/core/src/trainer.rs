@@ -8,6 +8,8 @@
 //! validation NDCG@K.
 
 use crate::api::{ModelScorer, PairwiseModel};
+use crate::checkpoint::{CheckpointError, CheckpointStore};
+use crate::model::SceneRec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -15,11 +17,13 @@ use scenerec_autodiff::optim::{Adam, Optimizer, RmsProp, Sgd};
 use scenerec_autodiff::{GradStore, Graph};
 use scenerec_data::Dataset;
 use scenerec_eval::{evaluate, EvalSummary};
+use scenerec_faults::Injector;
 use scenerec_graph::ItemId;
 use scenerec_obs::{obs_event, FieldValue, Level, Stopwatch};
 use scenerec_tensor::stats::RunningStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Optimizer selection for training runs.
@@ -271,99 +275,32 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
     let workers = cfg.threads.max(1);
     scenerec_obs::metrics::gauge("train/workers").set(workers as f64);
 
-    let batch = cfg.batch_size.max(1);
-    let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(batch);
+    let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.batch_size.max(1));
     for epoch in 0..cfg.epochs {
-        let mut phases = PhaseBreakdown::default();
-        let mut mark = Stopwatch::start();
-        pairs.shuffle(&mut rng);
-        let mut loss_stats = RunningStats::new();
-        phases.sample_ns += mark.lap_ns();
-
-        for chunk in pairs.chunks(batch) {
-            grads.clear();
-
-            // Rejection-sample all negatives for the batch serially: the
-            // number of draws per pair is data-dependent, so only a fixed
-            // consumption order keeps the RNG stream thread-invariant.
-            mark = Stopwatch::start();
-            triples.clear();
-            for &(u, pos) in chunk {
-                let neg = loop {
-                    let cand = rng.gen_range(0..num_items);
-                    if !known[u as usize].contains(&cand) {
-                        break cand;
-                    }
-                };
-                triples.push((u, pos, neg));
-            }
-            phases.sample_ns += mark.lap_ns();
-
-            // Fan out: contiguous sub-ranges, one tape per example. A
-            // single worker (or a single-example batch) runs inline.
-            let fan = workers.min(triples.len());
-            let sub = triples.len().div_ceil(fan.max(1));
-            let model_ref: &M = model;
-            let triples_ref: &[(u32, u32, u32)] = &triples;
-            let fan_start = Stopwatch::start();
-            let worker_out = scenerec_tensor::par::map_workers(fan, |w| {
-                let lo = (w * sub).min(triples_ref.len());
-                let hi = (lo + sub).min(triples_ref.len());
-                let mut out = Vec::with_capacity(hi - lo);
-                let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
-                for &(u, pos, neg) in &triples_ref[lo..hi] {
-                    let mut wmark = Stopwatch::start();
-                    let mut g = Graph::new(model_ref.store());
-                    let p = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
-                    let n = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
-                    let loss = g.bpr_loss(p, n);
-                    let loss_val = g.scalar(loss);
-                    fwd_ns += wmark.lap_ns();
-                    let mut example_grads = GradStore::new(model_ref.store());
-                    g.backward(loss, &mut example_grads);
-                    bwd_ns += wmark.lap_ns();
-                    out.push((loss_val, example_grads));
-                }
-                (out, fwd_ns, bwd_ns)
-            });
-            phases.fanout_ns += fan_start.elapsed_ns();
-
-            // Reduce in example order (workers come back in worker order
-            // and each holds a contiguous sub-range, so flattening is the
-            // original example order).
-            mark = Stopwatch::start();
-            for (out, fwd_ns, bwd_ns) in worker_out {
-                phases.forward_ns += fwd_ns;
-                phases.backward_ns += bwd_ns;
-                for (loss_val, example_grads) in &out {
-                    loss_stats.push(*loss_val);
-                    grads.merge(example_grads);
-                }
-            }
-            phases.reduce_ns += mark.lap_ns();
-            if chunk.len() > 1 {
-                // Mean gradient over the batch, matching the per-example
-                // loss scale of batch_size = 1.
-                grads.scale(1.0 / chunk.len() as f32);
-            }
-            if cfg.clip_norm > 0.0 {
-                let norm = scenerec_autodiff::optim::clip_global_norm(&mut grads, cfg.clip_norm);
-                grad_norm_hist.observe(norm as f64);
-            }
-            opt.step(model.store_mut(), &grads);
-            phases.step_ns += mark.lap_ns();
-        }
+        let (mean_loss, mut phases) = run_epoch(
+            model,
+            cfg,
+            opt,
+            &mut rng,
+            &mut pairs,
+            &known,
+            num_items,
+            &mut grads,
+            &mut triples,
+            &grad_norm_hist,
+            workers,
+        );
 
         let mut record = EpochRecord {
             epoch,
-            mean_loss: loss_stats.mean(),
+            mean_loss,
             val_ndcg: None,
             val_hr: None,
         };
 
         let should_eval = cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0;
         if should_eval && !data.split.validation.is_empty() {
-            mark = Stopwatch::start();
+            let mut mark = Stopwatch::start();
             let summary = validate(model, data, cfg);
             phases.eval_ns += mark.lap_ns();
             record.val_ndcg = Some(summary.metrics.ndcg);
@@ -403,6 +340,404 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
         }
     }
     report
+}
+
+/// One epoch of BPR training: shuffle `pairs` with `rng`, then run the
+/// batched data-parallel update loop. Returns the epoch's mean loss and
+/// wall-time breakdown.
+///
+/// This is the body shared by [`train_with_optimizer`] (one rng stream
+/// across all epochs) and [`train_resumable`] (a fresh rng per epoch, so
+/// every epoch's outcome is a pure function of the parameters, optimizer
+/// state, and epoch index — the property that makes crash-resume
+/// byte-identical to an uninterrupted run).
+#[allow(clippy::too_many_arguments)]
+fn run_epoch<M: PairwiseModel + Sync>(
+    model: &mut M,
+    cfg: &TrainConfig,
+    opt: &mut dyn Optimizer,
+    rng: &mut StdRng,
+    pairs: &mut [(u32, u32)],
+    known: &[HashSet<u32>],
+    num_items: u32,
+    grads: &mut GradStore,
+    triples: &mut Vec<(u32, u32, u32)>,
+    grad_norm_hist: &scenerec_obs::metrics::Histogram,
+    workers: usize,
+) -> (f32, PhaseBreakdown) {
+    let batch = cfg.batch_size.max(1);
+    let mut phases = PhaseBreakdown::default();
+    let mut mark = Stopwatch::start();
+    pairs.shuffle(rng);
+    let mut loss_stats = RunningStats::new();
+    phases.sample_ns += mark.lap_ns();
+
+    for chunk in pairs.chunks(batch) {
+        grads.clear();
+
+        // Rejection-sample all negatives for the batch serially: the
+        // number of draws per pair is data-dependent, so only a fixed
+        // consumption order keeps the RNG stream thread-invariant.
+        mark = Stopwatch::start();
+        triples.clear();
+        for &(u, pos) in chunk {
+            let neg = loop {
+                let cand = rng.gen_range(0..num_items);
+                if !known[u as usize].contains(&cand) {
+                    break cand;
+                }
+            };
+            triples.push((u, pos, neg));
+        }
+        phases.sample_ns += mark.lap_ns();
+
+        // Fan out: contiguous sub-ranges, one tape per example. A
+        // single worker (or a single-example batch) runs inline.
+        let fan = workers.min(triples.len());
+        let sub = triples.len().div_ceil(fan.max(1));
+        let model_ref: &M = model;
+        let triples_ref: &[(u32, u32, u32)] = triples;
+        let fan_start = Stopwatch::start();
+        let worker_out = scenerec_tensor::par::map_workers(fan, |w| {
+            let lo = (w * sub).min(triples_ref.len());
+            let hi = (lo + sub).min(triples_ref.len());
+            let mut out = Vec::with_capacity(hi - lo);
+            let (mut fwd_ns, mut bwd_ns) = (0u64, 0u64);
+            for &(u, pos, neg) in &triples_ref[lo..hi] {
+                let mut wmark = Stopwatch::start();
+                let mut g = Graph::new(model_ref.store());
+                let p = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(pos));
+                let n = model_ref.build_score(&mut g, scenerec_graph::UserId(u), ItemId(neg));
+                let loss = g.bpr_loss(p, n);
+                let loss_val = g.scalar(loss);
+                fwd_ns += wmark.lap_ns();
+                let mut example_grads = GradStore::new(model_ref.store());
+                g.backward(loss, &mut example_grads);
+                bwd_ns += wmark.lap_ns();
+                out.push((loss_val, example_grads));
+            }
+            (out, fwd_ns, bwd_ns)
+        });
+        phases.fanout_ns += fan_start.elapsed_ns();
+
+        // Reduce in example order (workers come back in worker order
+        // and each holds a contiguous sub-range, so flattening is the
+        // original example order).
+        mark = Stopwatch::start();
+        for (out, fwd_ns, bwd_ns) in worker_out {
+            phases.forward_ns += fwd_ns;
+            phases.backward_ns += bwd_ns;
+            for (loss_val, example_grads) in &out {
+                loss_stats.push(*loss_val);
+                grads.merge(example_grads);
+            }
+        }
+        phases.reduce_ns += mark.lap_ns();
+        if chunk.len() > 1 {
+            // Mean gradient over the batch, matching the per-example
+            // loss scale of batch_size = 1.
+            grads.scale(1.0 / chunk.len() as f32);
+        }
+        if cfg.clip_norm > 0.0 {
+            let norm = scenerec_autodiff::optim::clip_global_norm(grads, cfg.clip_norm);
+            grad_norm_hist.observe(norm as f64);
+        }
+        opt.step(model.store_mut(), grads);
+        phases.step_ns += mark.lap_ns();
+    }
+
+    (loss_stats.mean(), phases)
+}
+
+// ---------------------------------------------------------------------
+// Resumable training
+// ---------------------------------------------------------------------
+
+/// Trainer bookkeeping that rides in a checkpoint's `trainer` section so
+/// [`train_resumable`] can continue exactly where a crashed run stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// The next epoch to run (epochs `0..next_epoch` are complete).
+    pub next_epoch: usize,
+    /// Per-epoch records of the completed epochs.
+    pub epochs: Vec<EpochRecord>,
+    /// Best validation NDCG@K so far.
+    pub best_val_ndcg: f32,
+    /// Epoch of the best validation NDCG.
+    pub best_epoch: usize,
+    /// Consecutive non-improving evaluations (early-stopping counter).
+    pub bad_evals: usize,
+    /// Whether early stopping already fired (a resumed run must not
+    /// train past it).
+    pub early_stopped: bool,
+}
+
+impl TrainerState {
+    fn fresh() -> Self {
+        TrainerState {
+            next_epoch: 0,
+            epochs: Vec::new(),
+            best_val_ndcg: 0.0,
+            best_epoch: 0,
+            bad_evals: 0,
+            early_stopped: false,
+        }
+    }
+}
+
+/// Checkpointing policy for [`train_resumable`].
+#[derive(Debug, Clone)]
+pub struct ResumableTrainConfig {
+    /// Directory holding the checkpoint files.
+    pub dir: PathBuf,
+    /// Save a checkpoint every this many epochs (clamped to ≥ 1); the
+    /// final epoch is always checkpointed.
+    pub checkpoint_every: usize,
+    /// Retention window: how many checkpoints to keep on disk.
+    pub retain: usize,
+}
+
+impl ResumableTrainConfig {
+    /// A policy over `dir` checkpointing every `checkpoint_every` epochs
+    /// and retaining 3 files.
+    pub fn new(dir: impl Into<PathBuf>, checkpoint_every: usize) -> Self {
+        ResumableTrainConfig {
+            dir: dir.into(),
+            checkpoint_every,
+            retain: 3,
+        }
+    }
+}
+
+/// Why a [`train_resumable`] run did not finish.
+#[derive(Debug)]
+pub enum TrainRunError {
+    /// Resume state could not be loaded (every retained checkpoint is
+    /// unusable, or the directory is unreadable).
+    Checkpoint(CheckpointError),
+    /// An injected crash stopped the run after `epoch`; calling
+    /// [`train_resumable`] again resumes from the last good checkpoint.
+    Interrupted {
+        /// The last epoch that ran before the crash.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TrainRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainRunError::Checkpoint(e) => write!(f, "cannot resume training: {e}"),
+            TrainRunError::Interrupted { epoch } => {
+                write!(f, "training interrupted after epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainRunError {}
+
+impl From<CheckpointError> for TrainRunError {
+    fn from(e: CheckpointError) -> Self {
+        TrainRunError::Checkpoint(e)
+    }
+}
+
+/// Derives the rng seed for one epoch of a resumable run (splitmix64 over
+/// the base seed and epoch index).
+fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+    let mut z = seed.wrapping_add(
+        (epoch as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`train`] with crash-resume: checkpoints every
+/// [`ResumableTrainConfig::checkpoint_every`] epochs and, on entry,
+/// resumes from the newest good checkpoint in
+/// [`ResumableTrainConfig::dir`].
+///
+/// Unlike [`train_with_optimizer`], every epoch draws from a **fresh rng
+/// seeded by `(cfg.seed, epoch)`**, so an epoch's outcome depends only on
+/// the parameters, optimizer state, and epoch index. Combined with the
+/// lossless checkpoint round-trip this makes a crashed-and-resumed run
+/// **byte-identical** to an uninterrupted one — the invariant
+/// `tests/chaos.rs` pins under injected crashes.
+///
+/// Checkpoint *save* failures are survivable by design (the run keeps
+/// training and the next good save supersedes the failed one); they are
+/// counted on `train/checkpoint_failures`. Resume failures are not: if
+/// checkpoints exist but none loads, the caller gets
+/// [`TrainRunError::Checkpoint`] rather than silently restarting from
+/// scratch.
+///
+/// # Errors
+/// [`TrainRunError::Interrupted`] when the injector fires a crash at
+/// `train/epoch` (call again to resume); [`TrainRunError::Checkpoint`]
+/// when resume state exists but cannot be loaded.
+pub fn train_resumable(
+    model: &mut SceneRec,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rcfg: &ResumableTrainConfig,
+    injector: &Injector,
+) -> Result<TrainReport, TrainRunError> {
+    let store = CheckpointStore::new(&rcfg.dir, rcfg.retain);
+    let every = rcfg.checkpoint_every.max(1);
+    let mut opt = make_optimizer(cfg);
+    let mut state = TrainerState::fresh();
+
+    if let Some((loaded, epoch)) = store.load_latest_good(data, injector)? {
+        *model = loaded.model;
+        if let Some(os) = &loaded.optimizer {
+            opt.import_state(os)
+                .map_err(|e| CheckpointError::Malformed(format!("optimizer state: {e}")))?;
+        }
+        if let Some(ts) = loaded.trainer {
+            state = ts;
+        }
+        scenerec_obs::metrics::counter("train/resumes").inc();
+        obs_event!(
+            Level::Info, "trainer", "resumed";
+            "checkpoint_epoch" => epoch,
+            "next_epoch" => state.next_epoch,
+        );
+    }
+
+    let mut report = TrainReport {
+        epochs: state.epochs,
+        best_val_ndcg: state.best_val_ndcg,
+        best_epoch: state.best_epoch,
+        early_stopped: state.early_stopped,
+        phases: PhaseBreakdown::default(),
+    };
+    let mut bad_evals = state.bad_evals;
+    let start_epoch = state.next_epoch;
+    if report.early_stopped {
+        return Ok(report);
+    }
+
+    let mut grads = GradStore::new(model.store());
+    let num_users = data.num_users() as usize;
+    let mut known: Vec<HashSet<u32>> = vec![HashSet::new(); num_users];
+    for (u, i, _) in data.interactions.iter_interactions() {
+        known[u.index()].insert(i.raw());
+    }
+    let base_pairs: Vec<(u32, u32)> = data
+        .split
+        .train
+        .iter()
+        .map(|&(u, i)| (u.raw(), i.raw()))
+        .collect();
+    let num_items = data.num_items();
+
+    let epoch_level = if cfg.verbose {
+        Level::Info
+    } else {
+        Level::Debug
+    };
+    let grad_norm_hist = scenerec_obs::metrics::histogram("train/grad_norm", &GRAD_NORM_EDGES);
+    let workers = cfg.threads.max(1);
+    scenerec_obs::metrics::gauge("train/workers").set(workers as f64);
+    let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.batch_size.max(1));
+
+    for epoch in start_epoch..cfg.epochs {
+        // A fresh, epoch-indexed rng: resume replays the exact stream the
+        // uninterrupted run would have consumed.
+        let mut rng = StdRng::seed_from_u64(epoch_seed(cfg.seed, epoch));
+        let mut pairs = base_pairs.clone();
+        let (mean_loss, mut phases) = run_epoch(
+            model,
+            cfg,
+            opt.as_mut(),
+            &mut rng,
+            &mut pairs,
+            &known,
+            num_items,
+            &mut grads,
+            &mut triples,
+            &grad_norm_hist,
+            workers,
+        );
+
+        let mut record = EpochRecord {
+            epoch,
+            mean_loss,
+            val_ndcg: None,
+            val_hr: None,
+        };
+        let should_eval = cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0;
+        if should_eval && !data.split.validation.is_empty() {
+            let mut mark = Stopwatch::start();
+            let summary = validate(model, data, cfg);
+            phases.eval_ns += mark.lap_ns();
+            record.val_ndcg = Some(summary.metrics.ndcg);
+            record.val_hr = Some(summary.metrics.hr);
+            if summary.metrics.ndcg > report.best_val_ndcg {
+                report.best_val_ndcg = summary.metrics.ndcg;
+                report.best_epoch = epoch;
+                bad_evals = 0;
+            } else {
+                bad_evals += 1;
+            }
+        }
+
+        record_epoch_telemetry(model.name(), &record, &phases, base_pairs.len());
+        obs_event!(
+            epoch_level, "trainer", "epoch";
+            "model" => model.name(),
+            "epoch" => epoch,
+            "mean_loss" => record.mean_loss as f64,
+            "val_ndcg" => opt_metric(record.val_ndcg),
+            "val_hr" => opt_metric(record.val_hr),
+            "sample_ns" => phases.sample_ns,
+            "forward_ns" => phases.forward_ns,
+            "backward_ns" => phases.backward_ns,
+            "step_ns" => phases.step_ns,
+            "eval_ns" => phases.eval_ns,
+            "fanout_ns" => phases.fanout_ns,
+            "reduce_ns" => phases.reduce_ns,
+            "workers" => workers,
+        );
+        report.phases.add(&phases);
+        report.epochs.push(record);
+
+        if cfg.patience > 0 && bad_evals >= cfg.patience {
+            report.early_stopped = true;
+        }
+
+        let done = report.early_stopped || epoch + 1 == cfg.epochs;
+        if done || (epoch + 1) % every == 0 {
+            let tstate = TrainerState {
+                next_epoch: epoch + 1,
+                epochs: report.epochs.clone(),
+                best_val_ndcg: report.best_val_ndcg,
+                best_epoch: report.best_epoch,
+                bad_evals,
+                early_stopped: report.early_stopped,
+            };
+            let os = opt.export_state();
+            if let Err(e) = store.save(model, Some(&os), Some(&tstate), epoch + 1, injector) {
+                scenerec_obs::metrics::counter("train/checkpoint_failures").inc();
+                obs_event!(
+                    Level::Warn, "trainer", "checkpoint save failed";
+                    "epoch" => epoch,
+                    "error" => e.to_string(),
+                );
+            }
+        }
+
+        if injector.crash("train/epoch") {
+            return Err(TrainRunError::Interrupted { epoch });
+        }
+        if report.early_stopped {
+            break;
+        }
+    }
+    Ok(report)
 }
 
 fn opt_metric(v: Option<f32>) -> FieldValue {
@@ -682,5 +1017,123 @@ mod tests {
         let (params, epochs) = train_outcome(4);
         assert_eq!(base_params, params);
         assert_eq!(base_epochs, epochs);
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("scenerec-trainer-tests")
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn params_of(model: &SceneRec) -> Vec<Vec<f32>> {
+        model
+            .store()
+            .iter()
+            .map(|(_, p)| p.value().as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn resumable_matches_itself_and_checkpoints() {
+        use scenerec_faults::Injector;
+
+        let data = generate(&GeneratorConfig::tiny(41)).unwrap();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 4;
+        cfg.eval_every = 0;
+        let run = |dir: &std::path::Path| {
+            let mut model =
+                SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(13), &data);
+            let rcfg = ResumableTrainConfig::new(dir, 2);
+            let report =
+                train_resumable(&mut model, &data, &cfg, &rcfg, &Injector::disabled()).unwrap();
+            (params_of(&model), report.epochs)
+        };
+        let dir_a = tmp_dir("resume_a");
+        let dir_b = tmp_dir("resume_b");
+        let a = run(&dir_a);
+        let b = run(&dir_b);
+        assert_eq!(a, b, "resumable training is deterministic");
+        assert_eq!(a.1.len(), 4);
+
+        // Checkpoints landed at the cadence (epochs 2 and 4) and resume
+        // from a finished run returns the stored report without training.
+        let store = CheckpointStore::new(&dir_a, 3);
+        let epochs: Vec<usize> = store.list().unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(epochs, vec![2, 4]);
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(13), &data);
+        let rcfg = ResumableTrainConfig::new(&dir_a, 2);
+        let report =
+            train_resumable(&mut model, &data, &cfg, &rcfg, &Injector::disabled()).unwrap();
+        assert_eq!(report.epochs, a.1, "finished run resumes to its own report");
+        assert_eq!(params_of(&model), a.0);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn crash_and_resume_is_byte_identical() {
+        use scenerec_faults::{Fault, FaultPlan, Injector, Trigger};
+
+        let data = generate(&GeneratorConfig::tiny(42)).unwrap();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 5;
+        let model_cfg = SceneRecConfig::default().with_dim(4).with_seed(21);
+
+        // Uninterrupted reference run.
+        let clean_dir = tmp_dir("crash_clean");
+        let mut clean = SceneRec::new(model_cfg.clone(), &data);
+        let rcfg = ResumableTrainConfig::new(&clean_dir, 2);
+        let clean_report =
+            train_resumable(&mut clean, &data, &cfg, &rcfg, &Injector::disabled()).unwrap();
+
+        // Crash after epoch 2 (probe #3), then resume to completion.
+        let dir = tmp_dir("crash_resume");
+        let rcfg = ResumableTrainConfig::new(&dir, 2);
+        let inj =
+            Injector::new(FaultPlan::new(1).inject("train/epoch", Trigger::Nth(3), Fault::Panic));
+        let mut model = SceneRec::new(model_cfg.clone(), &data);
+        let err = train_resumable(&mut model, &data, &cfg, &rcfg, &inj).unwrap_err();
+        assert!(
+            matches!(err, TrainRunError::Interrupted { epoch: 2 }),
+            "{err}"
+        );
+
+        let mut resumed = SceneRec::new(model_cfg, &data);
+        let report = train_resumable(&mut resumed, &data, &cfg, &rcfg, &inj).unwrap();
+        assert_eq!(
+            params_of(&resumed),
+            params_of(&clean),
+            "crash-resumed parameters must be bit-identical"
+        );
+        assert_eq!(report.epochs, clean_report.epochs);
+        std::fs::remove_dir_all(&clean_dir).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_save_failures_are_survivable() {
+        use scenerec_faults::{Fault, FaultPlan, Injector, Trigger};
+
+        let data = generate(&GeneratorConfig::tiny(43)).unwrap();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        cfg.eval_every = 0;
+        let dir = tmp_dir("save_fail");
+        let rcfg = ResumableTrainConfig {
+            dir: dir.clone(),
+            checkpoint_every: 1,
+            retain: 3,
+        };
+        // Every write fails: training must still complete.
+        let inj =
+            Injector::new(FaultPlan::new(2).inject("checkpoint/write", Trigger::Always, Fault::Io));
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(4).with_seed(8), &data);
+        let report = train_resumable(&mut model, &data, &cfg, &rcfg, &inj).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        assert!(CheckpointStore::new(&dir, 3).list().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

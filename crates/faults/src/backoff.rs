@@ -1,0 +1,77 @@
+//! Deterministic logical-time retry backoff.
+//!
+//! Retry delays in this workspace are **logical ticks**, not wall time:
+//! the scheduler's deadline arithmetic, the chaos tests and the property
+//! suite all need the schedule to be a pure function of the attempt
+//! index. `ticks(a)` is exponential (`base · 2^a`) saturating at `cap`,
+//! so it is monotonically non-decreasing, bounded, and identical no
+//! matter which worker retries — the properties pinned by
+//! `tests/properties.rs`.
+
+/// An exponential, capped, purely logical backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Ticks charged for the first retry (attempt 0).
+    pub base: u64,
+    /// Upper bound on any single delay.
+    pub cap: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff { base: 16, cap: 256 }
+    }
+}
+
+impl Backoff {
+    /// A schedule with the given base and cap.
+    pub fn new(base: u64, cap: u64) -> Self {
+        Backoff { base, cap }
+    }
+
+    /// The delay (in logical ticks) before retry number `attempt`
+    /// (0-based): `min(cap, base · 2^attempt)` with saturation.
+    pub fn ticks(&self, attempt: u32) -> u64 {
+        let doubled = if attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base.saturating_mul(1u64 << attempt)
+        };
+        doubled.min(self.cap)
+    }
+
+    /// Total ticks spent after `attempts` retries.
+    pub fn total_ticks(&self, attempts: u32) -> u64 {
+        (0..attempts).fold(0u64, |acc, a| acc.saturating_add(self.ticks(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let b = Backoff::new(16, 100);
+        assert_eq!(b.ticks(0), 16);
+        assert_eq!(b.ticks(1), 32);
+        assert_eq!(b.ticks(2), 64);
+        assert_eq!(b.ticks(3), 100);
+        assert_eq!(b.ticks(63), 100);
+    }
+
+    #[test]
+    fn zero_base_stays_zero() {
+        let b = Backoff::new(0, 50);
+        for a in 0..10 {
+            assert_eq!(b.ticks(a), 0);
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let b = Backoff::new(8, 16);
+        assert_eq!(b.total_ticks(0), 0);
+        assert_eq!(b.total_ticks(3), 8 + 16 + 16);
+    }
+}

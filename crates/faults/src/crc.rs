@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, the zlib/`cksum -o 3` polynomial) over byte
+//! slices, table-driven.
+//!
+//! Checkpoint v3 stamps every section with this checksum so a single
+//! flipped bit or torn write is detected at load time instead of
+//! surfacing later as silently wrong model weights. It lives in the
+//! faults crate because integrity checking and fault injection are two
+//! halves of the same contract, and because the chaos suite needs the
+//! same function to build corrupted fixtures.
+
+/// Reflected CRC-32 lookup table for polynomial `0xEDB88320`.
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"checkpoint payload");
+        let mut flipped = b"checkpoint payload".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: R3 violations — process teardown in library code.
+// Checked as `crates/core/src/fixture.rs`; never compiled.
+
+pub fn die_on_bad_config(ok: bool) {
+    if !ok {
+        std::process::exit(1); // R3
+    }
+}
+
+pub fn hard_stop() {
+    std::process::abort(); // R3
+}
+
+pub fn fine() -> u32 {
+    // fine: reading the pid does not terminate anything.
+    std::process::id()
+}

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// All rule identifiers the pass knows about.
-pub const ALL_RULES: [&str; 5] = ["D1", "D2", "D3", "R1", "R2"];
+pub const ALL_RULES: [&str; 6] = ["D1", "D2", "D3", "R1", "R2", "R3"];
 
 /// Rule applicability plus the file-level allowlist.
 #[derive(Debug, Clone)]
@@ -25,6 +25,10 @@ pub struct Config {
     pub r1_exempt_crates: BTreeSet<String>,
     /// Crates exempt from rule D2 (no unseeded RNG).
     pub d2_exempt_crates: BTreeSet<String>,
+    /// Crates exempt from rule R3 (no `process::exit`/`process::abort`
+    /// in library code). Binaries (`src/bin`, `src/main.rs`) are already
+    /// exempt by path, so this is empty by default.
+    pub r3_exempt_crates: BTreeSet<String>,
     /// `workspace-relative path -> rules` file-level allowlist.
     pub allow: BTreeMap<String, BTreeSet<String>>,
 }
@@ -54,6 +58,7 @@ impl Default for Config {
             ]),
             r1_exempt_crates: set(&["bench"]),
             d2_exempt_crates: BTreeSet::new(),
+            r3_exempt_crates: BTreeSet::new(),
             allow: BTreeMap::new(),
         }
     }
@@ -169,6 +174,10 @@ fn apply(cfg: &mut Config, section: &str, key: &str, values: Vec<String>) -> Res
             cfg.d2_exempt_crates = values.into_iter().collect();
             Ok(())
         }
+        "rules.R3" if key == "exempt-crates" => {
+            cfg.r3_exempt_crates = values.into_iter().collect();
+            Ok(())
+        }
         _ => Err(format!("unknown setting `{key}` in section `[{section}]`")),
     }
 }
@@ -184,6 +193,10 @@ mod tests {
         assert!(cfg.d1_crates.contains("data"));
         assert!(!cfg.d3_crates.contains("obs"), "obs owns timing");
         assert!(cfg.r1_exempt_crates.contains("bench"));
+        assert!(
+            cfg.r3_exempt_crates.is_empty(),
+            "no crate may exit by default"
+        );
     }
 
     #[test]
@@ -197,6 +210,9 @@ crates = ["core", "data"]
 [rules.R1]
 exempt-crates = ["bench", "lint"]
 
+[rules.R3]
+exempt-crates = ["bench"]
+
 [allow]
 "crates/foo/src/bar.rs" = ["R1", "D3"]
 "#,
@@ -204,6 +220,7 @@ exempt-crates = ["bench", "lint"]
         .unwrap();
         assert_eq!(cfg.d1_crates.len(), 2);
         assert!(cfg.r1_exempt_crates.contains("lint"));
+        assert!(cfg.r3_exempt_crates.contains("bench"));
         let rules = &cfg.allow["crates/foo/src/bar.rs"];
         assert!(rules.contains("R1") && rules.contains("D3"));
     }

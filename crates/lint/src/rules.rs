@@ -1,4 +1,4 @@
-//! The five lint rules, evaluated over the token stream of one file.
+//! The six lint rules, evaluated over the token stream of one file.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -7,6 +7,7 @@
 //! | D3   | no `Instant::now`/`SystemTime::now` outside the `obs` crate |
 //! | R1   | no `unwrap()`/`expect()`/`panic!` in library crates |
 //! | R2   | every `unsafe` block carries a `// SAFETY:` comment |
+//! | R3   | no `process::exit`/`process::abort` in library crates |
 //!
 //! Tests (`#[cfg(test)]` regions, `#[test]` functions, `tests/` and
 //! `benches/` trees) are exempt from every rule. Inline
@@ -46,7 +47,8 @@ impl std::fmt::Display for Violation {
 enum FileKind {
     /// `crates/<name>/src/…` library source.
     Lib(String),
-    /// `crates/<name>/src/bin/…` binary source.
+    /// `crates/<name>/src/bin/…` or `crates/<name>/src/main.rs` binary
+    /// source.
     Bin(String),
     /// Test/bench/example code: exempt from everything.
     Exempt,
@@ -63,7 +65,9 @@ fn classify(path: &str) -> FileKind {
     if let Some(i) = parts.iter().position(|p| *p == "crates") {
         if let Some(name) = parts.get(i + 1) {
             let name = name.to_string();
-            if parts.get(i + 2) == Some(&"src") && parts.get(i + 3) == Some(&"bin") {
+            if parts.get(i + 2) == Some(&"src")
+                && (parts.get(i + 3) == Some(&"bin") || parts.get(i + 3) == Some(&"main.rs"))
+            {
                 return FileKind::Bin(name);
             }
             return FileKind::Lib(name);
@@ -108,6 +112,11 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         rule_r1(&lexed.tokens, &ctx, &mut out);
     }
     rule_r2(&lexed.tokens, &lexed.comments, &ctx, &mut out);
+    let r3_applies =
+        matches!(ctx.kind, FileKind::Lib(_)) && !cfg.r3_exempt_crates.contains(&crate_name);
+    if r3_applies {
+        rule_r3(&lexed.tokens, &ctx, &mut out);
+    }
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -482,6 +491,35 @@ fn rule_r1(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// R3: `process::exit`/`process::abort` in library code tears down the
+/// whole process — skipping destructors, in-flight requests, and the
+/// caller's chance to checkpoint or degrade. Library crates must
+/// propagate errors; only binary entry points may choose an exit code.
+fn rule_r3(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if ident_at(toks, i) != Some("process")
+            || !is_punct(toks, i + 1, ':')
+            || !is_punct(toks, i + 2, ':')
+        {
+            continue;
+        }
+        let Some(f) = ident_at(toks, i + 3) else {
+            continue;
+        };
+        if (f == "exit" || f == "abort") && is_punct(toks, i + 4, '(') {
+            ctx.emit(
+                out,
+                toks[i].line,
+                "R3",
+                format!(
+                    "`process::{f}` in library code kills the whole process; \
+                     return an error and let the binary decide the exit code"
+                ),
+            );
+        }
+    }
+}
+
 /// R2: every `unsafe` block needs a `// SAFETY:` comment within the
 /// three preceding lines (or on its own line).
 fn rule_r2(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, out: &mut Vec<Violation>) {
@@ -522,6 +560,10 @@ mod tests {
         assert_eq!(
             classify("crates/bench/src/bin/table1.rs"),
             FileKind::Bin("bench".into())
+        );
+        assert_eq!(
+            classify("crates/lint/src/main.rs"),
+            FileKind::Bin("lint".into())
         );
         assert_eq!(classify("crates/tensor/tests/props.rs"), FileKind::Exempt);
         assert_eq!(classify("examples/quickstart.rs"), FileKind::Exempt);
@@ -616,6 +658,46 @@ fn f(x: Option<u32>) -> u32 {
         let src = "fn main() { Some(1).unwrap(); }";
         assert!(check("crates/core/src/bin/tool.rs", src).is_empty());
         assert!(check("crates/bench/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_process_exit_and_abort_in_libraries() {
+        let src = r#"
+fn f(code: i32) {
+    std::process::exit(code);    // R3
+}
+fn g() {
+    std::process::abort();       // R3
+}
+fn h() {
+    // fine: not a process teardown.
+    let id = std::process::id();
+    let _ = id;
+}
+"#;
+        let v = check("crates/core/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "R3").count(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn r3_exempt_in_bins_main_and_configured_crates() {
+        let src = "fn main() { std::process::exit(2); }";
+        assert!(check("crates/core/src/bin/tool.rs", src).is_empty());
+        assert!(check("crates/lint/src/main.rs", src).is_empty());
+        let mut cfg = Config::default();
+        cfg.r3_exempt_crates.insert("core".to_string());
+        assert!(check_source("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn r3_respects_inline_allow() {
+        let src = r#"
+fn f() {
+    // lint:allow(R3): double-panic guard, nothing left to unwind
+    std::process::abort();
+}
+"#;
+        assert!(check("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

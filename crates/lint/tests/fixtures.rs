@@ -72,7 +72,18 @@ fn r2_fixture_flags_undocumented_unsafe() {
 }
 
 #[test]
-fn all_five_rule_classes_fire() {
+fn r3_fixture_flags_process_teardown() {
+    let v = check_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/bad_r3.rs"),
+        &Config::default(),
+    );
+    let r3: Vec<_> = v.iter().filter(|v| v.rule == "R3").collect();
+    assert_eq!(r3.len(), 2, "{v:?}");
+}
+
+#[test]
+fn all_six_rule_classes_fire() {
     let mut fired: Vec<&str> = Vec::new();
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_d1.rs"),
@@ -94,9 +105,13 @@ fn all_five_rule_classes_fire() {
         include_str!("../fixtures/bad_r2.rs"),
         "crates/tensor/src/fixture.rs",
     ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_r3.rs"),
+        "crates/core/src/fixture.rs",
+    ));
     fired.sort_unstable();
     fired.dedup();
-    assert_eq!(fired, vec!["D1", "D2", "D3", "R1", "R2"]);
+    assert_eq!(fired, vec!["D1", "D2", "D3", "R1", "R2", "R3"]);
 }
 
 #[test]

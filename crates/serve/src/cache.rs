@@ -27,6 +27,12 @@ pub struct ResultCache {
     entries: BTreeMap<Key, Slot>,
     /// Reverse index: logical stamp -> key, used to find the LRU victim.
     recency: BTreeMap<u64, Key>,
+    /// Lookups answered from the cache. Kept on the cache itself (not
+    /// the global obs registry) so per-cache stats are deterministic
+    /// even when tests or engines run in parallel in one process.
+    hits: u64,
+    /// Lookups that found nothing.
+    misses: u64,
 }
 
 impl ResultCache {
@@ -37,12 +43,18 @@ impl ResultCache {
             next_stamp: 0,
             entries: BTreeMap::new(),
             recency: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
     /// Looks up `(user, k)`, refreshing its recency on a hit.
     pub fn get(&mut self, user: u32, k: u32) -> Option<Vec<Recommendation>> {
-        let slot = self.entries.get_mut(&(user, k))?;
+        let Some(slot) = self.entries.get_mut(&(user, k)) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         let old = slot.stamp;
         slot.stamp = self.next_stamp;
         let recs = slot.recs.clone();
@@ -90,12 +102,27 @@ impl ResultCache {
                 self.recency.remove(&slot.stamp);
             }
         }
+        self.reset_stamps_if_empty();
     }
 
-    /// Drops everything.
+    /// Drops everything (hit/miss counters survive — they describe the
+    /// cache's lifetime, not its current contents).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.recency.clear();
+        self.reset_stamps_if_empty();
+    }
+
+    /// Invalidation used to leave `next_stamp` wherever the dropped
+    /// entries had pushed it, so a cache's internal state after
+    /// invalidate-then-refill depended on its history rather than its
+    /// contents. With no live entries there is no stamp to collide with,
+    /// so an empty cache can always rewind to 0 — refilled caches then
+    /// stamp (and evict) identically to freshly built ones.
+    fn reset_stamps_if_empty(&mut self) {
+        if self.entries.is_empty() {
+            self.next_stamp = 0;
+        }
     }
 
     /// Number of cached entries.
@@ -106,6 +133,22 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The next logical recency stamp — exposed for the regression test
+    /// pinning stamp behavior across invalidate-then-refill.
+    pub fn next_stamp(&self) -> u64 {
+        self.next_stamp
     }
 }
 
@@ -173,5 +216,61 @@ mod tests {
         c.insert(1, 1, rec(1, 0.1));
         assert!(c.get(1, 1).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(1, 1).is_none());
+        c.insert(1, 1, rec(1, 0.1));
+        assert!(c.get(1, 1).is_some());
+        assert!(c.get(1, 1).is_some());
+        assert!(c.get(2, 1).is_none());
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+    }
+
+    /// Regression test: invalidation used to leave the recency stamp
+    /// counter advanced, so a cache refilled after invalidation stamped
+    /// (and therefore evicted) differently from a freshly built one.
+    /// Pin the full observable state across invalidate-then-refill.
+    #[test]
+    fn invalidate_then_refill_matches_fresh_cache() {
+        let fill = |c: &mut ResultCache| {
+            c.insert(1, 1, rec(1, 0.1));
+            c.insert(2, 1, rec(2, 0.2));
+            assert!(c.get(1, 1).is_some());
+        };
+
+        let mut fresh = ResultCache::new(2);
+        fill(&mut fresh);
+
+        let mut recycled = ResultCache::new(2);
+        fill(&mut recycled);
+        recycled.invalidate_user(1);
+        recycled.invalidate_user(2);
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.next_stamp(), 0, "empty cache rewinds its stamps");
+        let (hits, misses) = (recycled.hits(), recycled.misses());
+        fill(&mut recycled);
+
+        assert_eq!(recycled.len(), fresh.len());
+        assert_eq!(recycled.next_stamp(), fresh.next_stamp());
+        // Same future behavior: the next insert evicts the same victim.
+        fresh.insert(3, 1, rec(3, 0.3));
+        recycled.insert(3, 1, rec(3, 0.3));
+        assert_eq!(fresh.get(2, 1).is_some(), recycled.get(2, 1).is_some());
+        assert_eq!(fresh.get(1, 1).is_some(), recycled.get(1, 1).is_some());
+        // Counters kept counting across the invalidation (lifetime stats).
+        assert_eq!(recycled.hits(), hits + fresh.hits());
+        assert_eq!(recycled.misses(), misses + fresh.misses());
+    }
+
+    #[test]
+    fn clear_also_rewinds_stamps() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, 1, rec(1, 0.1));
+        assert!(c.get(1, 1).is_some());
+        c.clear();
+        assert_eq!(c.next_stamp(), 0);
     }
 }

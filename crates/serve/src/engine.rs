@@ -321,6 +321,14 @@ impl FrozenEngine {
         self.lock_cache().len()
     }
 
+    /// Lifetime (hits, misses) of this engine's result cache. Unlike the
+    /// global `serve/cache_hits` counters these are per-engine, so they
+    /// stay deterministic when engines run in parallel in one process.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.lock_cache();
+        (cache.hits(), cache.misses())
+    }
+
     /// A cache mutex can only be poisoned by a panic inside one of the
     /// short lock sections above, none of which leave the cache in a
     /// broken state — recover the guard instead of propagating.

@@ -31,6 +31,11 @@
 //!   bytes (`tests/determinism.rs`).
 //! * **No panics in the serving path**: fallible APIs return
 //!   [`ServeError`]; malformed requests become error responses.
+//! * **Fault tolerance**: [`scheduler::replay_supervised`] recovers
+//!   worker panics (supervised respawn, exactly-once responses), retries
+//!   engine outages with deterministic backoff, degrades to stale cached
+//!   results, and bounds injected latency with logical-tick deadlines
+//!   (`tests/chaos.rs`).
 
 pub mod cache;
 pub mod engine;
@@ -41,5 +46,8 @@ pub mod topk;
 pub use cache::ResultCache;
 pub use engine::{EngineConfig, FrozenEngine, ServeError};
 pub use mask::SeenMask;
-pub use scheduler::{replay, responses_to_json, ReplayConfig, Request, Response};
+pub use scenerec_faults::Backoff;
+pub use scheduler::{
+    replay, replay_supervised, responses_to_json, ReplayConfig, Request, Response,
+};
 pub use topk::select_top_k;

@@ -1,23 +1,48 @@
-//! Micro-batching request scheduler.
+//! Micro-batching request scheduler with worker supervision.
 //!
-//! A replayed request log is split into contiguous micro-batches handed
-//! out through a shared cursor; a fixed pool of scoped workers (via
-//! `scenerec_tensor::par::map_workers`) drains the queue. Responses are
-//! reassembled **by request index**, so the output order — and, because
-//! the engine is pure and its cache hit/miss behavior cannot change
-//! response values, the output bytes — are identical at any worker count.
-//! Which worker serves which batch is the *only* nondeterminism, and it
-//! is unobservable in the results (pinned by `tests/determinism.rs`).
+//! A replayed request log is split into contiguous micro-batches on a
+//! shared queue; a supervised pool of scoped workers drains it. Responses
+//! are reassembled **by request index**, so the output order — and,
+//! because the engine is pure and its cache hit/miss behavior cannot
+//! change response values, the output bytes — are identical at any worker
+//! count. Which worker serves which batch is the *only* nondeterminism,
+//! and it is unobservable in the results (pinned by
+//! `tests/determinism.rs`).
+//!
+//! ## Failure handling (`replay_supervised`)
+//!
+//! The supervised entry point threads a `scenerec_faults::Injector`
+//! through three recovery paths, all driven by **logical ticks** — no
+//! wall clocks, so every outcome is reproducible from the fault plan:
+//!
+//! * **Worker panics** (`serve/worker`): a worker records its claimed
+//!   batch in an in-flight registry before touching it and commits the
+//!   batch's responses atomically after finishing it. When a worker dies
+//!   the supervisor requeues the registered batch (bounded by
+//!   [`ReplayConfig::max_retries`], then error responses) and respawns a
+//!   replacement — every request is answered exactly once, never lost,
+//!   never duplicated.
+//! * **Engine unavailability** (`serve/engine`): a failed attempt retries
+//!   with deterministic exponential backoff
+//!   ([`scenerec_faults::Backoff`]); exhausted retries fall back to the
+//!   scheduler's stale-result cache when [`ReplayConfig::degraded`] is
+//!   set (stale equals fresh bit-for-bit — the engine is pure), else an
+//!   error response.
+//! * **Deadlines** (`serve/request` latency): injected latency beyond
+//!   [`ReplayConfig::deadline_ticks`] becomes a typed deadline-exceeded
+//!   error response instead of an unbounded wait.
 //!
 //! Serving telemetry goes through `scenerec-obs`: queue-depth and
-//! batch-size histograms plus per-request latency, all readable from a
-//! `metrics_snapshot()` or a run manifest.
+//! batch-size histograms, per-request latency, and the recovery counters
+//! `serve/retries`, `serve/degraded_hits`, `serve/deadline_misses`, and
+//! `serve/worker_respawns`.
 
 use crate::engine::FrozenEngine;
 use scenerec_core::Recommendation;
+use scenerec_faults::{Backoff, Injector};
 use scenerec_obs::metrics;
 use scenerec_obs::Stopwatch;
-use scenerec_tensor::par;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, MutexGuard};
 
 /// One inference request: top-`k` unseen items for `user`.
@@ -40,6 +65,11 @@ pub struct Response {
     pub recs: Vec<Recommendation>,
     /// Human-readable failure, e.g. an out-of-range user id.
     pub error: Option<String>,
+    /// Whether `recs` came from the degraded-mode stale cache because
+    /// the engine was unavailable (stale results are bit-identical to
+    /// fresh ones — the engine is pure — but the flag is surfaced so
+    /// clients can tell).
+    pub degraded: bool,
 }
 
 impl Response {
@@ -70,6 +100,9 @@ impl Response {
             s.push_str(",\"error\":");
             s.push_str(&format!("{e:?}"));
         }
+        if self.degraded {
+            s.push_str(",\"degraded\":true");
+        }
         s.push('}');
         s
     }
@@ -92,6 +125,18 @@ pub struct ReplayConfig {
     pub workers: usize,
     /// Max requests per micro-batch (>= 1).
     pub max_batch: usize,
+    /// Per-request deadline in logical ticks; injected latency beyond it
+    /// becomes a deadline-exceeded error response (0 = no deadline).
+    pub deadline_ticks: u64,
+    /// Bounded retries: per request when the engine is unavailable, and
+    /// per batch when its worker panics.
+    pub max_retries: u32,
+    /// Deterministic exponential backoff between engine retries, in
+    /// logical ticks (counted against the request's deadline).
+    pub backoff: Backoff,
+    /// When retries are exhausted, serve the last good result for the
+    /// same (user, k) from the stale cache instead of an error.
+    pub degraded: bool,
 }
 
 impl Default for ReplayConfig {
@@ -99,6 +144,10 @@ impl Default for ReplayConfig {
         ReplayConfig {
             workers: 1,
             max_batch: 32,
+            deadline_ticks: 0,
+            max_retries: 2,
+            backoff: Backoff::default(),
+            degraded: true,
         }
     }
 }
@@ -114,53 +163,245 @@ const LATENCY_EDGES: [f64; 15] = [
     1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
 ];
 
+/// A claimed micro-batch: request indices `start..end`, plus how many
+/// times a panicking worker has already handed it back.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    start: usize,
+    end: usize,
+    requeues: u32,
+}
+
+/// Everything the worker pool shares. All critical sections only move
+/// values between containers, so poisoned locks are safe to recover.
+struct Shared<'a> {
+    engine: &'a FrozenEngine,
+    requests: &'a [Request],
+    config: &'a ReplayConfig,
+    injector: &'a Injector,
+    queue: Mutex<VecDeque<Batch>>,
+    slots: Mutex<Vec<Option<Response>>>,
+    /// Last good result per (user, k) — the degraded-mode fallback.
+    stale: Mutex<BTreeMap<(u32, u32), Vec<Recommendation>>>,
+}
+
 /// Replays a request log through the engine with a worker pool and
 /// returns responses in request order.
 ///
 /// Each worker repeatedly claims the next `max_batch` requests from a
-/// shared cursor and serves them; results carry their request index and
+/// shared queue and serves them; results carry their request index and
 /// are reassembled after the pool joins. Failures (e.g. unknown users)
 /// become `Response::error` instead of tearing down the batch.
 pub fn replay(engine: &FrozenEngine, requests: &[Request], config: &ReplayConfig) -> Vec<Response> {
+    replay_supervised(engine, requests, config, &Injector::disabled())
+}
+
+/// [`replay`] with fault injection and full supervision: worker panics
+/// are recovered (batch requeued exactly once per panic, replacement
+/// worker spawned), engine unavailability is retried with backoff and
+/// degraded to stale results, and injected latency is bounded by the
+/// per-request deadline. See the module docs for the recovery model.
+///
+/// The invariant `tests/chaos.rs` pins: **every request gets exactly one
+/// response, in request order, at any worker count, under any fault
+/// plan** — a fault can change a response's content (error, degraded) but
+/// can never lose or duplicate one.
+pub fn replay_supervised(
+    engine: &FrozenEngine,
+    requests: &[Request],
+    config: &ReplayConfig,
+    injector: &Injector,
+) -> Vec<Response> {
     let workers = config.workers.max(1);
     let max_batch = config.max_batch.max(1);
+    let mut queue = VecDeque::new();
+    let mut start = 0;
+    while start < requests.len() {
+        let end = (start + max_batch).min(requests.len());
+        queue.push_back(Batch {
+            start,
+            end,
+            requeues: 0,
+        });
+        start = end;
+    }
+    let shared = Shared {
+        engine,
+        requests,
+        config,
+        injector,
+        queue: Mutex::new(queue),
+        slots: Mutex::new(requests.iter().map(|_| None).collect()),
+        stale: Mutex::new(BTreeMap::new()),
+    };
+    supervise(&shared, workers);
+
+    let out: Vec<Response> = lock(&shared.slots).drain(..).flatten().collect();
+    debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
+    out
+}
+
+/// Runs `workers` scoped drain loops, replacing any that panic until the
+/// queue is empty. A panicked worker's in-flight batch (recorded in its
+/// registry slot before the panic point) is requeued — or, past its
+/// requeue budget, answered with error responses so it is never lost.
+fn supervise(shared: &Shared<'_>, workers: usize) {
+    // Per-worker-slot in-flight registry; a respawned worker reuses its
+    // predecessor's slot (the supervisor has already emptied it).
+    let registry: Vec<Mutex<Option<Batch>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let registry = &registry;
+    std::thread::scope(|scope| {
+        let mut live: Vec<(usize, std::thread::ScopedJoinHandle<'_, ()>)> = (0..workers)
+            .map(|slot| (slot, scope.spawn(move || drain(shared, &registry[slot]))))
+            .collect();
+        while let Some((slot, handle)) = live.pop() {
+            if handle.join().is_ok() {
+                continue;
+            }
+            // The worker panicked. Recover its in-flight batch first so
+            // the replacement finds it back on the queue.
+            metrics::counter("serve/worker_respawns").inc();
+            let orphan = lock(&registry[slot]).take();
+            if let Some(batch) = orphan {
+                if batch.requeues < shared.config.max_retries {
+                    lock(&shared.queue).push_front(Batch {
+                        requeues: batch.requeues + 1,
+                        ..batch
+                    });
+                } else {
+                    // Requeue budget exhausted: answer with errors rather
+                    // than losing the batch.
+                    commit_errors(shared, batch);
+                }
+            }
+            live.push((slot, scope.spawn(move || drain(shared, &registry[slot]))));
+        }
+    });
+}
+
+/// One worker's drain loop: claim a batch, register it in-flight, serve
+/// it, commit all its responses atomically, clear the registration.
+fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
     let queue_hist = metrics::histogram("serve/queue_depth", &COUNT_EDGES);
     let batch_hist = metrics::histogram("serve/batch_size", &COUNT_EDGES);
     let latency_hist = metrics::histogram("serve/latency_ns", &LATENCY_EDGES);
-    let cursor: Mutex<usize> = Mutex::new(0);
+    loop {
+        let batch = {
+            let mut q = lock(&shared.queue);
+            let depth: usize = q.iter().map(|b| b.end - b.start).sum();
+            if depth > 0 {
+                queue_hist.observe(depth as f64);
+            }
+            q.pop_front()
+        };
+        let Some(batch) = batch else { break };
+        *lock(inflight) = Some(batch);
+        // The injected worker crash: fires after the batch is registered
+        // and before any of it is served, so the supervisor recovers the
+        // whole batch and no half-served state leaks out.
+        shared.injector.panic_point("serve/worker");
+        batch_hist.observe((batch.end - batch.start) as f64);
 
-    let per_worker: Vec<Vec<(usize, Response)>> = par::map_workers(workers, |_| {
-        let mut local: Vec<(usize, Response)> = Vec::new();
-        loop {
-            let (start, end) = {
-                let mut cur = lock_cursor(&cursor);
-                if *cur >= requests.len() {
-                    break;
-                }
-                queue_hist.observe((requests.len() - *cur) as f64);
-                let start = *cur;
-                let end = (start + max_batch).min(requests.len());
-                *cur = end;
-                (start, end)
-            };
-            batch_hist.observe((end - start) as f64);
-            for (offset, req) in requests[start..end].iter().enumerate() {
-                let watch = Stopwatch::start();
-                let response = serve_one(engine, req);
-                latency_hist.observe(watch.elapsed_ns() as f64);
-                local.push((start + offset, response));
+        let mut served = Vec::with_capacity(batch.end - batch.start);
+        for idx in batch.start..batch.end {
+            let watch = Stopwatch::start();
+            let response = serve_one_supervised(shared, &shared.requests[idx]);
+            latency_hist.observe(watch.elapsed_ns() as f64);
+            served.push((idx, response));
+        }
+
+        // Atomic commit: a batch's responses land all at once, after the
+        // last fallible step, so a crashed batch contributes nothing.
+        {
+            let mut slots = lock(&shared.slots);
+            for (idx, response) in served {
+                debug_assert!(slots[idx].is_none(), "response {idx} served twice");
+                slots[idx] = Some(response);
             }
         }
-        local
-    });
-
-    let mut slots: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
-    for (idx, response) in per_worker.into_iter().flatten() {
-        slots[idx] = Some(response);
+        *lock(inflight) = None;
     }
-    let out: Vec<Response> = slots.into_iter().flatten().collect();
-    debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
-    out
+}
+
+/// Error responses for a batch whose requeue budget ran out.
+fn commit_errors(shared: &Shared<'_>, batch: Batch) {
+    let mut slots = lock(&shared.slots);
+    for idx in batch.start..batch.end {
+        let req = &shared.requests[idx];
+        debug_assert!(slots[idx].is_none(), "response {idx} served twice");
+        slots[idx] = Some(Response {
+            user: req.user,
+            k: req.k,
+            recs: Vec::new(),
+            error: Some(format!(
+                "worker failed {} times serving this batch",
+                batch.requeues + 1
+            )),
+            degraded: false,
+        });
+    }
+}
+
+/// Serves one request through the retry / deadline / degraded ladder.
+fn serve_one_supervised(shared: &Shared<'_>, req: &Request) -> Response {
+    let config = shared.config;
+    let key = (req.user, u32::try_from(req.k).unwrap_or(u32::MAX));
+    // Logical clock for this request: injected latency plus backoff.
+    let mut ticks = shared.injector.latency("serve/request");
+    let mut attempt = 0u32;
+    loop {
+        if config.deadline_ticks > 0 && ticks > config.deadline_ticks {
+            metrics::counter("serve/deadline_misses").inc();
+            return Response {
+                user: req.user,
+                k: req.k,
+                recs: Vec::new(),
+                error: Some(format!(
+                    "deadline exceeded: {ticks} > {} ticks",
+                    config.deadline_ticks
+                )),
+                degraded: false,
+            };
+        }
+        match shared.injector.io("serve/engine") {
+            Ok(()) => {
+                let response = serve_one(shared.engine, req);
+                if response.error.is_none() {
+                    lock(&shared.stale).insert(key, response.recs.clone());
+                }
+                return response;
+            }
+            Err(e) => {
+                if attempt < config.max_retries {
+                    metrics::counter("serve/retries").inc();
+                    ticks = ticks.saturating_add(config.backoff.ticks(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                // Retries exhausted: degrade to the last good result for
+                // this (user, k) when allowed, else a typed error.
+                if config.degraded {
+                    if let Some(recs) = lock(&shared.stale).get(&key).cloned() {
+                        metrics::counter("serve/degraded_hits").inc();
+                        return Response {
+                            user: req.user,
+                            k: req.k,
+                            recs,
+                            error: None,
+                            degraded: true,
+                        };
+                    }
+                }
+                return Response {
+                    user: req.user,
+                    k: req.k,
+                    recs: Vec::new(),
+                    error: Some(format!("engine unavailable after {attempt} retries: {e}")),
+                    degraded: false,
+                };
+            }
+        }
+    }
 }
 
 fn serve_one(engine: &FrozenEngine, req: &Request) -> Response {
@@ -170,20 +411,23 @@ fn serve_one(engine: &FrozenEngine, req: &Request) -> Response {
             k: req.k,
             recs,
             error: None,
+            degraded: false,
         },
         Err(e) => Response {
             user: req.user,
             k: req.k,
             recs: Vec::new(),
             error: Some(e.to_string()),
+            degraded: false,
         },
     }
 }
 
-/// The cursor critical section cannot leave shared state inconsistent
-/// (it only advances an index), so a poisoned lock is safe to recover.
-fn lock_cursor(cursor: &Mutex<usize>) -> MutexGuard<'_, usize> {
-    match cursor.lock() {
+/// Every scheduler critical section only moves values between containers
+/// (no invariant can be left half-updated), so a poisoned lock — some
+/// worker panicked elsewhere — is safe to recover.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -245,6 +489,7 @@ mod tests {
             &ReplayConfig {
                 workers: 1,
                 max_batch: 4,
+                ..ReplayConfig::default()
             },
         ));
         for workers in [2, 4] {
@@ -254,6 +499,7 @@ mod tests {
                 &ReplayConfig {
                     workers,
                     max_batch: 4,
+                    ..ReplayConfig::default()
                 },
             ));
             assert_eq!(reference, got, "workers={workers} diverged");
@@ -281,7 +527,7 @@ mod tests {
 
     #[test]
     fn json_rendering_is_compact_and_stable() {
-        let r = Response {
+        let mut r = Response {
             user: 1,
             k: 2,
             recs: vec![Recommendation {
@@ -289,10 +535,141 @@ mod tests {
                 score: 0.5,
             }],
             error: None,
+            degraded: false,
         };
         assert_eq!(
             r.to_json(),
             "{\"user\":1,\"k\":2,\"recs\":[{\"item\":7,\"score\":0.5}]}"
         );
+        r.degraded = true;
+        assert_eq!(
+            r.to_json(),
+            "{\"user\":1,\"k\":2,\"recs\":[{\"item\":7,\"score\":0.5}],\"degraded\":true}"
+        );
+    }
+
+    #[test]
+    fn worker_panics_lose_and_duplicate_nothing() {
+        use scenerec_faults::{Fault, FaultPlan, Trigger};
+
+        let engine = toy_engine();
+        let reqs = log();
+        let reference = replay(&engine, &reqs, &ReplayConfig::default());
+        for workers in [1usize, 2, 4] {
+            let cfg = ReplayConfig {
+                workers,
+                max_batch: 4,
+                // Generous budget: which batch absorbs which panic is
+                // scheduling-dependent, and this test asserts recovery,
+                // not exhaustion.
+                max_retries: 16,
+                ..ReplayConfig::default()
+            };
+            // Every 3rd batch claim panics its worker.
+            let inj = Injector::new(FaultPlan::new(workers as u64).inject(
+                "serve/worker",
+                Trigger::Every(3),
+                Fault::Panic,
+            ));
+            let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+            assert!(inj.injected() > 0, "plan never fired at workers={workers}");
+            assert_eq!(out, reference, "responses diverged at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn exhausted_worker_requeues_become_error_responses() {
+        use scenerec_faults::{Fault, FaultPlan, Trigger};
+
+        let engine = toy_engine();
+        let reqs = log();
+        let cfg = ReplayConfig {
+            workers: 2,
+            max_batch: 8,
+            max_retries: 1,
+            ..ReplayConfig::default()
+        };
+        // Every batch claim panics: each batch burns its single requeue
+        // and is answered with errors — but answered.
+        let inj =
+            Injector::new(FaultPlan::new(5).inject("serve/worker", Trigger::Always, Fault::Panic));
+        let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+        assert_eq!(out.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&out) {
+            assert_eq!(req.user, resp.user);
+            assert!(resp
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("worker failed")));
+        }
+    }
+
+    #[test]
+    fn engine_outage_retries_then_degrades_to_stale() {
+        use scenerec_faults::{Fault, FaultPlan, Trigger};
+
+        let engine = toy_engine();
+        let reqs = vec![Request { user: 1, k: 2 }, Request { user: 1, k: 2 }];
+        let cfg = ReplayConfig {
+            workers: 1,
+            max_batch: 1,
+            max_retries: 1,
+            ..ReplayConfig::default()
+        };
+        // The first request succeeds and seeds the stale cache; the
+        // second request's attempts (probes 2 and 3) all fail.
+        let inj =
+            Injector::new(FaultPlan::new(9).inject("serve/engine", Trigger::After(1), Fault::Io));
+        let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+        assert!(out[0].error.is_none() && !out[0].degraded);
+        assert!(out[1].degraded, "second response must be a stale fallback");
+        assert!(out[1].error.is_none());
+        assert_eq!(out[0].recs, out[1].recs, "stale equals fresh bit-for-bit");
+    }
+
+    #[test]
+    fn engine_outage_without_stale_entry_is_typed_error() {
+        use scenerec_faults::{Fault, FaultPlan, Trigger};
+
+        let engine = toy_engine();
+        let reqs = vec![Request { user: 0, k: 2 }];
+        let cfg = ReplayConfig {
+            workers: 1,
+            max_retries: 2,
+            ..ReplayConfig::default()
+        };
+        let inj =
+            Injector::new(FaultPlan::new(11).inject("serve/engine", Trigger::Always, Fault::Io));
+        let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+        assert!(out[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("engine unavailable after 2 retries")));
+        assert!(!out[0].degraded);
+    }
+
+    #[test]
+    fn injected_latency_past_deadline_is_deadline_error() {
+        use scenerec_faults::{Fault, FaultPlan, Trigger};
+
+        let engine = toy_engine();
+        let reqs = vec![Request { user: 0, k: 1 }, Request { user: 1, k: 1 }];
+        let cfg = ReplayConfig {
+            workers: 1,
+            max_batch: 1,
+            deadline_ticks: 100,
+            ..ReplayConfig::default()
+        };
+        let inj = Injector::new(FaultPlan::new(13).inject(
+            "serve/request",
+            Trigger::Nth(2),
+            Fault::Latency(250),
+        ));
+        let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+        assert!(out[0].error.is_none(), "request under deadline serves");
+        assert!(out[1]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("deadline exceeded: 250 > 100")));
     }
 }

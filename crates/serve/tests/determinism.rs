@@ -64,6 +64,7 @@ fn worker_count_is_unobservable_in_response_bytes() {
         &ReplayConfig {
             workers: 1,
             max_batch: 16,
+            ..ReplayConfig::default()
         },
     ));
     assert!(!reference.is_empty());
@@ -78,6 +79,7 @@ fn worker_count_is_unobservable_in_response_bytes() {
             &ReplayConfig {
                 workers,
                 max_batch: 16,
+                ..ReplayConfig::default()
             },
         ));
         assert_eq!(
@@ -98,6 +100,7 @@ fn batch_size_is_unobservable_in_response_bytes() {
         &ReplayConfig {
             workers: 2,
             max_batch: 1,
+            ..ReplayConfig::default()
         },
     ));
     for max_batch in [3usize, 64, 1000] {
@@ -108,6 +111,7 @@ fn batch_size_is_unobservable_in_response_bytes() {
             &ReplayConfig {
                 workers: 2,
                 max_batch,
+                ..ReplayConfig::default()
             },
         ));
         assert_eq!(reference, got, "max_batch={max_batch} diverged");

@@ -177,3 +177,59 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Retry backoff (scenerec_faults::Backoff): the schedule the serving
+// scheduler and chaos suite rely on must be a pure, bounded, monotone
+// function of the attempt index.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The schedule is deterministic: two independently constructed
+    /// instances with the same parameters produce identical delays.
+    #[test]
+    fn backoff_is_deterministic(base in 0u64..1_000, cap in 0u64..10_000, attempt in 0u32..100) {
+        let a = scenerec_serve::Backoff::new(base, cap);
+        let b = scenerec_serve::Backoff::new(base, cap);
+        prop_assert_eq!(a.ticks(attempt), b.ticks(attempt));
+        prop_assert_eq!(a.total_ticks(attempt), b.total_ticks(attempt));
+    }
+
+    /// Delays never shrink as attempts accumulate, and every single
+    /// delay is bounded by the cap — even at saturating attempt counts.
+    #[test]
+    fn backoff_is_monotone_and_bounded(base in 0u64..1_000, cap in 0u64..10_000) {
+        let b = scenerec_serve::Backoff::new(base, cap);
+        let mut prev = 0u64;
+        for attempt in 0..70u32 {
+            let t = b.ticks(attempt);
+            prop_assert!(t <= cap, "attempt {} exceeded cap: {} > {}", attempt, t, cap);
+            prop_assert!(t >= prev, "attempt {} shrank: {} < {}", attempt, t, prev);
+            prev = t;
+        }
+        // Totals are consistent with the per-attempt schedule.
+        let total: u64 = (0..10).map(|a| b.ticks(a)).sum();
+        prop_assert_eq!(b.total_ticks(10), total);
+    }
+
+    /// Worker-count invariant: the delay for attempt `a` does not depend
+    /// on which worker (or how many workers) computes it — N "workers"
+    /// evaluating the same schedule see identical tick sequences, so
+    /// retry timing cannot introduce cross-worker nondeterminism.
+    #[test]
+    fn backoff_is_identical_across_workers(
+        base in 1u64..500,
+        cap in 1u64..5_000,
+        workers in 1usize..8,
+    ) {
+        let reference: Vec<u64> =
+            (0..32u32).map(|a| scenerec_serve::Backoff::new(base, cap).ticks(a)).collect();
+        for _ in 0..workers {
+            let b = scenerec_serve::Backoff::new(base, cap);
+            let seen: Vec<u64> = (0..32u32).map(|a| b.ticks(a)).collect();
+            prop_assert_eq!(&seen, &reference);
+        }
+    }
+}
