@@ -12,7 +12,13 @@
 //! users, so the reported speedup compares paths that provably return
 //! the same recommendations. Writes a `BENCH_serve.json` run manifest
 //! with baseline and per-worker-count throughput, freeze cost, and
-//! latency p50/p99 from the serve-side histograms.
+//! latency p50/p99/p999 from the serve-side histograms.
+//!
+//! With `--trace-out <path>` the binary additionally runs one traced
+//! cold replay (workers=1), writes its Chrome trace-event JSON (load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>), and asserts that
+//! the span *structure* digest is identical across every `--workers`
+//! entry — the serving path's determinism contract.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,15 +28,12 @@ use scenerec_core::trainer::train;
 use scenerec_core::{top_k_unseen, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile};
 use scenerec_graph::UserId;
-use scenerec_obs::{metrics, reset_metrics, RunManifest};
-use scenerec_serve::{replay, EngineConfig, FrozenEngine, ReplayConfig, Request};
+use scenerec_obs::{chrome_trace_json, metrics, reset_metrics, structure_digest, RunManifest};
+use scenerec_serve::{
+    latency_edges, replay, replay_traced, EngineConfig, FrozenEngine, ReplayConfig, Request,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-
-/// Must match the scheduler's latency histogram registration.
-const LATENCY_EDGES: [f64; 15] = [
-    1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
-];
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ServeConfig {
@@ -69,6 +72,7 @@ struct WorkerRun {
     warm: Throughput,
     cold_latency_p50_ns: f64,
     cold_latency_p99_ns: f64,
+    cold_latency_p999_ns: f64,
     speedup_vs_baseline: f64,
 }
 
@@ -191,8 +195,9 @@ fn main() {
         let t = Instant::now();
         let responses = replay(&engine, &requests, &cfg);
         let cold = Throughput::from_run(responses.len(), t.elapsed().as_nanos() as u64);
-        let latency = metrics::histogram("serve/latency_ns", &LATENCY_EDGES);
-        let (p50, p99) = (latency.quantile(0.5), latency.quantile(0.99));
+        let latency = metrics::histogram("serve/latency_ns", &latency_edges());
+        let qs = latency.quantiles(&[0.5, 0.99, 0.999]);
+        let (p50, p99, p999) = (qs[0], qs[1], qs[2]);
 
         // Warm: same log again with the cache populated.
         let t = Instant::now();
@@ -213,8 +218,67 @@ fn main() {
             warm,
             cold_latency_p50_ns: p50,
             cold_latency_p99_ns: p99,
+            cold_latency_p999_ns: p999,
             speedup_vs_baseline: speedup,
         });
+    }
+
+    // Optional causal-trace export + cross-worker structure check.
+    if let Some(trace_out) = args.get("trace-out") {
+        engine.clear_cache();
+        let (_, traces) = replay_traced(
+            &engine,
+            &requests,
+            &ReplayConfig {
+                workers: 1,
+                max_batch: 32,
+                ..ReplayConfig::default()
+            },
+        );
+        let reference = structure_digest(&traces);
+        if let Some(dir) = std::path::Path::new(trace_out).parent() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        }
+        std::fs::write(trace_out, chrome_trace_json(&traces))
+            .unwrap_or_else(|e| panic!("write {trace_out}: {e}"));
+        println!(
+            "traced {} requests -> {trace_out} (structure digest {reference:016x}); \
+             open in chrome://tracing or ui.perfetto.dev",
+            traces.len()
+        );
+        // Warm traced replays across every worker count must agree on
+        // span structure — the interleaving-independence contract.
+        let warm_reference = {
+            let (_, t) = replay_traced(
+                &engine,
+                &requests,
+                &ReplayConfig {
+                    workers: 1,
+                    max_batch: 32,
+                    ..ReplayConfig::default()
+                },
+            );
+            structure_digest(&t)
+        };
+        for &w in &workers {
+            let (_, t) = replay_traced(
+                &engine,
+                &requests,
+                &ReplayConfig {
+                    workers: w,
+                    max_batch: 32,
+                    ..ReplayConfig::default()
+                },
+            );
+            let digest = structure_digest(&t);
+            assert_eq!(
+                digest, warm_reference,
+                "span structure diverged at workers={w}"
+            );
+        }
+        println!(
+            "span structure digest {warm_reference:016x} identical across workers {workers:?}"
+        );
     }
 
     let best = runs

@@ -18,6 +18,7 @@
 //! construction and dataset generation.
 
 pub mod cli;
+pub mod diff;
 pub mod harness;
 pub mod manifest;
 pub mod reference;

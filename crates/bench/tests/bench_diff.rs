@@ -1,0 +1,98 @@
+//! End-to-end perf-gate tests against the *committed* baseline: the
+//! checked-in `results/BENCH_serve.json` must pass a self-diff at the
+//! default tolerance, and an injected ≥20 % regression on it must fail.
+
+use scenerec_bench::diff::{diff_manifests, DeltaStatus, DEFAULT_TOLERANCE};
+use serde::Value;
+use std::path::PathBuf;
+
+fn committed_baseline() -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_serve.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::parse_value(&text).unwrap()
+}
+
+/// Multiplies every numeric leaf named `key` by `factor`, recursively.
+fn scale_metric(v: &mut Value, key: &str, factor: f64) -> usize {
+    match v {
+        Value::Object(fields) => {
+            let mut hits = 0;
+            for (k, child) in fields.iter_mut() {
+                if k == key {
+                    match child {
+                        Value::Float(f) => {
+                            *f *= factor;
+                            hits += 1;
+                        }
+                        Value::Int(i) => {
+                            *child = Value::Float(*i as f64 * factor);
+                            hits += 1;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    hits += scale_metric(child, key, factor);
+                }
+            }
+            hits
+        }
+        Value::Array(items) => items.iter_mut().map(|c| scale_metric(c, key, factor)).sum(),
+        _ => 0,
+    }
+}
+
+#[test]
+fn committed_baseline_passes_self_diff() {
+    let baseline = committed_baseline();
+    let report = diff_manifests(&baseline, &baseline, DEFAULT_TOLERANCE);
+    assert!(report.passed(), "{}", report.render_text());
+    assert!(
+        report.deltas.len() >= 10,
+        "the serve manifest should expose many metrics: {}",
+        report.deltas.len()
+    );
+    // The manifest must carry gating metrics in both directions.
+    assert!(report
+        .deltas
+        .iter()
+        .any(|d| d.path.contains("per_request_ns")));
+    assert!(report
+        .deltas
+        .iter()
+        .any(|d| d.path.contains("requests_per_sec")));
+}
+
+#[test]
+fn injected_regression_on_committed_baseline_fails() {
+    let baseline = committed_baseline();
+    let mut slowed = committed_baseline();
+    // 25 % slower per request everywhere: beyond the ±20 % tolerance.
+    let hits = scale_metric(&mut slowed, "per_request_ns", 1.25);
+    assert!(hits > 0, "fixture never touched a metric");
+    let report = diff_manifests(&baseline, &slowed, DEFAULT_TOLERANCE);
+    assert!(!report.passed(), "{}", report.render_text());
+    assert!(report
+        .deltas
+        .iter()
+        .any(|d| d.status == DeltaStatus::Regressed && d.path.contains("per_request_ns")));
+
+    // The same injection in the harmless direction still passes.
+    let mut sped_up = committed_baseline();
+    scale_metric(&mut sped_up, "per_request_ns", 0.75);
+    assert!(diff_manifests(&baseline, &sped_up, DEFAULT_TOLERANCE).passed());
+}
+
+#[test]
+fn throughput_drop_on_committed_baseline_fails() {
+    let baseline = committed_baseline();
+    let mut starved = committed_baseline();
+    let hits = scale_metric(&mut starved, "requests_per_sec", 0.7);
+    assert!(hits > 0);
+    let report = diff_manifests(&baseline, &starved, DEFAULT_TOLERANCE);
+    assert!(!report.passed());
+    assert!(report
+        .deltas
+        .iter()
+        .any(|d| d.status == DeltaStatus::Regressed && d.path.contains("requests_per_sec")));
+}

@@ -60,4 +60,4 @@ pub use config::{NeighborCaps, SceneRecConfig, Variant};
 pub use freeze::{FrozenHead, FrozenLayer, FrozenModel};
 pub use model::SceneRec;
 pub use recommend::{top_k_for_user, top_k_unseen, Recommendation};
-pub use trainer::{train, TrainConfig, TrainReport};
+pub use trainer::{train, train_traced, TrainConfig, TrainReport};

@@ -19,7 +19,7 @@ use scenerec_data::Dataset;
 use scenerec_eval::{evaluate, EvalSummary};
 use scenerec_faults::Injector;
 use scenerec_graph::ItemId;
-use scenerec_obs::{obs_event, FieldValue, Level, Stopwatch};
+use scenerec_obs::{obs_event, FieldValue, Level, Stopwatch, Trace, TraceData};
 use scenerec_tensor::stats::RunningStats;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -220,6 +220,25 @@ pub fn train<M: PairwiseModel + Sync>(
     train_with_optimizer(model, data, cfg, opt.as_mut())
 }
 
+/// [`train`] with causal tracing: records a `trainer.train` root span
+/// with one `trainer.epoch` child per epoch, each carrying
+/// `trainer.sample` / `trainer.fanout` / `trainer.forward` /
+/// `trainer.backward` / `trainer.reduce` / `trainer.step` (and, on
+/// evaluation epochs, `trainer.eval`) phase spans back-dated from the
+/// measured phase breakdown. The returned [`TraceData`] renders in
+/// Perfetto via `scenerec_obs::chrome_trace_json` alongside serve
+/// traces. Training itself is bit-identical to [`train`].
+pub fn train_traced<M: PairwiseModel + Sync>(
+    model: &mut M,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> (TrainReport, TraceData) {
+    let mut opt = make_optimizer(cfg);
+    let mut trace = Trace::new(0);
+    let report = train_with_optimizer_traced(model, data, cfg, opt.as_mut(), Some(&mut trace));
+    (report, trace.finish())
+}
+
 /// [`train`] with a caller-owned optimizer.
 ///
 /// This is the checkpoint-resume entry point: the caller builds the
@@ -234,6 +253,25 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
     cfg: &TrainConfig,
     opt: &mut dyn Optimizer,
 ) -> TrainReport {
+    train_with_optimizer_traced(model, data, cfg, opt, None)
+}
+
+/// [`train_with_optimizer`] optionally recording epoch/phase spans into
+/// `trace` (see [`train_traced`]). The untraced wrappers pass `None`;
+/// all entry points share this one implementation.
+pub fn train_with_optimizer_traced<M: PairwiseModel + Sync>(
+    model: &mut M,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    opt: &mut dyn Optimizer,
+    mut trace: Option<&mut Trace>,
+) -> TrainReport {
+    let root_span = trace.as_deref_mut().map(|t| {
+        let s = t.start_span("trainer.train");
+        t.add_field(s, "model", FieldValue::Str(model.name().to_string()));
+        t.add_field(s, "epochs", FieldValue::Int(cfg.epochs as i64));
+        s
+    });
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut grads = GradStore::new(model.store());
 
@@ -277,6 +315,11 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
 
     let mut triples: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.batch_size.max(1));
     for epoch in 0..cfg.epochs {
+        let epoch_span = trace.as_deref_mut().map(|t| {
+            let s = t.start_span("trainer.epoch");
+            t.add_field(s, "epoch", FieldValue::Int(epoch as i64));
+            s
+        });
         let (mean_loss, mut phases) = run_epoch(
             model,
             cfg,
@@ -314,6 +357,24 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
             }
         }
 
+        if let (Some(t), Some(s)) = (trace.as_deref_mut(), epoch_span) {
+            // Phase spans are recorded post-hoc from the measured
+            // breakdown: two consecutive ticks each, wall windows
+            // back-dated by the phase duration. Always all six — a
+            // phase measuring zero still appears, so the span count
+            // per epoch is a constant of the configuration.
+            t.record_span("trainer.sample", phases.sample_ns);
+            t.record_span("trainer.fanout", phases.fanout_ns);
+            t.record_span("trainer.forward", phases.forward_ns);
+            t.record_span("trainer.backward", phases.backward_ns);
+            t.record_span("trainer.reduce", phases.reduce_ns);
+            t.record_span("trainer.step", phases.step_ns);
+            if record.val_ndcg.is_some() {
+                t.record_span("trainer.eval", phases.eval_ns);
+            }
+            t.add_field(s, "mean_loss", FieldValue::Float(record.mean_loss as f64));
+            t.end_span(s);
+        }
         record_epoch_telemetry(model.name(), &record, &phases, pairs.len());
         obs_event!(
             epoch_level, "trainer", "epoch";
@@ -338,6 +399,9 @@ pub fn train_with_optimizer<M: PairwiseModel + Sync>(
             report.early_stopped = true;
             break;
         }
+    }
+    if let (Some(t), Some(s)) = (trace, root_span) {
+        t.end_span(s);
     }
     report
 }
@@ -841,6 +905,60 @@ mod tests {
         assert!(last < first, "loss did not decrease: {first} -> {last}");
         // BPR loss starts near ln 2.
         assert!(first > 0.2 && first < 2.0, "first loss {first}");
+    }
+
+    #[test]
+    fn train_traced_records_epoch_and_phase_spans() {
+        let data = generate(&GeneratorConfig::tiny(31)).unwrap();
+        let mut model = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(1), &data);
+        let cfg = quick_cfg();
+        let (report, trace) = train_traced(&mut model, &data, &cfg);
+        assert_eq!(report.epochs.len(), cfg.epochs);
+
+        let root = trace.root().unwrap();
+        assert_eq!(root.name, "trainer.train");
+        assert_eq!(root.parent, None);
+        assert_eq!(root.start_tick, 1);
+        let epochs: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "trainer.epoch")
+            .collect();
+        assert_eq!(epochs.len(), cfg.epochs);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.parent, Some(root.id));
+            assert_eq!(e.field("epoch"), Some(&FieldValue::Int(i as i64)));
+            assert!(e.field("mean_loss").is_some());
+            let phases: Vec<&str> = trace
+                .spans
+                .iter()
+                .filter(|s| s.parent == Some(e.id))
+                .map(|s| s.name.as_str())
+                .collect();
+            // eval_every=1 and a non-empty validation split: every
+            // epoch evaluates, so all seven phases appear.
+            assert_eq!(
+                phases,
+                vec![
+                    "trainer.sample",
+                    "trainer.fanout",
+                    "trainer.forward",
+                    "trainer.backward",
+                    "trainer.reduce",
+                    "trainer.step",
+                    "trainer.eval",
+                ]
+            );
+        }
+        // Every span is closed with end after start on both clocks.
+        assert!(trace
+            .spans
+            .iter()
+            .all(|s| s.end_tick > s.start_tick && s.end_ns >= s.start_ns));
+        // The traced run trains identically to an untraced one.
+        let mut model2 = SceneRec::new(SceneRecConfig::default().with_dim(8).with_seed(1), &data);
+        let report2 = train(&mut model2, &data, &cfg);
+        assert_eq!(report.epochs, report2.epochs);
     }
 
     #[test]

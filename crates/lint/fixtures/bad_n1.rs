@@ -1,0 +1,20 @@
+//! N1 fixture: literal span names that break the dotted snake_case
+//! contract, mixed with compliant ones that must stay silent.
+
+fn instrumented(trace: &mut Trace) {
+    // Compliant names: silent.
+    let ok = trace.start_span("serve.batch.score");
+    trace.end_span(ok);
+    trace.record_span("trainer.forward", 1_000);
+
+    // N1: CamelCase segments.
+    let a = trace.start_span("Serve.Request");
+    trace.end_span(a);
+
+    // N1: slash separator instead of dots.
+    trace.record_span("serve/batch.score", 2_000);
+
+    // N1: empty segment from a doubled dot.
+    let b = trace.start_span("serve..score");
+    trace.end_span(b);
+}

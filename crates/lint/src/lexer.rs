@@ -14,8 +14,13 @@ pub enum TokKind {
     Ident(String),
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
-    /// String/char/byte/numeric literal (contents deliberately dropped).
+    /// Char/byte/raw-string/numeric literal (contents deliberately
+    /// dropped).
     Literal,
+    /// Plain `"…"` string literal with its contents, so rules that
+    /// validate string arguments (N1 span names) can inspect them.
+    /// Contents never re-enter the identifier stream.
+    Str(String),
     /// Lifetime such as `'a` (distinct from a char literal).
     Lifetime,
 }
@@ -156,17 +161,23 @@ impl Lexer {
         });
     }
 
-    /// Consumes a `"…"` literal (escape-aware).
+    /// Consumes a `"…"` literal (escape-aware), keeping its contents.
     fn string_literal(&mut self, line: u32) {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '\\' {
-                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(c);
+                    text.push(esc);
+                }
             } else if c == '"' {
                 break;
+            } else {
+                text.push(c);
             }
         }
-        self.push(line, TokKind::Literal);
+        self.push(line, TokKind::Str(text));
     }
 
     /// `'` starts either a lifetime (`'a`) or a char literal (`'x'`).
@@ -353,6 +364,30 @@ mod tests {
         let ids = idents(r#"let s = "don't unwrap() or panic!"; s.len()"#);
         assert!(!ids.contains(&"unwrap".to_string()));
         assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn plain_strings_carry_their_contents() {
+        let l = lex(r#"f("serve.batch.score"); g("say \"hi\"")"#);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["serve.batch.score", r#"say \"hi\""#]);
+        // Byte strings stay opaque literals.
+        let l = lex(r#"h(b"serve.batch")"#);
+        assert!(l.tokens.iter().all(|t| !matches!(t.kind, TokKind::Str(_))));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
     }
 
     #[test]

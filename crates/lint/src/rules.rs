@@ -1,10 +1,11 @@
-//! The six lint rules, evaluated over the token stream of one file.
+//! The seven lint rules, evaluated over the token stream of one file.
 //!
 //! | rule | invariant |
 //! |------|-----------|
 //! | D1   | no iteration over `HashMap`/`HashSet` in numeric/data crates |
 //! | D2   | no unseeded RNG (`thread_rng`, `from_entropy`) outside tests |
-//! | D3   | no `Instant::now`/`SystemTime::now` outside the `obs` crate |
+//! | D3   | no ad-hoc `Instant::now`/`SystemTime::now` (obs clock shims are allowlisted) |
+//! | N1   | literal span names are dotted `snake_case` paths (`serve.batch.score`) |
 //! | R1   | no `unwrap()`/`expect()`/`panic!` in library crates |
 //! | R2   | every `unsafe` block carries a `// SAFETY:` comment |
 //! | R3   | no `process::exit`/`process::abort` in library crates |
@@ -106,6 +107,9 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     if cfg.d3_crates.contains(&crate_name) {
         rule_d3(&lexed.tokens, &ctx, &mut out);
     }
+    // N1 guards the trace namespace everywhere: a misnamed span pollutes
+    // every Perfetto view and digest downstream, so no crate is exempt.
+    rule_n1(&lexed.tokens, &ctx, &mut out);
     let r1_applies =
         matches!(ctx.kind, FileKind::Lib(_)) && !cfg.r1_exempt_crates.contains(&crate_name);
     if r1_applies {
@@ -464,6 +468,54 @@ fn rule_d3(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// The trace-API entry points whose first literal argument is a span
+/// name subject to N1.
+const SPAN_FNS: [&str; 2] = ["start_span", "record_span"];
+
+/// Whether `name` is a dotted `snake_case` path: one or more segments
+/// joined by single dots, each matching `[a-z][a-z0-9_]*`.
+fn is_dotted_snake_case(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            chars.next().is_some_and(|c| c.is_ascii_lowercase())
+                && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// N1: literal span names passed to `start_span`/`record_span` must be
+/// dotted `snake_case` paths, so traces group cleanly in Perfetto and
+/// structure digests stay greppable (`serve.batch.score`, not
+/// `Serve/BatchScore`).
+fn rule_n1(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        let Some(f) = ident_at(toks, i) else {
+            continue;
+        };
+        if !SPAN_FNS.contains(&f) || !is_punct(toks, i + 1, '(') {
+            continue;
+        }
+        let Some(Tok {
+            kind: TokKind::Str(name),
+            line,
+        }) = toks.get(i + 2)
+        else {
+            continue;
+        };
+        if !is_dotted_snake_case(name) {
+            ctx.emit(
+                out,
+                *line,
+                "N1",
+                format!(
+                    "span name `{name}` is not a dotted snake_case path; \
+                     use segments like `serve.batch.score`"
+                ),
+            );
+        }
+    }
+}
+
 /// R1: `unwrap`/`expect`/`panic!` in library code aborts callers that
 /// could have handled the error.
 fn rule_r1(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Violation>) {
@@ -632,11 +684,56 @@ fn f(m: &HashMap<u32, u32>) { for (k, _) in m { let _ = k; } }
     }
 
     #[test]
-    fn d3_flags_clocks_outside_obs() {
+    fn d3_flags_clocks_everywhere_including_obs() {
         let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }";
         assert_eq!(check("crates/core/src/x.rs", src).len(), 1);
-        // obs is not in the D3 crate list: timing belongs there.
-        assert!(check("crates/obs/src/x.rs", src).is_empty());
+        // Since obs v2 the rule covers obs too: only its allowlisted
+        // clock shims (span.rs, event.rs via lint.toml) may call `now`.
+        assert_eq!(check("crates/obs/src/x.rs", src).len(), 1);
+        assert!(check("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn n1_flags_non_snake_case_span_names() {
+        let src = r#"
+fn f(trace: &mut Trace) {
+    let a = trace.start_span("serve.batch.score");   // fine
+    trace.end_span(a);
+    trace.record_span("trainer.forward", 10);        // fine
+    let b = trace.start_span("Serve.Request");       // N1
+    trace.end_span(b);
+    trace.record_span("serve/batch", 10);            // N1
+    let c = trace.start_span("serve..score");        // N1
+    trace.end_span(c);
+}
+"#;
+        let v = check("crates/serve/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "N1").count(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn n1_ignores_dynamic_names_and_other_calls() {
+        let src = r#"
+fn f(trace: &mut Trace, name: &str) {
+    let a = trace.start_span(name);        // dynamic: not checked
+    trace.end_span(a);
+    other_fn("Not A Span Name");           // different callee
+}
+"#;
+        assert!(check("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn n1_applies_in_every_crate_and_respects_allows() {
+        let bad = r#"fn f(t: &mut Trace) { t.record_span("Bad Name", 1); }"#;
+        assert_eq!(check("crates/bench/src/x.rs", bad).len(), 1);
+        let allowed = r#"
+fn f(t: &mut Trace) {
+    // lint:allow(N1): legacy name kept for dashboard continuity
+    t.record_span("Bad Name", 1);
+}
+"#;
+        assert!(check("crates/bench/src/x.rs", allowed).is_empty());
     }
 
     #[test]

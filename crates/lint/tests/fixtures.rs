@@ -50,6 +50,19 @@ fn d3_fixture_flags_clocks() {
 }
 
 #[test]
+fn n1_fixture_flags_bad_span_names() {
+    let v = check_source(
+        "crates/serve/src/fixture.rs",
+        include_str!("../fixtures/bad_n1.rs"),
+        &Config::default(),
+    );
+    let n1: Vec<_> = v.iter().filter(|v| v.rule == "N1").collect();
+    assert_eq!(n1.len(), 3, "{v:?}");
+    // The compliant names at the top must not fire.
+    assert!(v.iter().all(|v| v.rule == "N1"), "{v:?}");
+}
+
+#[test]
 fn r1_fixture_flags_aborts() {
     let v = check_source(
         "crates/graph/src/fixture.rs",
@@ -83,7 +96,7 @@ fn r3_fixture_flags_process_teardown() {
 }
 
 #[test]
-fn all_six_rule_classes_fire() {
+fn all_seven_rule_classes_fire() {
     let mut fired: Vec<&str> = Vec::new();
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_d1.rs"),
@@ -96,6 +109,10 @@ fn all_six_rule_classes_fire() {
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_d3.rs"),
         "crates/core/src/fixture.rs",
+    ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_n1.rs"),
+        "crates/serve/src/fixture.rs",
     ));
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_r1.rs"),
@@ -111,7 +128,7 @@ fn all_six_rule_classes_fire() {
     ));
     fired.sort_unstable();
     fired.dedup();
-    assert_eq!(fired, vec!["D1", "D2", "D3", "R1", "R2", "R3"]);
+    assert_eq!(fired, vec!["D1", "D2", "D3", "N1", "R1", "R2", "R3"]);
 }
 
 #[test]

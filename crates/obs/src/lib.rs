@@ -15,32 +15,48 @@
 //! * **Thread-safe** — counters/gauges/histograms are lock-free
 //!   atomics; the span registry and sink list take short mutexes.
 //!
-//! The three layers:
+//! The layers:
 //!
 //! 1. [`span`] / [`record_duration`] — wall-time per named phase,
 //!    aggregated in a global timing registry ([`timing_snapshot`]).
-//! 2. [`metrics`] — named counters, gauges and fixed-bucket histograms.
+//! 2. [`metrics`] — named counters, gauges and fixed-bucket histograms,
+//!    exported as Prometheus text by [`prometheus_text`].
 //! 3. [`events`](emit) — leveled structured events fanned out to sinks:
 //!    a human-readable stderr logger and a JSONL writer
 //!    ([`JsonlSink`]) for post-hoc analysis.
+//! 4. [`trace`] — request-scoped causal span trees with logical-tick
+//!    and wall timestamps, exported as Chrome trace-event JSON
+//!    ([`chrome_trace_json`]) loadable in Perfetto.
+//! 5. [`flight`] — a bounded per-thread ring-buffer flight recorder;
+//!    supervisors dump it post-mortem when a worker panics.
 //!
-//! [`RunManifest`] snapshots all of the above next to a result file.
+//! [`RunManifest`] snapshots timings/metrics (plus git revision and
+//! [`HostInfo`]) next to a result file.
 
 mod dispatch;
 mod event;
+pub mod flight;
 mod manifest;
 pub mod metrics;
+pub mod prom;
 mod sink;
 mod span;
 mod sync;
+pub mod trace;
 
 pub use dispatch::{add_sink, emit, remove_sink, set_stderr_level, SinkHandle};
 pub use event::{Event, Field, FieldValue, Level};
-pub use manifest::{git_revision, RunManifest};
-pub use metrics::{metrics_snapshot, reset_metrics, MetricsSnapshot};
+pub use manifest::{git_revision, HostInfo, RunManifest};
+pub use metrics::{log_edges, metrics_snapshot, reset_metrics, MetricsSnapshot};
+pub use prom::prometheus_text;
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
 pub use span::{
-    record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard, Stopwatch,
+    monotonic_ns, record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard,
+    Stopwatch,
+};
+pub use trace::{
+    chrome_trace_json, structure_digest, structure_text, SpanId, SpanRecord, Trace, TraceData,
+    TraceId,
 };
 
 /// Emits a leveled event with structured fields.

@@ -8,6 +8,76 @@ use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+/// Hardware/OS provenance for a run: bench JSONs are only comparable
+/// between machines with the same architecture, SIMD features and
+/// parallelism, so `bench-diff` consumers need this recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    /// Target architecture (e.g. `x86_64`).
+    pub arch: String,
+    /// Operating system (e.g. `linux`).
+    pub os: String,
+    /// Available hardware parallelism (logical CPUs).
+    pub threads: usize,
+    /// Runtime-detected SIMD features relevant to the kernels.
+    pub cpu_features: Vec<String>,
+}
+
+impl HostInfo {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        HostInfo {
+            arch: std::env::consts::ARCH.to_string(),
+            os: std::env::consts::OS.to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cpu_features: detect_cpu_features(),
+        }
+    }
+
+    /// Serializes to a serde value.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("arch".to_string(), Value::Str(self.arch.clone())),
+            ("os".to_string(), Value::Str(self.os.clone())),
+            ("threads".to_string(), Value::Int(self.threads as i64)),
+            (
+                "cpu_features".to_string(),
+                Value::Array(
+                    self.cpu_features
+                        .iter()
+                        .map(|f| Value::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_cpu_features() -> Vec<String> {
+    let mut features = Vec::new();
+    if is_x86_feature_detected!("sse4.2") {
+        features.push("sse4.2".to_string());
+    }
+    if is_x86_feature_detected!("avx2") {
+        features.push("avx2".to_string());
+    }
+    if is_x86_feature_detected!("fma") {
+        features.push("fma".to_string());
+    }
+    if is_x86_feature_detected!("avx512f") {
+        features.push("avx512f".to_string());
+    }
+    features
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_cpu_features() -> Vec<String> {
+    Vec::new()
+}
+
 /// Provenance + telemetry record for one benchmark/training run.
 ///
 /// Build one with [`RunManifest::new`], fill in the run parameters,
@@ -22,6 +92,8 @@ pub struct RunManifest {
     pub created_unix_ms: u64,
     /// `git rev-parse HEAD` of the working tree, when available.
     pub git_rev: Option<String>,
+    /// Hardware/OS the run executed on.
+    pub host: HostInfo,
     /// RNG seed driving the run.
     pub seed: Option<u64>,
     /// Dataset scale label (e.g. `"laptop"`).
@@ -45,6 +117,7 @@ impl RunManifest {
             binary: binary.into(),
             created_unix_ms: unix_ms(),
             git_rev: git_revision().map(str::to_string),
+            host: HostInfo::detect(),
             seed: None,
             scale: None,
             models: Vec::new(),
@@ -106,6 +179,7 @@ impl RunManifest {
                 Value::Int(self.created_unix_ms as i64),
             ),
             ("git_rev".to_string(), opt_str(&self.git_rev)),
+            ("host".to_string(), self.host.to_value()),
             (
                 "seed".to_string(),
                 match self.seed {
@@ -211,11 +285,27 @@ mod tests {
             "\"timings\"",
             "\"metrics\"",
             "\"results\"",
+            "\"host\"",
+            "\"threads\"",
+            "\"cpu_features\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
         // The JSON parses back cleanly.
         serde_json::parse_value(&json).unwrap();
+    }
+
+    #[test]
+    fn host_info_detects_sane_values() {
+        let host = HostInfo::detect();
+        assert!(!host.arch.is_empty());
+        assert!(!host.os.is_empty());
+        assert!(host.threads >= 1);
+        #[cfg(target_arch = "x86_64")]
+        assert!(host
+            .cpu_features
+            .iter()
+            .all(|f| ["sse4.2", "avx2", "fma", "avx512f"].contains(&f.as_str())));
     }
 
     #[test]

@@ -133,33 +133,63 @@ impl Histogram {
     /// Approximate quantile via linear interpolation inside the
     /// containing bucket (upstream-prometheus style).
     pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
         let counts = self.bucket_counts();
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                let hi = self.edges.get(i).copied().unwrap_or(f64::INFINITY);
-                let lo = if i == 0 { 0.0 } else { self.edges[i - 1] };
-                if hi.is_infinite() {
-                    return lo;
-                }
-                let in_bucket = *c as f64;
-                let before = (seen - c) as f64;
-                let frac = if in_bucket > 0.0 {
-                    (target as f64 - before) / in_bucket
-                } else {
-                    1.0
-                };
-                return lo + (hi - lo) * frac;
-            }
-        }
-        self.edges.last().copied().unwrap_or(0.0)
+        quantile_from_counts(&self.edges, &counts, q)
     }
+
+    /// Batch quantile lookup over a single consistent bucket snapshot —
+    /// cheaper and more coherent than repeated [`Self::quantile`] calls
+    /// while observations are still arriving.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        let counts = self.bucket_counts();
+        qs.iter()
+            .map(|&q| quantile_from_counts(&self.edges, &counts, q))
+            .collect()
+    }
+}
+
+fn quantile_from_counts(edges: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            let hi = edges.get(i).copied().unwrap_or(f64::INFINITY);
+            let lo = if i == 0 { 0.0 } else { edges[i - 1] };
+            if hi.is_infinite() {
+                return lo;
+            }
+            let in_bucket = *c as f64;
+            let before = (seen - c) as f64;
+            let frac = if in_bucket > 0.0 {
+                (target as f64 - before) / in_bucket
+            } else {
+                1.0
+            };
+            return lo + (hi - lo) * frac;
+        }
+    }
+    edges.last().copied().unwrap_or(0.0)
+}
+
+/// Log-spaced histogram bucket edges: `per_decade` geometric steps per
+/// factor of 10, from `lo` to (approximately) `hi`, inclusive on both
+/// ends. Latency distributions are heavy-tailed, so log spacing keeps
+/// relative quantile error roughly constant across the full range —
+/// linear edges collapse everything above their top into one bucket.
+pub fn log_edges(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(
+        lo > 0.0 && hi > lo && per_decade > 0,
+        "log_edges requires 0 < lo < hi and per_decade >= 1"
+    );
+    let steps = ((hi / lo).log10() * per_decade as f64).round().max(1.0) as usize;
+    (0..=steps)
+        .map(|i| lo * 10f64.powf(i as f64 / per_decade as f64))
+        .collect()
 }
 
 #[derive(Default)]
@@ -220,6 +250,8 @@ pub struct HistogramSnapshot {
     pub p50: f64,
     /// Approximate p99.
     pub p99: f64,
+    /// Approximate p99.9.
+    pub p999: f64,
 }
 
 /// Point-in-time copy of the whole metrics registry.
@@ -260,6 +292,7 @@ impl MetricsSnapshot {
                             ("sum".to_string(), Value::Float(h.sum)),
                             ("p50".to_string(), Value::Float(h.p50)),
                             ("p99".to_string(), Value::Float(h.p99)),
+                            ("p999".to_string(), Value::Float(h.p999)),
                             (
                                 "edges".to_string(),
                                 Value::Array(h.edges.iter().map(|e| Value::Float(*e)).collect()),
@@ -301,14 +334,18 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
     let histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .iter()
-        .map(|(k, h)| HistogramSnapshot {
-            name: k.clone(),
-            edges: h.edges().to_vec(),
-            buckets: h.bucket_counts(),
-            count: h.count(),
-            sum: h.sum(),
-            p50: h.quantile(0.5),
-            p99: h.quantile(0.99),
+        .map(|(k, h)| {
+            let qs = h.quantiles(&[0.5, 0.99, 0.999]);
+            HistogramSnapshot {
+                name: k.clone(),
+                edges: h.edges().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: qs[0],
+                p99: qs[1],
+                p999: qs[2],
+            }
         })
         .collect();
     MetricsSnapshot {
@@ -365,6 +402,38 @@ mod tests {
         assert!((0.0..=10.0).contains(&p50), "p50 = {p50}");
         let p99 = h.quantile(0.99);
         assert!((10.0..=20.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single_lookups() {
+        let h = Histogram::new(&[10.0, 20.0, 30.0]);
+        for i in 0..1000 {
+            h.observe((i % 30) as f64);
+        }
+        let qs = h.quantiles(&[0.5, 0.99, 0.999]);
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0], h.quantile(0.5));
+        assert_eq!(qs[1], h.quantile(0.99));
+        assert_eq!(qs[2], h.quantile(0.999));
+        assert!(qs[0] <= qs[1] && qs[1] <= qs[2], "{qs:?}");
+    }
+
+    #[test]
+    fn log_edges_are_log_spaced_and_strictly_increasing() {
+        let edges = log_edges(1e3, 1e10, 6);
+        assert_eq!(edges.len(), 43); // 7 decades * 6 + 1
+        assert!((edges[0] - 1e3).abs() < 1e-6);
+        assert!((edges[42] - 1e10).abs() / 1e10 < 1e-9);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        // Constant ratio between adjacent edges (geometric spacing).
+        let r0 = edges[1] / edges[0];
+        assert!(edges
+            .windows(2)
+            .all(|w| ((w[1] / w[0]) / r0 - 1.0).abs() < 1e-9));
+        // The result is a valid histogram edge set.
+        let h = Histogram::new(&edges);
+        h.observe(5e9);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! [`prometheus_text`] renders every registered counter, gauge and
+//! histogram in the Prometheus 0.0.4 text format so a scrape endpoint
+//! (or a human with `curl`) can read the same numbers the manifests
+//! record. Histograms expose cumulative `_bucket{le=...}` series plus
+//! `_sum`/`_count`, and additionally p50/p99/p999 gauges interpolated
+//! from the buckets — tail quantiles are the serving numbers we gate
+//! on, so they are first-class in the exposition too.
+
+use crate::metrics::{metrics_snapshot, HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a registry name (e.g. `serve/latency_ns`) onto the Prometheus
+/// metric-name alphabet `[a-zA-Z0-9_:]`, prefixing an underscore when
+/// the name would otherwise start with a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = sanitize_metric_name(&h.name);
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, edge) in h.edges.iter().enumerate() {
+        cumulative += h.buckets.get(i).copied().unwrap_or(0);
+        out.push_str(&format!("{name}_bucket{{le=\"{edge}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    for (suffix, q) in [("p50", h.p50), ("p99", h.p99), ("p999", h.p999)] {
+        out.push_str(&format!(
+            "# TYPE {name}_{suffix} gauge\n{name}_{suffix} {q}\n"
+        ));
+    }
+}
+
+/// Renders one snapshot in Prometheus text format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name}_total counter\n{name}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for h in &snap.histograms {
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+/// Snapshots the live registry and renders it in Prometheus text
+/// format.
+pub fn prometheus_text() -> String {
+    render(&metrics_snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, gauge, histogram};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("serve/latency_ns"), "serve_latency_ns");
+        assert_eq!(sanitize_metric_name("a.b-c"), "a_b_c");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok:name_1"), "ok:name_1");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        counter("test-prom/reqs").add(5);
+        gauge("test-prom/depth").set(3.5);
+        let h = histogram("test-prom/lat", &[1.0, 10.0, 100.0]);
+        for x in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(x);
+        }
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_prom_reqs_total counter\ntest_prom_reqs_total 5\n"));
+        assert!(text.contains("# TYPE test_prom_depth gauge\ntest_prom_depth 3.5\n"));
+        // Buckets are cumulative: 1, 3, 4, then +Inf carries the total.
+        assert!(text.contains("test_prom_lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("test_prom_lat_bucket{le=\"10\"} 3\n"));
+        assert!(text.contains("test_prom_lat_bucket{le=\"100\"} 4\n"));
+        assert!(text.contains("test_prom_lat_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("test_prom_lat_count 5\n"));
+        assert!(text.contains("test_prom_lat_p50 "));
+        assert!(text.contains("test_prom_lat_p99 "));
+        assert!(text.contains("test_prom_lat_p999 "));
+    }
+}

@@ -135,6 +135,21 @@ impl Stopwatch {
     }
 }
 
+/// Nanoseconds since the process-wide monotonic epoch (the first call
+/// in the process). All wall timestamps in the tracing layer
+/// ([`trace`](crate::trace)) and the flight recorder
+/// ([`flight`](crate::flight)) come from this single clock, so spans
+/// recorded on different threads share one timeline and Chrome trace
+/// exports start near zero.
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
 /// Opens a scoped timer for `name`.
 pub fn span(name: impl Into<String>) -> SpanGuard {
     SpanGuard {
@@ -211,6 +226,15 @@ mod tests {
         assert_eq!(t.min_ns, 100);
         assert_eq!(t.max_ns, 300);
         assert!((t.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotonic_ns_is_nondecreasing() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        std::thread::sleep(Duration::from_millis(1));
+        let c = monotonic_ns();
+        assert!(a <= b && b < c, "a={a} b={b} c={c}");
     }
 
     #[test]

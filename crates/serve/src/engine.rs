@@ -26,7 +26,7 @@ use crate::topk::select_top_k;
 use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, Recommendation};
 use scenerec_data::Dataset;
 use scenerec_graph::UserId;
-use scenerec_obs::metrics;
+use scenerec_obs::{metrics, FieldValue, Trace};
 use scenerec_tensor::score::try_score_bt;
 use scenerec_tensor::{linalg, Matrix};
 use std::path::Path;
@@ -271,21 +271,61 @@ impl FrozenEngine {
     /// # Errors
     /// [`ServeError::UserOutOfRange`].
     pub fn top_k(&self, user: u32, k: usize) -> Result<Vec<Recommendation>, ServeError> {
+        self.top_k_inner(user, k, None)
+    }
+
+    /// [`Self::top_k`] recording `serve.cache` / `serve.score` spans
+    /// into `trace`. The cache span carries a `hit` field; the score
+    /// span (cache misses only) carries the candidate count. Tracing
+    /// never changes the served bytes — the traced and untraced paths
+    /// share one implementation.
+    pub fn top_k_traced(
+        &self,
+        user: u32,
+        k: usize,
+        trace: &mut Trace,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        self.top_k_inner(user, k, Some(trace))
+    }
+
+    pub(crate) fn top_k_inner(
+        &self,
+        user: u32,
+        k: usize,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Vec<Recommendation>, ServeError> {
         metrics::counter("serve/requests").inc();
         let key_k = u32::try_from(k).unwrap_or(u32::MAX);
+        let cache_span = trace.as_deref_mut().map(|t| t.start_span("serve.cache"));
+        let close_cache = |trace: &mut Option<&mut Trace>, hit: bool| {
+            if let (Some(t), Some(s)) = (trace.as_deref_mut(), cache_span) {
+                t.add_field(s, "hit", FieldValue::Bool(hit));
+                t.end_span(s);
+            }
+        };
         if (user as usize) < self.num_users() {
             if let Some(hit) = self.lock_cache().get(user, key_k) {
                 metrics::counter("serve/cache_hits").inc();
+                close_cache(&mut trace, true);
                 return Ok(hit);
             }
         }
         metrics::counter("serve/cache_misses").inc();
+        close_cache(&mut trace, false);
         let mask = self.seen_mask(user)?;
         let candidates: Vec<u32> = (0..self.num_items() as u32)
             .filter(|&i| !mask.contains(i))
             .collect();
+        let score_span = trace.as_deref_mut().map(|t| {
+            let s = t.start_span("serve.score");
+            t.add_field(s, "candidates", FieldValue::Int(candidates.len() as i64));
+            s
+        });
         let scores = self.score_items(user, &candidates)?;
         let recs = select_top_k(candidates.iter().copied().zip(scores), k);
+        if let (Some(t), Some(s)) = (trace, score_span) {
+            t.end_span(s);
+        }
         self.lock_cache().insert(user, key_k, recs.clone());
         Ok(recs)
     }

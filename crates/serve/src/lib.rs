@@ -48,6 +48,7 @@ pub use engine::{EngineConfig, FrozenEngine, ServeError};
 pub use mask::SeenMask;
 pub use scenerec_faults::Backoff;
 pub use scheduler::{
-    replay, replay_supervised, responses_to_json, ReplayConfig, Request, Response,
+    latency_edges, replay, replay_supervised, replay_traced, replay_traced_supervised,
+    responses_to_json, ReplayConfig, Request, Response,
 };
 pub use topk::select_top_k;

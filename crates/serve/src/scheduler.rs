@@ -36,12 +36,23 @@
 //! batch-size histograms, per-request latency, and the recovery counters
 //! `serve/retries`, `serve/degraded_hits`, `serve/deadline_misses`, and
 //! `serve/worker_respawns`.
+//!
+//! ## Causal tracing (`replay_traced`)
+//!
+//! The traced entry points additionally record one span tree per
+//! request (`serve.request` → `serve.queue` / `serve.batch` →
+//! `serve.cache` / `serve.score`) with logical-tick timestamps, so span
+//! *structure* is as deterministic as the response bytes; see
+//! [`replay_traced`]. Workers also log every batch claim into the
+//! `scenerec_obs::flight` ring recorder, and the supervisor attaches a
+//! full flight dump to the `Warn` event it emits when it reaps a
+//! panicked worker — the post-mortem shows what every thread was doing
+//! just before the crash.
 
 use crate::engine::FrozenEngine;
 use scenerec_core::Recommendation;
 use scenerec_faults::{Backoff, Injector};
-use scenerec_obs::metrics;
-use scenerec_obs::Stopwatch;
+use scenerec_obs::{flight, metrics, obs_event, FieldValue, Level, Stopwatch, Trace, TraceData};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, MutexGuard};
 
@@ -158,10 +169,14 @@ const COUNT_EDGES: [f64; 15] = [
     16384.0,
 ];
 
-/// Bucket edges for per-request latency in nanoseconds (1 µs .. 10 s).
-const LATENCY_EDGES: [f64; 15] = [
-    1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
-];
+/// Bucket edges for per-request latency in nanoseconds: log-spaced at
+/// 6 buckets per decade over 1 µs .. 10 s. Serving latency is
+/// heavy-tailed; log spacing keeps the relative quantile error roughly
+/// constant all the way into the p999 tail, where the old 1–3–10
+/// edges collapsed whole decades into two buckets.
+pub fn latency_edges() -> Vec<f64> {
+    metrics::log_edges(1e3, 1e10, 6)
+}
 
 /// A claimed micro-batch: request indices `start..end`, plus how many
 /// times a panicking worker has already handed it back.
@@ -183,6 +198,11 @@ struct Shared<'a> {
     slots: Mutex<Vec<Option<Response>>>,
     /// Last good result per (user, k) — the degraded-mode fallback.
     stale: Mutex<BTreeMap<(u32, u32), Vec<Recommendation>>>,
+    /// One trace per request (index-aligned with `slots`), present only
+    /// on the traced entry points. A worker takes the trace alongside
+    /// the request, appends its spans, and puts it back — single-owner
+    /// hand-off, same life cycle as the response slot.
+    traces: Option<Mutex<Vec<Option<Trace>>>>,
 }
 
 /// Replays a request log through the engine with a worker pool and
@@ -212,6 +232,43 @@ pub fn replay_supervised(
     config: &ReplayConfig,
     injector: &Injector,
 ) -> Vec<Response> {
+    run_replay(engine, requests, config, injector, false).0
+}
+
+/// [`replay`] with causal tracing: returns one [`TraceData`] per
+/// request (index-aligned with the responses, `trace_id` = request
+/// index). Each trace roots at a `serve.request` span with
+/// `serve.queue` and `serve.batch` children; the batch span nests
+/// `serve.cache` (with a `hit` field) and, on misses, `serve.score`.
+/// Span *structure* — ids, parentage, logical ticks — is a pure
+/// function of the request log and cache state, so it is identical at
+/// any worker count; only the wall-ns timestamps differ.
+pub fn replay_traced(
+    engine: &FrozenEngine,
+    requests: &[Request],
+    config: &ReplayConfig,
+) -> (Vec<Response>, Vec<TraceData>) {
+    replay_traced_supervised(engine, requests, config, &Injector::disabled())
+}
+
+/// [`replay_supervised`] with causal tracing — see [`replay_traced`].
+pub fn replay_traced_supervised(
+    engine: &FrozenEngine,
+    requests: &[Request],
+    config: &ReplayConfig,
+    injector: &Injector,
+) -> (Vec<Response>, Vec<TraceData>) {
+    let (responses, traces) = run_replay(engine, requests, config, injector, true);
+    (responses, traces.unwrap_or_default())
+}
+
+fn run_replay(
+    engine: &FrozenEngine,
+    requests: &[Request],
+    config: &ReplayConfig,
+    injector: &Injector,
+    traced: bool,
+) -> (Vec<Response>, Option<Vec<TraceData>>) {
     let workers = config.workers.max(1);
     let max_batch = config.max_batch.max(1);
     let mut queue = VecDeque::new();
@@ -225,6 +282,26 @@ pub fn replay_supervised(
         });
         start = end;
     }
+    let traces = traced.then(|| {
+        // Every request's trace opens here, on the scheduler thread, in
+        // request order: the root span and the queue span get their
+        // ticks before any worker runs, so trace structure cannot
+        // depend on worker interleaving.
+        Mutex::new(
+            requests
+                .iter()
+                .enumerate()
+                .map(|(idx, req)| {
+                    let mut t = Trace::new(idx as u64);
+                    let root = t.start_span("serve.request");
+                    t.add_field(root, "user", FieldValue::Int(req.user as i64));
+                    t.add_field(root, "k", FieldValue::Int(req.k as i64));
+                    t.start_span("serve.queue");
+                    Some(t)
+                })
+                .collect::<Vec<Option<Trace>>>(),
+        )
+    });
     let shared = Shared {
         engine,
         requests,
@@ -233,12 +310,20 @@ pub fn replay_supervised(
         queue: Mutex::new(queue),
         slots: Mutex::new(requests.iter().map(|_| None).collect()),
         stale: Mutex::new(BTreeMap::new()),
+        traces,
     };
     supervise(&shared, workers);
 
     let out: Vec<Response> = lock(&shared.slots).drain(..).flatten().collect();
     debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
-    out
+    let traces = shared.traces.as_ref().map(|m| {
+        lock(m)
+            .drain(..)
+            .enumerate()
+            .map(|(idx, t)| t.unwrap_or_else(|| Trace::new(idx as u64)).finish())
+            .collect()
+    });
+    (out, traces)
 }
 
 /// Runs `workers` scoped drain loops, replacing any that panic until the
@@ -262,6 +347,12 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
             // the replacement finds it back on the queue.
             metrics::counter("serve/worker_respawns").inc();
             let orphan = lock(&registry[slot]).take();
+            obs_event!(
+                Level::Warn, "serve", "worker panicked; respawning";
+                "slot" => slot as u64,
+                "orphan_batch" => orphan.map(|b| format!("{}..{}", b.start, b.end)).unwrap_or_default(),
+                "dump" => flight::dump_string(),
+            );
             if let Some(batch) = orphan {
                 if batch.requeues < shared.config.max_retries {
                     lock(&shared.queue).push_front(Batch {
@@ -284,7 +375,7 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
 fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
     let queue_hist = metrics::histogram("serve/queue_depth", &COUNT_EDGES);
     let batch_hist = metrics::histogram("serve/batch_size", &COUNT_EDGES);
-    let latency_hist = metrics::histogram("serve/latency_ns", &LATENCY_EDGES);
+    let latency_hist = metrics::histogram("serve/latency_ns", &latency_edges());
     loop {
         let batch = {
             let mut q = lock(&shared.queue);
@@ -296,16 +387,39 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
         };
         let Some(batch) = batch else { break };
         *lock(inflight) = Some(batch);
+        flight::record(
+            "serve.batch.claim",
+            format!(
+                "requests {}..{} requeues={}",
+                batch.start, batch.end, batch.requeues
+            ),
+        );
         // The injected worker crash: fires after the batch is registered
-        // and before any of it is served, so the supervisor recovers the
-        // whole batch and no half-served state leaks out.
+        // and before any of it is served — so the supervisor recovers the
+        // whole batch, no half-served state leaks out, and (because the
+        // traces are still untouched in their slots) span structure is
+        // invariant under panic faults.
         shared.injector.panic_point("serve/worker");
         batch_hist.observe((batch.end - batch.start) as f64);
 
         let mut served = Vec::with_capacity(batch.end - batch.start);
         for idx in batch.start..batch.end {
             let watch = Stopwatch::start();
-            let response = serve_one_supervised(shared, &shared.requests[idx]);
+            let mut trace = shared.traces.as_ref().and_then(|m| lock(m)[idx].take());
+            let batch_span = trace.as_mut().map(|t| {
+                t.end_top(); // serve.queue: the wait is over
+                let b = t.start_span("serve.batch");
+                t.add_field(b, "batch_start", FieldValue::Int(batch.start as i64));
+                t.add_field(b, "batch_end", FieldValue::Int(batch.end as i64));
+                b
+            });
+            let response = serve_one_supervised(shared, &shared.requests[idx], trace.as_mut());
+            if let (Some(t), Some(b)) = (trace.as_mut(), batch_span) {
+                t.end_span(b);
+            }
+            if let (Some(m), Some(t)) = (shared.traces.as_ref(), trace) {
+                lock(m)[idx] = Some(t);
+            }
             latency_hist.observe(watch.elapsed_ns() as f64);
             served.push((idx, response));
         }
@@ -343,7 +457,15 @@ fn commit_errors(shared: &Shared<'_>, batch: Batch) {
 }
 
 /// Serves one request through the retry / deadline / degraded ladder.
-fn serve_one_supervised(shared: &Shared<'_>, req: &Request) -> Response {
+/// `trace`, when present, is handed to the engine exactly once — the
+/// retry loop wraps the injected I/O probe, not the engine call, so a
+/// request records its cache/score spans at most once under any fault
+/// plan.
+fn serve_one_supervised(
+    shared: &Shared<'_>,
+    req: &Request,
+    mut trace: Option<&mut Trace>,
+) -> Response {
     let config = shared.config;
     let key = (req.user, u32::try_from(req.k).unwrap_or(u32::MAX));
     // Logical clock for this request: injected latency plus backoff.
@@ -365,7 +487,7 @@ fn serve_one_supervised(shared: &Shared<'_>, req: &Request) -> Response {
         }
         match shared.injector.io("serve/engine") {
             Ok(()) => {
-                let response = serve_one(shared.engine, req);
+                let response = serve_one(shared.engine, req, trace.take());
                 if response.error.is_none() {
                     lock(&shared.stale).insert(key, response.recs.clone());
                 }
@@ -404,8 +526,8 @@ fn serve_one_supervised(shared: &Shared<'_>, req: &Request) -> Response {
     }
 }
 
-fn serve_one(engine: &FrozenEngine, req: &Request) -> Response {
-    match engine.top_k(req.user, req.k) {
+fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) -> Response {
+    match engine.top_k_inner(req.user, req.k, trace) {
         Ok(recs) => Response {
             user: req.user,
             k: req.k,

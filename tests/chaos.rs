@@ -340,6 +340,64 @@ fn latency_injection_misses_deadlines_exactly_where_armed() {
     }
 }
 
+/// A worker panic dumps the flight recorder: the supervisor's warning
+/// event carries the last ring-buffer entries, which must include the
+/// batch claim that died and the injected fault that killed it.
+#[test]
+fn worker_panic_dumps_flight_recorder() {
+    use scenerec_obs::{add_sink, flight, remove_sink, FieldValue, Level, MemorySink};
+    use std::sync::Arc;
+
+    // Start from a clean recorder so the dump reflects this run only.
+    let _ = flight::drain();
+    let sink = Arc::new(MemorySink::new());
+    let handle = add_sink(sink.clone());
+
+    let engine = toy_engine();
+    let reqs = request_log();
+    let inj = Injector::new(FaultPlan::new(chaos_seed()).inject(
+        "serve/worker",
+        Trigger::Nth(2),
+        Fault::Panic,
+    ));
+    let cfg = ReplayConfig {
+        workers: 2,
+        max_batch: 8,
+        max_retries: 8,
+        ..ReplayConfig::default()
+    };
+    let out = replay_supervised(&engine, &reqs, &cfg, &inj);
+    remove_sink(handle);
+    assert_eq!(out.len(), reqs.len());
+    assert!(inj.injected() >= 1, "panic plan never fired");
+
+    // The supervisor runs on the calling thread, so its warning is in
+    // this thread's slice of the memory sink.
+    let warnings: Vec<_> = sink
+        .events_for_current_thread()
+        .into_iter()
+        .filter(|e| e.level == Level::Warn && e.message.contains("worker panicked"))
+        .collect();
+    assert!(!warnings.is_empty(), "no supervisor warning was emitted");
+    let dump = warnings
+        .iter()
+        .find_map(|e| {
+            e.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("dump", FieldValue::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+        })
+        .expect("supervisor warning must carry a flight-recorder dump");
+    assert!(
+        dump.contains("serve.batch.claim"),
+        "dump must show the claim that died:\n{dump}"
+    );
+    assert!(
+        dump.contains("faults.injected") && dump.contains("Panic at serve/worker"),
+        "dump must show the injected fault:\n{dump}"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Checkpointing under chaos
 // ---------------------------------------------------------------------
