@@ -80,14 +80,14 @@ impl PairwiseModel for BprMf {
     fn freeze(&self) -> Option<scenerec_core::FrozenModel> {
         // The tape computes `dot(p, q) + b_i` with linalg::dot; the frozen
         // DotBias head replays exactly that, so parity is bit-exact.
-        Some(scenerec_core::FrozenModel {
-            name: self.name().to_owned(),
-            users: self.store.value(self.user_emb).clone(),
-            items: self.store.value(self.item_emb).clone(),
-            head: scenerec_core::FrozenHead::DotBias {
+        Some(scenerec_core::FrozenModel::dense(
+            self.name(),
+            self.store.value(self.user_emb).clone(),
+            self.store.value(self.item_emb).clone(),
+            scenerec_core::FrozenHead::DotBias {
                 bias: self.store.value(self.item_bias).column(0),
             },
-        })
+        ))
     }
 }
 

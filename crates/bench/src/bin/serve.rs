@@ -19,20 +19,28 @@
 //! at `chrome://tracing` or <https://ui.perfetto.dev>), and asserts that
 //! the span *structure* digest is identical across every `--workers`
 //! entry — the serving path's determinism contract.
+//!
+//! The run ends with a quantized-precision sweep: a BPR-MF dot-bias
+//! model (`--precision-dim`, default 128) frozen at f32/f16/int8,
+//! served cache-off so warm req/s measures the scoring kernels, plus
+//! top-20 overlap of each quantized engine against the f32 engine.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scenerec_baselines::BprMf;
 use scenerec_bench::cli::Args;
 use scenerec_bench::HarnessConfig;
 use scenerec_core::trainer::train;
-use scenerec_core::{top_k_unseen, SceneRec, SceneRecConfig};
+use scenerec_core::{top_k_unseen, Precision, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, DatasetProfile};
-use scenerec_graph::UserId;
+use scenerec_graph::{ItemId, UserId};
 use scenerec_obs::{chrome_trace_json, metrics, reset_metrics, structure_digest, RunManifest};
 use scenerec_serve::{
     latency_edges, replay, replay_traced, EngineConfig, FrozenEngine, ReplayConfig, Request,
 };
+use scenerec_tensor::backend_name;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,6 +52,8 @@ struct ServeConfig {
     epochs: usize,
     num_users: u32,
     num_items: u32,
+    precision_dim: usize,
+    overlap_k: usize,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -76,12 +86,28 @@ struct WorkerRun {
     speedup_vs_baseline: f64,
 }
 
+/// One precision's cache-off serving numbers on the BPR-MF dot-bias
+/// engine. `warm` replays the same log a second time, so it measures
+/// steady-state scoring-kernel throughput, not cache hits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrecisionRun {
+    precision: String,
+    freeze_ns: u64,
+    cold: Throughput,
+    warm: Throughput,
+    warm_speedup_vs_f32: f64,
+    /// Mean top-20 overlap against the f32 engine (1.0 for f32 itself).
+    top20_overlap_vs_f32: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ServeResults {
     baseline: Throughput,
     freeze_ns: u64,
     runs: Vec<WorkerRun>,
     best_speedup_vs_baseline: f64,
+    precisions: Vec<PrecisionRun>,
+    int8_speedup_vs_f32_warm: f64,
 }
 
 fn main() {
@@ -287,11 +313,106 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\nbest cold speedup vs per-request tape: {best:.1}x");
 
+    // --- Quantized precision sweep -----------------------------------
+    // BPR-MF's dot-bias head is the shape the quantized kernels serve
+    // natively: f16 item rows through the widening dot, int8 rows
+    // through the integer dot. (SceneRec's MLP head dequantizes
+    // row-by-row instead, so it would measure expansion, not kernels.)
+    // The default dim is deliberately large: below ~256 the per-request
+    // fixed costs (batching, masking, top-K selection) dominate and
+    // every precision converges to the same req/s.
+    let precision_dim: usize = args.get_or("precision-dim", 512);
+    let overlap_k: usize = args.get_or("overlap-k", 20);
+    let mut bpr = BprMf::new(&data, precision_dim, hc.model_seed);
+    let t = Instant::now();
+    train(&mut bpr, &data, &tc);
+    println!(
+        "\nprecision sweep: BPR-MF dim {precision_dim} trained in {:.1}s (backend {})",
+        t.elapsed().as_secs_f64(),
+        backend_name()
+    );
+
+    let sweep_cfg = ReplayConfig {
+        workers: 1,
+        max_batch: 32,
+        ..ReplayConfig::default()
+    };
+    let overlap_users: u32 = data.num_users().min(200);
+    let mut f32_top: Vec<BTreeSet<ItemId>> = Vec::new();
+    let mut f32_warm_rps = 0.0f64;
+    let mut precisions = Vec::new();
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let t = Instant::now();
+        let engine = FrozenEngine::from_model_quantized(
+            &bpr,
+            &data,
+            precision,
+            EngineConfig {
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("freeze {}: {e}", precision.name()));
+        let p_freeze_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let responses = replay(&engine, &requests, &sweep_cfg);
+        let cold = Throughput::from_run(responses.len(), t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        let responses = replay(&engine, &requests, &sweep_cfg);
+        let warm = Throughput::from_run(responses.len(), t.elapsed().as_nanos() as u64);
+        if precision == Precision::F32 {
+            f32_warm_rps = warm.requests_per_sec;
+        }
+
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for user in 0..overlap_users {
+            let top = engine
+                .top_k(user, overlap_k)
+                .unwrap_or_else(|e| panic!("top_k {}: {e}", precision.name()));
+            if precision == Precision::F32 {
+                f32_top.push(top.iter().map(|r| r.item).collect());
+            } else {
+                let want = &f32_top[user as usize];
+                kept += top.iter().filter(|r| want.contains(&r.item)).count();
+                total += want.len();
+            }
+        }
+        let overlap = if total == 0 {
+            1.0
+        } else {
+            kept as f64 / total as f64
+        };
+        let speedup = warm.requests_per_sec / f32_warm_rps.max(f64::MIN_POSITIVE);
+        println!(
+            "precision {:>5}: cold {:>9.0} req/s  warm {:>9.0} req/s ({speedup:>5.2}x f32)  overlap@{overlap_k} {overlap:.4}",
+            precision.name(),
+            cold.requests_per_sec,
+            warm.requests_per_sec,
+        );
+        precisions.push(PrecisionRun {
+            precision: precision.name().to_string(),
+            freeze_ns: p_freeze_ns,
+            cold,
+            warm,
+            warm_speedup_vs_f32: speedup,
+            top20_overlap_vs_f32: overlap,
+        });
+    }
+    let int8_speedup = precisions
+        .iter()
+        .find(|p| p.precision == Precision::Int8.name())
+        .map(|p| p.warm_speedup_vs_f32)
+        .unwrap_or(0.0);
+
     let results = ServeResults {
         baseline,
         freeze_ns,
         runs,
         best_speedup_vs_baseline: best,
+        precisions,
+        int8_speedup_vs_f32_warm: int8_speedup,
     };
     let out = args.get("out").unwrap_or("results/BENCH_serve.json");
     let manifest = RunManifest::new("serve")
@@ -303,7 +424,10 @@ fn main() {
             epochs,
             num_users: data.num_users(),
             num_items: data.num_items(),
+            precision_dim,
+            overlap_k,
         })
+        .with_kernel_backend(backend_name())
         .with_seed(hc.data_seed)
         .with_scale(format!("{:?}", hc.scale).to_ascii_lowercase())
         .with_results(&results)

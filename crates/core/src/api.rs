@@ -5,7 +5,7 @@
 //! optimization, evaluation — is generic over this trait, guaranteeing
 //! that Table 2's comparison uses the identical protocol for all ten rows.
 
-use crate::freeze::FrozenModel;
+use crate::freeze::{FrozenModel, Precision};
 use scenerec_autodiff::{Graph, ParamStore, Var};
 use scenerec_eval::Scorer;
 use scenerec_graph::{ItemId, UserId};
@@ -52,6 +52,18 @@ pub trait PairwiseModel {
     /// reproduce [`PairwiseModel::score_values`] bit for bit.
     fn freeze(&self) -> Option<FrozenModel> {
         None
+    }
+
+    /// Exports a frozen snapshot with the entity matrices re-encoded at
+    /// `precision` (f16 bits or per-row int8 codes; `Precision::F32`
+    /// equals [`PairwiseModel::freeze`]). Returns `None` when the model
+    /// does not support freezing.
+    ///
+    /// Quantized snapshots trade the bit-exact-parity guarantee for
+    /// memory and speed; the engine-side determinism contract (identical
+    /// scores across backends, threads and worker counts) still holds.
+    fn freeze_quantized(&self, precision: Precision) -> Option<FrozenModel> {
+        self.freeze().and_then(|m| m.quantize(precision).ok())
     }
 }
 

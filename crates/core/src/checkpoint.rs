@@ -1,20 +1,29 @@
 //! Model checkpointing: persist a trained model's parameters and
 //! configuration, restore them into a freshly constructed model.
 //!
-//! ## Format v3 — sectioned, checksummed, atomically committed
+//! ## Format v3/v4 — sectioned, checksummed, atomically committed
 //!
-//! A v3 checkpoint is a sequence of named sections, each carrying its
+//! A v3+ checkpoint is a sequence of named sections, each carrying its
 //! byte length and CRC-32, closed by a trailing commit marker over the
 //! whole file:
 //!
 //! ```text
-//! scenerec-checkpoint v3\n
+//! scenerec-checkpoint v4\n
 //! section config <len> <crc32>\n     JSON SceneRecConfig
 //! section params <len> <crc32>\n     JSON ParamStore
-//! section optimizer <len> <crc32>\n  JSON OptimState   (optional)
-//! section trainer <len> <crc32>\n    JSON TrainerState (optional)
+//! section optimizer <len> <crc32>\n  JSON OptimState      (optional)
+//! section trainer <len> <crc32>\n    JSON TrainerState    (optional)
+//! section frozen <len> <crc32>\n     JSON FrozenSnapshot  (optional, v4)
 //! commit <crc32-of-everything-above>\n
 //! ```
+//!
+//! v4 differs from v3 only by the optional `frozen` section: a
+//! serving-ready [`crate::freeze::FrozenModel`] snapshot (at any
+//! [`crate::freeze::Precision`], including the int8/f16 quantized
+//! variants) so a quantized engine round-trips through
+//! [`CheckpointStore`] without re-freezing or re-quantizing. v3 files
+//! load unchanged and yield `frozen: None`; readers skip unknown
+//! sections, so v4 files without a frozen section are structurally v3.
 //!
 //! Writes go to `<path>.tmp` first and are moved into place with an
 //! atomic `rename`, so a crash mid-save can never clobber the previous
@@ -40,6 +49,7 @@
 //!   optimizer state and yield `None`.
 
 use crate::config::SceneRecConfig;
+use crate::freeze::{FrozenModel, FrozenSnapshot};
 use crate::model::SceneRec;
 use crate::trainer::TrainerState;
 use crate::PairwiseModel;
@@ -52,7 +62,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 3;
+pub const CHECKPOINT_VERSION: u32 = 4;
+
+/// Oldest sectioned (v3-framing) format version this build can load.
+const SECTIONED_MIN_VERSION: u32 = 3;
 
 /// Oldest checkpoint format version this build can still load.
 pub const CHECKPOINT_MIN_VERSION: u32 = 1;
@@ -74,6 +87,9 @@ pub struct Checkpoint {
     pub optimizer: Option<OptimState>,
     /// Resumable-trainer bookkeeping (absent outside `train_resumable`).
     pub trainer: Option<TrainerState>,
+    /// Serving-ready frozen snapshot, possibly quantized (v4; absent in
+    /// training-only checkpoints and every pre-v4 file).
+    pub frozen: Option<FrozenSnapshot>,
 }
 
 /// Errors raised on checkpoint save/load.
@@ -137,6 +153,9 @@ pub struct Loaded {
     pub optimizer: Option<OptimState>,
     /// Resumable-trainer state, when the checkpoint carried one.
     pub trainer: Option<TrainerState>,
+    /// Serving-ready frozen snapshot, when the checkpoint carried one
+    /// (v4 `frozen` section), already validated and re-hydrated.
+    pub frozen: Option<FrozenModel>,
 }
 
 // ---------------------------------------------------------------------
@@ -180,12 +199,33 @@ pub fn save_full(
     path: &Path,
     injector: &Injector,
 ) -> Result<(), CheckpointError> {
+    save_full_with_frozen(model, optimizer, trainer, None, path, injector)
+}
+
+/// [`save_full`] plus an optional serving snapshot: when `frozen` is
+/// given, the checkpoint carries a v4 `frozen` section holding the
+/// [`FrozenModel`] (at whatever [`crate::freeze::Precision`] it was
+/// quantized to), so the serving engine can be rebuilt from the file
+/// without re-freezing — and, for quantized snapshots, with the exact
+/// same codes/scales that were validated before the save.
+///
+/// # Errors
+/// Filesystem, serialization, and injected failures.
+pub fn save_full_with_frozen(
+    model: &SceneRec,
+    optimizer: Option<&OptimState>,
+    trainer: Option<&TrainerState>,
+    frozen: Option<&FrozenModel>,
+    path: &Path,
+    injector: &Injector,
+) -> Result<(), CheckpointError> {
     let ckpt = Checkpoint {
         version: CHECKPOINT_VERSION,
         config: model.config().clone(),
         params: model.store().clone(),
         optimizer: optimizer.cloned(),
         trainer: trainer.cloned(),
+        frozen: frozen.map(FrozenSnapshot::from),
     };
     let mut bytes = encode_v3(&ckpt)?;
     // A torn write: the injector may corrupt the bytes that reach disk.
@@ -246,6 +286,13 @@ fn encode_v3(ckpt: &Checkpoint) -> Result<Vec<u8>, CheckpointError> {
             json(serde_json::to_string(tr))?.as_bytes(),
         );
     }
+    if let Some(fr) = &ckpt.frozen {
+        push_section(
+            &mut out,
+            "frozen",
+            json(serde_json::to_string(fr))?.as_bytes(),
+        );
+    }
     let commit = crc32(&out);
     out.extend_from_slice(format!("commit {commit:08x}\n").as_bytes());
     Ok(out)
@@ -295,6 +342,11 @@ pub fn load_full(
         .map_err(|e| CheckpointError::Io(e.to_string()))?;
     injector.corrupt("checkpoint/read", &mut bytes);
     let ckpt = decode(&bytes)?;
+    let frozen = ckpt
+        .frozen
+        .map(FrozenSnapshot::into_model)
+        .transpose()
+        .map_err(|e| CheckpointError::Malformed(format!("frozen section: {e}")))?;
     let mut model = SceneRec::new(ckpt.config, data);
     validate_topology(model.store(), &ckpt.params)?;
     *model.store_mut() = ckpt.params;
@@ -302,6 +354,7 @@ pub fn load_full(
         model,
         optimizer: ckpt.optimizer,
         trainer: ckpt.trainer,
+        frozen,
     })
 }
 
@@ -316,7 +369,7 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
             .map_err(|e| CheckpointError::Malformed(format!("legacy checkpoint not UTF-8: {e}")))?;
         let ckpt: Checkpoint =
             serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
-        if !(CHECKPOINT_MIN_VERSION..3).contains(&ckpt.version) {
+        if !(CHECKPOINT_MIN_VERSION..SECTIONED_MIN_VERSION).contains(&ckpt.version) {
             return Err(CheckpointError::BadVersion(ckpt.version));
         }
         return Ok(ckpt);
@@ -330,7 +383,8 @@ fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
 /// corruption-matrix test can target every boundary programmatically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionSpan {
-    /// Section name (`config`, `params`, `optimizer`, `trainer`).
+    /// Section name (`config`, `params`, `optimizer`, `trainer`,
+    /// `frozen`).
     pub name: String,
     /// Byte offset of the section's header line.
     pub header_start: usize,
@@ -340,7 +394,8 @@ pub struct SectionSpan {
     pub payload_end: usize,
 }
 
-/// Parses the section table of a v3 checkpoint without decoding payloads.
+/// Parses the section table of a sectioned (v3/v4) checkpoint without
+/// decoding payloads.
 ///
 /// # Errors
 /// The same structural errors as a full load.
@@ -354,6 +409,7 @@ fn decode_v3(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let mut params: Option<ParamStore> = None;
     let mut optimizer: Option<OptimState> = None;
     let mut trainer: Option<TrainerState> = None;
+    let mut frozen: Option<FrozenSnapshot> = None;
     for span in &spans {
         let payload = &bytes[span.payload_start..span.payload_end];
         let text = std::str::from_utf8(payload).map_err(|e| {
@@ -367,6 +423,7 @@ fn decode_v3(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
             "params" => params = Some(serde_json::from_str(text).map_err(bad)?),
             "optimizer" => optimizer = Some(serde_json::from_str(text).map_err(bad)?),
             "trainer" => trainer = Some(serde_json::from_str(text).map_err(bad)?),
+            "frozen" => frozen = Some(serde_json::from_str(text).map_err(bad)?),
             // Unknown sections from a future minor revision are skipped.
             _ => {}
         }
@@ -381,18 +438,19 @@ fn decode_v3(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         params,
         optimizer,
         trainer,
+        frozen,
     })
 }
 
-/// Walks a v3 file: validates the magic/version, every section header,
-/// every section CRC, and the trailing commit marker.
+/// Walks a sectioned (v3/v4) file: validates the magic/version, every
+/// section header, every section CRC, and the trailing commit marker.
 fn walk_v3(bytes: &[u8]) -> Result<(Vec<SectionSpan>, u32), CheckpointError> {
     let (magic_line, mut pos) = read_line(bytes, 0, "magic line")?;
     let version: u32 = magic_line
         .strip_prefix("scenerec-checkpoint v")
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| CheckpointError::Malformed(format!("bad magic line `{magic_line}`")))?;
-    if version != 3 {
+    if !(SECTIONED_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion(version));
     }
 
@@ -550,13 +608,42 @@ impl CheckpointStore {
         fs::create_dir_all(&self.dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
         let path = self.path_for(epoch);
         save_full(model, optimizer, trainer, &path, injector)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// [`CheckpointStore::save`] plus an optional serving snapshot: the
+    /// checkpoint carries a v4 `frozen` section so a (possibly
+    /// quantized) engine round-trips through the store —
+    /// [`CheckpointStore::load_latest_good`] returns it in
+    /// [`Loaded::frozen`] with codes, scales and zero-points intact.
+    ///
+    /// # Errors
+    /// Save failures; pruning failures are ignored.
+    pub fn save_with_frozen(
+        &self,
+        model: &SceneRec,
+        optimizer: Option<&OptimState>,
+        trainer: Option<&TrainerState>,
+        frozen: Option<&FrozenModel>,
+        epoch: usize,
+        injector: &Injector,
+    ) -> Result<PathBuf, CheckpointError> {
+        fs::create_dir_all(&self.dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let path = self.path_for(epoch);
+        save_full_with_frozen(model, optimizer, trainer, frozen, &path, injector)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
         let files = self.list()?;
         if files.len() > self.retain {
             for (_, stale) in &files[..files.len() - self.retain] {
                 fs::remove_file(stale).ok();
             }
         }
-        Ok(path)
+        Ok(())
     }
 
     /// Every checkpoint in the store, ascending by epoch.
@@ -683,6 +770,7 @@ mod tests {
             params: model.store().clone(),
             optimizer: None,
             trainer: None,
+            frozen: None,
         };
         let path = tmp("model3.sck");
         std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
@@ -732,7 +820,7 @@ mod tests {
         let a = std::fs::read(&first).unwrap();
         let b = std::fs::read(&second).unwrap();
         assert_eq!(a, b, "save → load → save changed the bytes");
-        assert!(a.starts_with(MAGIC), "current saves must be v3");
+        assert!(a.starts_with(MAGIC), "current saves must be sectioned");
 
         // The restored state must resume the optimizer it came from.
         let mut resumed = make_optimizer(&cfg);
@@ -756,6 +844,7 @@ mod tests {
             params: model.store().clone(),
             optimizer: None,
             trainer: None,
+            frozen: None,
         };
         let json = serde_json::to_string(&ckpt).unwrap();
         let v1 = json
@@ -782,6 +871,7 @@ mod tests {
             params: model.store().clone(),
             optimizer: None,
             trainer: None,
+            frozen: None,
         };
         let path = tmp("v2.json");
         std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
@@ -892,5 +982,78 @@ mod tests {
         // Empty store: Ok(None).
         std::fs::remove_dir_all(&dir).ok();
         assert!(store.load_latest_good(&data, &off).unwrap().is_none());
+    }
+
+    /// A frozen snapshot — at every precision — must round-trip through
+    /// the store bit-exactly: the serialized snapshot of the loaded
+    /// model equals the serialized snapshot that was saved (f16 bits,
+    /// int8 codes, scales and zero-points included).
+    #[test]
+    fn frozen_section_round_trips_at_every_precision() {
+        use crate::freeze::Precision;
+
+        let data = generate(&GeneratorConfig::tiny(83)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(8), &data);
+        let dir = tmp("store_frozen");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::new(&dir, 4);
+        let off = Injector::disabled();
+
+        for (epoch, precision) in [Precision::F32, Precision::F16, Precision::Int8]
+            .into_iter()
+            .enumerate()
+        {
+            let frozen = model.freeze_quantized(precision).unwrap();
+            let want = serde_json::to_string(&FrozenSnapshot::from(&frozen)).unwrap();
+            store
+                .save_with_frozen(&model, None, None, Some(&frozen), epoch + 1, &off)
+                .unwrap();
+            let (loaded, got_epoch) = store.load_latest_good(&data, &off).unwrap().unwrap();
+            assert_eq!(got_epoch, epoch + 1);
+            let restored = loaded
+                .frozen
+                .expect("frozen section must survive the store");
+            assert_eq!(restored.precision(), precision);
+            let got = serde_json::to_string(&FrozenSnapshot::from(&restored)).unwrap();
+            assert_eq!(got, want, "{precision:?} snapshot changed across the store");
+        }
+
+        // A plain training save on the same store carries no snapshot.
+        store.save(&model, None, None, 9, &off).unwrap();
+        let (loaded, _) = store.load_latest_good(&data, &off).unwrap().unwrap();
+        assert!(loaded.frozen.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The `frozen` section is covered by the same CRC machinery as the
+    /// training sections: a bit flip inside it is a typed
+    /// `CorruptSection("frozen")`, never a panic or a silent
+    /// wrong-weights load.
+    #[test]
+    fn bit_flip_in_frozen_section_is_corrupt_section() {
+        let data = generate(&GeneratorConfig::tiny(84)).unwrap();
+        let model = SceneRec::new(SceneRecConfig::default().with_dim(4), &data);
+        let frozen = model.freeze().unwrap();
+        let path = tmp("flip_frozen.sck");
+        save_full_with_frozen(
+            &model,
+            None,
+            None,
+            Some(&frozen),
+            &path,
+            &Injector::disabled(),
+        )
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let spans = section_spans(&bytes).unwrap();
+        let span = spans.iter().find(|s| s.name == "frozen").unwrap();
+        let mut broken = bytes.clone();
+        broken[span.payload_start + 7] ^= 0x20;
+        std::fs::write(&path, &broken).unwrap();
+        match load(&path, &data).unwrap_err() {
+            CheckpointError::CorruptSection(name) => assert_eq!(name, "frozen"),
+            other => panic!("expected CorruptSection, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

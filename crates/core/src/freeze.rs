@@ -13,11 +13,139 @@
 //!
 //! The head is replayed with `scenerec_tensor::score::score_bt`, whose
 //! per-element reduction order matches the tape's `affine` operator, so a
-//! frozen engine reproduces `PairwiseModel::score_values` **bit for bit**
-//! (see `tests/serving_parity.rs`).
+//! frozen `f32` engine reproduces `PairwiseModel::score_values` **bit for
+//! bit** (see `tests/serving_parity.rs`).
+//!
+//! # Quantized snapshots
+//!
+//! The entity matrices — by far the bulk of a frozen model — can be
+//! re-encoded at lower precision with [`FrozenModel::quantize`]:
+//!
+//! * [`Precision::F16`] stores binary16 bits; widening back is exact, so
+//!   an f16 engine is deterministic and its only error vs. f32 is the
+//!   one-time narrowing at freeze time.
+//! * [`Precision::Int8`] stores per-row affine codes; the engine scores
+//!   dot heads in exact integer arithmetic (see
+//!   `scenerec_tensor::quant`), bounding the error per element while
+//!   staying bit-identical across backends, threads and worker counts.
+//!
+//! Heads always stay `f32` — they are tiny compared to the matrices.
+//! [`FrozenSnapshot`] is the flat serde bridge that carries any of the
+//! three precisions through checkpoint v4's `frozen` section.
 
 use scenerec_autodiff::Act;
+use scenerec_tensor::quant::{HalfMatrix, Int8Matrix};
 use scenerec_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a frozen entity matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full single precision — exact tape parity.
+    F32,
+    /// IEEE 754 binary16 bit patterns, widened exactly at score time.
+    F16,
+    /// Per-row affine int8 codes, scored in exact integer arithmetic.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase name used in manifests, spans and snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Compact tag for composite cache keys.
+    pub fn tag(self) -> u8 {
+        match self {
+            Precision::F32 => 0,
+            Precision::F16 => 1,
+            Precision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`Precision::name`].
+    ///
+    /// # Errors
+    /// Unknown precision names (corrupt or future snapshots).
+    pub fn parse(s: &str) -> Result<Precision, String> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "f16" => Ok(Precision::F16),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision {other:?}")),
+        }
+    }
+}
+
+/// A frozen entity matrix at one of the three storage precisions.
+#[derive(Debug, Clone)]
+pub enum EntityMatrix {
+    /// Row-major `f32` (the freeze-time original).
+    F32(Matrix),
+    /// Binary16 bits.
+    F16(HalfMatrix),
+    /// Per-row affine int8 codes.
+    Int8(Int8Matrix),
+}
+
+impl EntityMatrix {
+    pub fn rows(&self) -> usize {
+        match self {
+            EntityMatrix::F32(m) => m.rows(),
+            EntityMatrix::F16(m) => m.rows(),
+            EntityMatrix::Int8(m) => m.rows(),
+        }
+    }
+
+    pub fn cols(&self) -> usize {
+        match self {
+            EntityMatrix::F32(m) => m.cols(),
+            EntityMatrix::F16(m) => m.cols(),
+            EntityMatrix::Int8(m) => m.cols(),
+        }
+    }
+
+    pub fn precision(&self) -> Precision {
+        match self {
+            EntityMatrix::F32(_) => Precision::F32,
+            EntityMatrix::F16(_) => Precision::F16,
+            EntityMatrix::Int8(_) => Precision::Int8,
+        }
+    }
+
+    /// The dense `f32` view when stored at full precision.
+    pub fn as_f32(&self) -> Option<&Matrix> {
+        match self {
+            EntityMatrix::F32(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Expands row `r` to `f32` into `out` (`out.len() == cols`):
+    /// a copy for f32, exact widening for f16, dequantization for int8.
+    pub fn expand_row_into(&self, r: usize, out: &mut [f32]) {
+        match self {
+            EntityMatrix::F32(m) => out.copy_from_slice(m.row(r)),
+            EntityMatrix::F16(m) => m.widen_row_into(r, out),
+            EntityMatrix::Int8(m) => m.dequantize_row_into(r, out),
+        }
+    }
+
+    /// Expands the whole matrix to dense `f32` (copy / widen /
+    /// dequantize per [`EntityMatrix::expand_row_into`]).
+    pub fn to_f32(&self) -> Matrix {
+        match self {
+            EntityMatrix::F32(m) => m.clone(),
+            EntityMatrix::F16(m) => m.to_matrix(),
+            EntityMatrix::Int8(m) => m.to_matrix(),
+        }
+    }
+}
 
 /// One frozen dense layer `y = act(W x + b)`.
 #[derive(Debug, Clone)]
@@ -47,22 +175,33 @@ pub enum FrozenHead {
 
 /// A tape-free snapshot of a trained [`crate::PairwiseModel`].
 ///
-/// `users.row(u)` and `items.row(i)` are the final per-entity
-/// representations; [`FrozenModel::head`] tells the engine how to combine
-/// a pair into a preference score.
+/// `users` / `items` hold the final per-entity representations at one of
+/// the [`Precision`]s; [`FrozenModel::head`] tells the engine how to
+/// combine a pair into a preference score.
 #[derive(Debug, Clone)]
 pub struct FrozenModel {
     /// Source model's display name.
     pub name: String,
     /// One row per user.
-    pub users: Matrix,
+    pub users: EntityMatrix,
     /// One row per item.
-    pub items: Matrix,
-    /// The pairing head.
+    pub items: EntityMatrix,
+    /// The pairing head (always `f32`).
     pub head: FrozenHead,
 }
 
 impl FrozenModel {
+    /// Full-precision constructor — the shape every `freeze()`
+    /// implementation produces.
+    pub fn dense(name: impl Into<String>, users: Matrix, items: Matrix, head: FrozenHead) -> Self {
+        FrozenModel {
+            name: name.into(),
+            users: EntityMatrix::F32(users),
+            items: EntityMatrix::F32(items),
+            head,
+        }
+    }
+
     /// Number of users.
     pub fn num_users(&self) -> usize {
         self.users.rows()
@@ -73,11 +212,61 @@ impl FrozenModel {
         self.items.rows()
     }
 
-    /// Checks internal consistency (dimensions of head vs. embeddings).
+    /// Storage precision of the entity matrices.
+    pub fn precision(&self) -> Precision {
+        self.users.precision()
+    }
+
+    /// Re-encodes the entity matrices at `precision`. Only a
+    /// full-precision model can be quantized (quantizing twice would
+    /// silently stack errors); `Precision::F32` is the identity.
+    ///
+    /// # Errors
+    /// When `self` is already quantized.
+    pub fn quantize(&self, precision: Precision) -> Result<FrozenModel, String> {
+        let (EntityMatrix::F32(users), EntityMatrix::F32(items)) = (&self.users, &self.items)
+        else {
+            return Err(format!(
+                "cannot quantize a {} model to {}; freeze at f32 first",
+                self.precision().name(),
+                precision.name()
+            ));
+        };
+        let (users, items) = match precision {
+            Precision::F32 => (
+                EntityMatrix::F32(users.clone()),
+                EntityMatrix::F32(items.clone()),
+            ),
+            Precision::F16 => (
+                EntityMatrix::F16(HalfMatrix::from_matrix(users)),
+                EntityMatrix::F16(HalfMatrix::from_matrix(items)),
+            ),
+            Precision::Int8 => (
+                EntityMatrix::Int8(Int8Matrix::from_matrix(users)),
+                EntityMatrix::Int8(Int8Matrix::from_matrix(items)),
+            ),
+        };
+        Ok(FrozenModel {
+            name: self.name.clone(),
+            users,
+            items,
+            head: self.head.clone(),
+        })
+    }
+
+    /// Checks internal consistency (dimensions of head vs. embeddings,
+    /// matching precisions).
     ///
     /// # Errors
     /// A human-readable description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
+        if self.users.precision() != self.items.precision() {
+            return Err(format!(
+                "user precision {} vs item precision {}",
+                self.users.precision().name(),
+                self.items.precision().name()
+            ));
+        }
         let (du, di) = (self.users.cols(), self.items.cols());
         match &self.head {
             FrozenHead::DotBias { bias } => {
@@ -129,6 +318,222 @@ impl FrozenModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serde bridge (checkpoint v4 `frozen` section)
+// ---------------------------------------------------------------------------
+//
+// The vendored serde derive supports structs and unit-variant enums only,
+// so the data-carrying `EntityMatrix` / `FrozenHead` / `Act` are flattened
+// into tagged structs with optional payload fields.
+
+/// Flat, serde-friendly form of a [`FrozenModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrozenSnapshot {
+    name: String,
+    precision: String,
+    users: EntityPayload,
+    items: EntityPayload,
+    head: HeadPayload,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EntityPayload {
+    rows: usize,
+    cols: usize,
+    f32_data: Option<Vec<f32>>,
+    f16_bits: Option<Vec<u16>>,
+    int8_codes: Option<Vec<i8>>,
+    int8_scales: Option<Vec<f32>>,
+    int8_zero_points: Option<Vec<i32>>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HeadPayload {
+    kind: String,
+    bias: Option<Vec<f32>>,
+    layers: Option<Vec<LayerPayload>>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LayerPayload {
+    w: Matrix,
+    b: Vec<f32>,
+    act: String,
+    act_slope: f32,
+}
+
+fn act_to_payload(act: Act) -> (String, f32) {
+    match act {
+        Act::Identity => ("identity".to_owned(), 0.0),
+        Act::Sigmoid => ("sigmoid".to_owned(), 0.0),
+        Act::Relu => ("relu".to_owned(), 0.0),
+        Act::Tanh => ("tanh".to_owned(), 0.0),
+        Act::LeakyRelu(slope) => ("leaky_relu".to_owned(), slope),
+    }
+}
+
+fn act_from_payload(name: &str, slope: f32) -> Result<Act, String> {
+    match name {
+        "identity" => Ok(Act::Identity),
+        "sigmoid" => Ok(Act::Sigmoid),
+        "relu" => Ok(Act::Relu),
+        "tanh" => Ok(Act::Tanh),
+        "leaky_relu" => Ok(Act::LeakyRelu(slope)),
+        other => Err(format!("unknown activation {other:?} in frozen snapshot")),
+    }
+}
+
+fn entity_to_payload(e: &EntityMatrix) -> EntityPayload {
+    let mut p = EntityPayload {
+        rows: e.rows(),
+        cols: e.cols(),
+        f32_data: None,
+        f16_bits: None,
+        int8_codes: None,
+        int8_scales: None,
+        int8_zero_points: None,
+    };
+    match e {
+        EntityMatrix::F32(m) => p.f32_data = Some(m.as_slice().to_vec()),
+        EntityMatrix::F16(m) => p.f16_bits = Some(m.as_bits().to_vec()),
+        EntityMatrix::Int8(m) => {
+            p.int8_codes = Some(m.codes().to_vec());
+            p.int8_scales = Some(m.scales().to_vec());
+            p.int8_zero_points = Some(m.zero_points().to_vec());
+        }
+    }
+    p
+}
+
+fn entity_from_payload(p: EntityPayload, precision: Precision) -> Result<EntityMatrix, String> {
+    match precision {
+        Precision::F32 => {
+            let data = p
+                .f32_data
+                .ok_or("f32 entity payload missing f32_data".to_owned())?;
+            if data.len() != p.rows * p.cols {
+                return Err(format!(
+                    "f32 entity payload: {} values for {}x{}",
+                    data.len(),
+                    p.rows,
+                    p.cols
+                ));
+            }
+            let mut m = Matrix::zeros(p.rows, p.cols);
+            m.as_mut_slice().copy_from_slice(&data);
+            Ok(EntityMatrix::F32(m))
+        }
+        Precision::F16 => {
+            let bits = p
+                .f16_bits
+                .ok_or("f16 entity payload missing f16_bits".to_owned())?;
+            Ok(EntityMatrix::F16(HalfMatrix::from_parts(
+                p.rows, p.cols, bits,
+            )?))
+        }
+        Precision::Int8 => {
+            let codes = p
+                .int8_codes
+                .ok_or("int8 entity payload missing int8_codes".to_owned())?;
+            let scales = p
+                .int8_scales
+                .ok_or("int8 entity payload missing int8_scales".to_owned())?;
+            let zero_points = p
+                .int8_zero_points
+                .ok_or("int8 entity payload missing int8_zero_points".to_owned())?;
+            Ok(EntityMatrix::Int8(Int8Matrix::from_parts(
+                p.rows,
+                p.cols,
+                codes,
+                scales,
+                zero_points,
+            )?))
+        }
+    }
+}
+
+impl From<&FrozenModel> for FrozenSnapshot {
+    fn from(m: &FrozenModel) -> FrozenSnapshot {
+        let head = match &m.head {
+            FrozenHead::DotBias { bias } => HeadPayload {
+                kind: "dot_bias".to_owned(),
+                bias: Some(bias.clone()),
+                layers: None,
+            },
+            FrozenHead::Mlp { layers } => HeadPayload {
+                kind: "mlp".to_owned(),
+                bias: None,
+                layers: Some(
+                    layers
+                        .iter()
+                        .map(|l| {
+                            let (act, act_slope) = act_to_payload(l.act);
+                            LayerPayload {
+                                w: l.w.clone(),
+                                b: l.b.clone(),
+                                act,
+                                act_slope,
+                            }
+                        })
+                        .collect(),
+                ),
+            },
+        };
+        FrozenSnapshot {
+            name: m.name.clone(),
+            precision: m.precision().name().to_owned(),
+            users: entity_to_payload(&m.users),
+            items: entity_to_payload(&m.items),
+            head,
+        }
+    }
+}
+
+impl FrozenSnapshot {
+    /// Rebuilds (and validates) the frozen model.
+    ///
+    /// # Errors
+    /// Structurally inconsistent or unrecognized payloads — the error a
+    /// corrupt-but-CRC-valid `frozen` section surfaces as.
+    pub fn into_model(self) -> Result<FrozenModel, String> {
+        let precision = Precision::parse(&self.precision)?;
+        let users = entity_from_payload(self.users, precision)?;
+        let items = entity_from_payload(self.items, precision)?;
+        let head = match self.head.kind.as_str() {
+            "dot_bias" => FrozenHead::DotBias {
+                bias: self
+                    .head
+                    .bias
+                    .ok_or("dot_bias head missing bias".to_owned())?,
+            },
+            "mlp" => FrozenHead::Mlp {
+                layers: self
+                    .head
+                    .layers
+                    .ok_or("mlp head missing layers".to_owned())?
+                    .into_iter()
+                    .map(|l| {
+                        Ok(FrozenLayer {
+                            w: l.w,
+                            b: l.b,
+                            act: act_from_payload(&l.act, l.act_slope)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
+            other => return Err(format!("unknown frozen head kind {other:?}")),
+        };
+        let model = FrozenModel {
+            name: self.name,
+            users,
+            items,
+            head,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,10 +541,18 @@ mod tests {
     fn dot_model() -> FrozenModel {
         FrozenModel {
             name: "dot".to_owned(),
-            users: Matrix::zeros(3, 4),
-            items: Matrix::zeros(5, 4),
+            users: EntityMatrix::F32(Matrix::zeros(3, 4)),
+            items: EntityMatrix::F32(Matrix::zeros(5, 4)),
             head: FrozenHead::DotBias { bias: vec![0.0; 5] },
         }
+    }
+
+    fn filled(rows: usize, cols: usize, step: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 - 7.0) * step;
+        }
+        m
     }
 
     #[test]
@@ -160,8 +573,8 @@ mod tests {
     fn validate_rejects_bad_mlp_dims() {
         let m = FrozenModel {
             name: "mlp".to_owned(),
-            users: Matrix::zeros(2, 4),
-            items: Matrix::zeros(2, 4),
+            users: EntityMatrix::F32(Matrix::zeros(2, 4)),
+            items: EntityMatrix::F32(Matrix::zeros(2, 4)),
             head: FrozenHead::Mlp {
                 layers: vec![FrozenLayer {
                     w: Matrix::zeros(1, 6), // wants 8 inputs
@@ -177,8 +590,8 @@ mod tests {
     fn validate_rejects_non_scalar_output() {
         let m = FrozenModel {
             name: "mlp".to_owned(),
-            users: Matrix::zeros(2, 2),
-            items: Matrix::zeros(2, 2),
+            users: EntityMatrix::F32(Matrix::zeros(2, 2)),
+            items: EntityMatrix::F32(Matrix::zeros(2, 2)),
             head: FrozenHead::Mlp {
                 layers: vec![FrozenLayer {
                     w: Matrix::zeros(3, 4),
@@ -188,5 +601,110 @@ mod tests {
             },
         };
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mixed_precisions() {
+        let mut m = dot_model();
+        m.items = EntityMatrix::Int8(Int8Matrix::from_matrix(&Matrix::zeros(5, 4)));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn quantize_changes_precision_and_validates() {
+        let m = FrozenModel::dense(
+            "q",
+            filled(3, 4, 0.25),
+            filled(5, 4, 0.5),
+            FrozenHead::DotBias { bias: vec![0.0; 5] },
+        );
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let q = m.quantize(p).unwrap();
+            assert_eq!(q.precision(), p);
+            assert!(q.validate().is_ok());
+            assert_eq!(q.num_users(), 3);
+            assert_eq!(q.num_items(), 5);
+        }
+        // Quantizing twice is refused.
+        let q = m.quantize(Precision::Int8).unwrap();
+        assert!(q.quantize(Precision::F16).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_precision() {
+        let m = FrozenModel::dense(
+            "rt",
+            filled(3, 4, 0.125),
+            filled(5, 4, 0.375),
+            FrozenHead::DotBias {
+                bias: vec![0.5, -0.5, 0.0, 1.0, 2.0],
+            },
+        );
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let q = m.quantize(p).unwrap();
+            let snap = FrozenSnapshot::from(&q);
+            let json = serde_json::to_string(&snap).unwrap();
+            let back: FrozenSnapshot = serde_json::from_str(&json).unwrap();
+            let rebuilt = back.into_model().unwrap();
+            assert_eq!(rebuilt.precision(), p);
+            // Expanded rows are identical to the pre-serialization model.
+            let mut want = vec![0.0f32; 4];
+            let mut got = vec![0.0f32; 4];
+            for r in 0..q.num_items() {
+                q.items.expand_row_into(r, &mut want);
+                rebuilt.items.expand_row_into(r, &mut got);
+                let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, gb, "{} row {r}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_mlp_head() {
+        let m = FrozenModel::dense(
+            "mlp",
+            filled(2, 3, 0.2),
+            filled(4, 3, 0.1),
+            FrozenHead::Mlp {
+                layers: vec![
+                    FrozenLayer {
+                        w: filled(4, 6, 0.05),
+                        b: vec![0.1; 4],
+                        act: Act::LeakyRelu(0.125),
+                    },
+                    FrozenLayer {
+                        w: filled(1, 4, 0.07),
+                        b: vec![0.0],
+                        act: Act::Identity,
+                    },
+                ],
+            },
+        );
+        let snap = FrozenSnapshot::from(&m);
+        let back: FrozenSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        let rebuilt = back.into_model().unwrap();
+        let FrozenHead::Mlp { layers } = &rebuilt.head else {
+            panic!("head kind changed in round trip");
+        };
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].act, Act::LeakyRelu(0.125));
+        assert_eq!(layers[1].act, Act::Identity);
+        assert_eq!(layers[0].w.as_slice(), filled(4, 6, 0.05).as_slice());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_payloads() {
+        let m = dot_model();
+        let mut snap = FrozenSnapshot::from(&m);
+        snap.precision = "int4".to_owned();
+        assert!(snap.into_model().is_err());
+        let mut snap = FrozenSnapshot::from(&m);
+        snap.users.rows = 99; // length no longer matches rows*cols
+        assert!(snap.into_model().is_err());
+        let mut snap = FrozenSnapshot::from(&m);
+        snap.head.kind = "mystery".to_owned();
+        assert!(snap.into_model().is_err());
     }
 }

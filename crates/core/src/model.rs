@@ -467,12 +467,12 @@ impl PairwiseModel for SceneRec {
             })
             .collect();
 
-        Some(FrozenModel {
-            name: self.name().to_owned(),
+        Some(FrozenModel::dense(
+            self.name(),
             users,
             items,
-            head: FrozenHead::Mlp { layers },
-        })
+            FrozenHead::Mlp { layers },
+        ))
     }
 }
 

@@ -1,0 +1,27 @@
+// Fixture: S1 violations — `#[target_feature]` functions that hide
+// wrong-CPU UB. Never compiled; checked as crates/tensor/src/fixture.rs.
+
+// Fires twice: declared safe, and nothing documents the guard.
+#[target_feature(enable = "avx2")]
+fn sum_avx2_unsound(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+// SAFETY: trust me, it is fine.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_avx2_undocumented(a: &[f32], b: &[f32]) -> f32 {
+    // Fires once: the comment above never names the guard.
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+// SAFETY: callers must hold the guarding dispatch check
+// `dispatch::resolve(..) == Backend::Avx2` (avx2 verified at runtime).
+#[target_feature(enable = "avx2")]
+unsafe fn compliant_avx2(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+// Not the attribute form: cfg-gating compiles the fn out elsewhere,
+// it does not make calls UB. Must not fire.
+#[cfg(target_feature = "avx2")]
+fn cfg_gated_is_fine() {}

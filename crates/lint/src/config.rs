@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// All rule identifiers the pass knows about.
-pub const ALL_RULES: [&str; 7] = ["D1", "D2", "D3", "N1", "R1", "R2", "R3"];
+pub const ALL_RULES: [&str; 8] = ["D1", "D2", "D3", "N1", "R1", "R2", "R3", "S1"];
 
 /// Rule applicability plus the file-level allowlist.
 #[derive(Debug, Clone)]

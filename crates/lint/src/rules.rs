@@ -1,4 +1,4 @@
-//! The seven lint rules, evaluated over the token stream of one file.
+//! The eight lint rules, evaluated over the token stream of one file.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -9,6 +9,7 @@
 //! | R1   | no `unwrap()`/`expect()`/`panic!` in library crates |
 //! | R2   | every `unsafe` block carries a `// SAFETY:` comment |
 //! | R3   | no `process::exit`/`process::abort` in library crates |
+//! | S1   | every `#[target_feature]` fn is `unsafe` with a `SAFETY` comment naming the guarding dispatch check |
 //!
 //! Tests (`#[cfg(test)]` regions, `#[test]` functions, `tests/` and
 //! `benches/` trees) are exempt from every rule. Inline
@@ -116,6 +117,7 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         rule_r1(&lexed.tokens, &ctx, &mut out);
     }
     rule_r2(&lexed.tokens, &lexed.comments, &ctx, &mut out);
+    rule_s1(&lexed.tokens, &lexed.comments, &ctx, &mut out);
     let r3_applies =
         matches!(ctx.kind, FileKind::Lib(_)) && !cfg.r3_exempt_crates.contains(&crate_name);
     if r3_applies {
@@ -595,6 +597,69 @@ fn rule_r2(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, out: &mut Vec<Viol
     }
 }
 
+/// S1: a `#[target_feature]` function is a contract with its runtime
+/// dispatcher — calling it on a CPU without the feature is immediate
+/// undefined behavior, invisible to the type system once the fn is
+/// safe-wrapped. The fn must therefore be declared `unsafe`, and a
+/// `// SAFETY:` comment within the four preceding lines must name the
+/// guarding dispatch check (it must mention "dispatch") so the reader
+/// can find the one place allowed to prove the CPU supports it.
+fn rule_s1(toks: &[Tok], comments: &[Comment], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        // `#[target_feature(...)]` — the attribute form only; a
+        // `#[cfg(target_feature = ...)]` has `cfg` here instead.
+        if !is_punct(toks, i, '#')
+            || !is_punct(toks, i + 1, '[')
+            || ident_at(toks, i + 2) != Some("target_feature")
+        {
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // Scan forward to the decorated `fn`, noting whether `unsafe`
+        // appears on the way (other attributes may sit in between).
+        let mut is_unsafe = false;
+        let mut found_fn = false;
+        for j in i + 3..toks.len().min(i + 64) {
+            match ident_at(toks, j) {
+                Some("unsafe") => is_unsafe = true,
+                Some("fn") => {
+                    found_fn = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !found_fn {
+            continue;
+        }
+        if !is_unsafe {
+            ctx.emit(
+                out,
+                attr_line,
+                "S1",
+                "`#[target_feature]` function must be declared `unsafe`; \
+                 a safe wrapper hides the wrong-CPU UB from every caller"
+                    .to_string(),
+            );
+        }
+        let window = |needle: &str| {
+            comments.iter().any(|c| {
+                c.text.contains(needle) && c.end_line + 4 >= attr_line && c.line <= attr_line
+            })
+        };
+        if !(window("SAFETY") && window("dispatch")) {
+            ctx.emit(
+                out,
+                attr_line,
+                "S1",
+                "`#[target_feature]` function needs a `// SAFETY:` comment \
+                 naming the guarding dispatch check (mention `dispatch`)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,6 +871,26 @@ fn f() {
 
         let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
         assert!(check("crates/tensor/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn s1_requires_unsafe_and_dispatch_safety_comment() {
+        // Safe-wrapped target_feature fn with no comment: both halves fire.
+        let bad = "#[target_feature(enable = \"avx2\")]\nfn f(a: &[f32]) -> f32 { a[0] }\n";
+        let v = check("crates/tensor/src/x.rs", bad);
+        assert_eq!(v.iter().filter(|v| v.rule == "S1").count(), 2, "{v:?}");
+
+        // Unsafe but the comment names no dispatch check: one violation.
+        let half = "// SAFETY: trust me.\n#[target_feature(enable = \"avx2\")]\nunsafe fn f(a: &[f32]) -> f32 { a[0] }\n";
+        let v = check("crates/tensor/src/x.rs", half);
+        assert_eq!(v.iter().filter(|v| v.rule == "S1").count(), 1, "{v:?}");
+
+        let good = "// SAFETY: callers must hold the guarding dispatch check\n// `dispatch::resolve(..) == Backend::Avx2`.\n#[target_feature(enable = \"avx2\")]\nunsafe fn f(a: &[f32]) -> f32 { a[0] }\n";
+        assert!(check("crates/tensor/src/x.rs", good).is_empty());
+
+        // `#[cfg(target_feature = ...)]` is not the attribute form.
+        let cfg = "#[cfg(target_feature = \"avx2\")]\nfn f() {}\n";
+        assert!(check("crates/tensor/src/x.rs", cfg).is_empty());
     }
 
     #[test]

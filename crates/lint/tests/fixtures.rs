@@ -85,6 +85,19 @@ fn r2_fixture_flags_undocumented_unsafe() {
 }
 
 #[test]
+fn s1_fixture_flags_unsound_target_feature_fns() {
+    let v = check_source(
+        "crates/tensor/src/fixture.rs",
+        include_str!("../fixtures/bad_s1.rs"),
+        &Config::default(),
+    );
+    let s1: Vec<_> = v.iter().filter(|v| v.rule == "S1").collect();
+    // Two on the safe undocumented fn, one on the unsafe-but-
+    // undocumented fn; the compliant and cfg-gated fns stay silent.
+    assert_eq!(s1.len(), 3, "{v:?}");
+}
+
+#[test]
 fn r3_fixture_flags_process_teardown() {
     let v = check_source(
         "crates/core/src/fixture.rs",
@@ -96,7 +109,7 @@ fn r3_fixture_flags_process_teardown() {
 }
 
 #[test]
-fn all_seven_rule_classes_fire() {
+fn all_eight_rule_classes_fire() {
     let mut fired: Vec<&str> = Vec::new();
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_d1.rs"),
@@ -126,9 +139,13 @@ fn all_seven_rule_classes_fire() {
         include_str!("../fixtures/bad_r3.rs"),
         "crates/core/src/fixture.rs",
     ));
+    fired.extend(rules_fired(
+        include_str!("../fixtures/bad_s1.rs"),
+        "crates/tensor/src/fixture.rs",
+    ));
     fired.sort_unstable();
     fired.dedup();
-    assert_eq!(fired, vec!["D1", "D2", "D3", "N1", "R1", "R2", "R3"]);
+    assert_eq!(fired, vec!["D1", "D2", "D3", "N1", "R1", "R2", "R3", "S1"]);
 }
 
 #[test]

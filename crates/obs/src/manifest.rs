@@ -100,6 +100,11 @@ pub struct RunManifest {
     pub scale: Option<String>,
     /// Model kinds exercised by the run.
     pub models: Vec<String>,
+    /// Resolved kernel dispatch backend (e.g. `"avx2"`, `"scalar"`), as
+    /// reported by the tensor crate's runtime CPU dispatch. Bench JSONs
+    /// produced by different backends are not comparable, so diff
+    /// tooling needs this recorded.
+    pub kernel_backend: Option<String>,
     /// Full run configuration, serialized.
     pub config: Value,
     /// Aggregated wall-time per phase, from the timing registry.
@@ -121,6 +126,7 @@ impl RunManifest {
             seed: None,
             scale: None,
             models: Vec::new(),
+            kernel_backend: None,
             config: Value::Null,
             timings: Vec::new(),
             metrics: Value::Null,
@@ -149,6 +155,14 @@ impl RunManifest {
     /// Records the model kinds exercised.
     pub fn with_models(mut self, models: impl IntoIterator<Item = String>) -> Self {
         self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Records the resolved kernel dispatch backend. The obs crate does
+    /// not depend on the tensor crate, so callers pass the string —
+    /// typically `scenerec_tensor::backend_name()`.
+    pub fn with_kernel_backend(mut self, backend: impl Into<String>) -> Self {
+        self.kernel_backend = Some(backend.into());
         self
     }
 
@@ -192,6 +206,7 @@ impl RunManifest {
                 "models".to_string(),
                 Value::Array(self.models.iter().map(|m| Value::Str(m.clone())).collect()),
             ),
+            ("kernel_backend".to_string(), opt_str(&self.kernel_backend)),
             ("config".to_string(), self.config.clone()),
             ("timings".to_string(), self.timings.to_value()),
             ("metrics".to_string(), self.metrics.clone()),
@@ -271,6 +286,7 @@ mod tests {
             .with_seed(42)
             .with_scale("laptop")
             .with_models(["scenerec".to_string(), "bpr-mf".to_string()])
+            .with_kernel_backend("avx2")
             .with_config(&vec![1u32, 2, 3])
             .with_results(&vec![0.5f64])
             .capture_telemetry();
@@ -288,6 +304,7 @@ mod tests {
             "\"host\"",
             "\"threads\"",
             "\"cpu_features\"",
+            "\"kernel_backend\": \"avx2\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

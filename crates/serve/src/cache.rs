@@ -10,8 +10,11 @@
 use scenerec_core::Recommendation;
 use std::collections::BTreeMap;
 
-/// Cache key: one entry per (user, k) pair.
-type Key = (u32, u32);
+/// Cache key: one entry per (user, k, precision-tag) triple. The tag
+/// (`scenerec_core::Precision::tag`) rides in the key so results
+/// computed at one precision can never answer a request served at
+/// another, even if a cache ever outlives or spans engines.
+type Key = (u32, u32, u8);
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -48,9 +51,9 @@ impl ResultCache {
         }
     }
 
-    /// Looks up `(user, k)`, refreshing its recency on a hit.
-    pub fn get(&mut self, user: u32, k: u32) -> Option<Vec<Recommendation>> {
-        let Some(slot) = self.entries.get_mut(&(user, k)) else {
+    /// Looks up `(user, k, tag)`, refreshing its recency on a hit.
+    pub fn get(&mut self, user: u32, k: u32, tag: u8) -> Option<Vec<Recommendation>> {
+        let Some(slot) = self.entries.get_mut(&(user, k, tag)) else {
             self.misses += 1;
             return None;
         };
@@ -59,17 +62,17 @@ impl ResultCache {
         slot.stamp = self.next_stamp;
         let recs = slot.recs.clone();
         self.recency.remove(&old);
-        self.recency.insert(self.next_stamp, (user, k));
+        self.recency.insert(self.next_stamp, (user, k, tag));
         self.next_stamp += 1;
         Some(recs)
     }
 
     /// Inserts a result, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, user: u32, k: u32, recs: Vec<Recommendation>) {
+    pub fn insert(&mut self, user: u32, k: u32, tag: u8, recs: Vec<Recommendation>) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(old) = self.entries.get(&(user, k)) {
+        if let Some(old) = self.entries.get(&(user, k, tag)) {
             self.recency.remove(&old.stamp);
         } else if self.entries.len() >= self.capacity {
             // Evict the entry with the smallest (oldest) stamp.
@@ -79,22 +82,22 @@ impl ResultCache {
             }
         }
         self.entries.insert(
-            (user, k),
+            (user, k, tag),
             Slot {
                 stamp: self.next_stamp,
                 recs,
             },
         );
-        self.recency.insert(self.next_stamp, (user, k));
+        self.recency.insert(self.next_stamp, (user, k, tag));
         self.next_stamp += 1;
     }
 
-    /// Drops every cached result for `user` (all k values). Call after the
-    /// user's seen-set or embedding changes.
+    /// Drops every cached result for `user` (all k values, all
+    /// precisions). Call after the user's seen-set or embedding changes.
     pub fn invalidate_user(&mut self, user: u32) {
         let doomed: Vec<Key> = self
             .entries
-            .range((user, 0)..=(user, u32::MAX))
+            .range((user, 0, 0)..=(user, u32::MAX, u8::MAX))
             .map(|(&key, _)| key)
             .collect();
         for key in doomed {
@@ -167,65 +170,65 @@ mod tests {
     #[test]
     fn hit_returns_inserted_value() {
         let mut c = ResultCache::new(4);
-        assert!(c.get(1, 10).is_none());
-        c.insert(1, 10, rec(7, 0.5));
-        assert_eq!(c.get(1, 10), Some(rec(7, 0.5)));
+        assert!(c.get(1, 10, 0).is_none());
+        c.insert(1, 10, 0, rec(7, 0.5));
+        assert_eq!(c.get(1, 10, 0), Some(rec(7, 0.5)));
         // Different k is a different entry.
-        assert!(c.get(1, 5).is_none());
+        assert!(c.get(1, 5, 0).is_none());
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut c = ResultCache::new(2);
-        c.insert(1, 1, rec(1, 0.1));
-        c.insert(2, 1, rec(2, 0.2));
+        c.insert(1, 1, 0, rec(1, 0.1));
+        c.insert(2, 1, 0, rec(2, 0.2));
         // Touch user 1 so user 2 becomes the LRU victim.
-        assert!(c.get(1, 1).is_some());
-        c.insert(3, 1, rec(3, 0.3));
+        assert!(c.get(1, 1, 0).is_some());
+        c.insert(3, 1, 0, rec(3, 0.3));
         assert_eq!(c.len(), 2);
-        assert!(c.get(1, 1).is_some());
-        assert!(c.get(2, 1).is_none());
-        assert!(c.get(3, 1).is_some());
+        assert!(c.get(1, 1, 0).is_some());
+        assert!(c.get(2, 1, 0).is_none());
+        assert!(c.get(3, 1, 0).is_some());
     }
 
     #[test]
     fn reinsert_updates_value_without_growth() {
         let mut c = ResultCache::new(2);
-        c.insert(1, 1, rec(1, 0.1));
-        c.insert(1, 1, rec(9, 0.9));
+        c.insert(1, 1, 0, rec(1, 0.1));
+        c.insert(1, 1, 0, rec(9, 0.9));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(1, 1), Some(rec(9, 0.9)));
+        assert_eq!(c.get(1, 1, 0), Some(rec(9, 0.9)));
     }
 
     #[test]
     fn invalidate_user_drops_all_k() {
         let mut c = ResultCache::new(8);
-        c.insert(1, 1, rec(1, 0.1));
-        c.insert(1, 5, rec(1, 0.1));
-        c.insert(2, 1, rec(2, 0.2));
+        c.insert(1, 1, 0, rec(1, 0.1));
+        c.insert(1, 5, 0, rec(1, 0.1));
+        c.insert(2, 1, 0, rec(2, 0.2));
         c.invalidate_user(1);
-        assert!(c.get(1, 1).is_none());
-        assert!(c.get(1, 5).is_none());
-        assert!(c.get(2, 1).is_some());
+        assert!(c.get(1, 1, 0).is_none());
+        assert!(c.get(1, 5, 0).is_none());
+        assert!(c.get(2, 1, 0).is_some());
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn zero_capacity_never_stores() {
         let mut c = ResultCache::new(0);
-        c.insert(1, 1, rec(1, 0.1));
-        assert!(c.get(1, 1).is_none());
+        c.insert(1, 1, 0, rec(1, 0.1));
+        assert!(c.get(1, 1, 0).is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn hit_and_miss_counters_track_lookups() {
         let mut c = ResultCache::new(4);
-        assert!(c.get(1, 1).is_none());
-        c.insert(1, 1, rec(1, 0.1));
-        assert!(c.get(1, 1).is_some());
-        assert!(c.get(1, 1).is_some());
-        assert!(c.get(2, 1).is_none());
+        assert!(c.get(1, 1, 0).is_none());
+        c.insert(1, 1, 0, rec(1, 0.1));
+        assert!(c.get(1, 1, 0).is_some());
+        assert!(c.get(1, 1, 0).is_some());
+        assert!(c.get(2, 1, 0).is_none());
         assert_eq!((c.hits(), c.misses()), (2, 2));
     }
 
@@ -236,9 +239,9 @@ mod tests {
     #[test]
     fn invalidate_then_refill_matches_fresh_cache() {
         let fill = |c: &mut ResultCache| {
-            c.insert(1, 1, rec(1, 0.1));
-            c.insert(2, 1, rec(2, 0.2));
-            assert!(c.get(1, 1).is_some());
+            c.insert(1, 1, 0, rec(1, 0.1));
+            c.insert(2, 1, 0, rec(2, 0.2));
+            assert!(c.get(1, 1, 0).is_some());
         };
 
         let mut fresh = ResultCache::new(2);
@@ -256,10 +259,16 @@ mod tests {
         assert_eq!(recycled.len(), fresh.len());
         assert_eq!(recycled.next_stamp(), fresh.next_stamp());
         // Same future behavior: the next insert evicts the same victim.
-        fresh.insert(3, 1, rec(3, 0.3));
-        recycled.insert(3, 1, rec(3, 0.3));
-        assert_eq!(fresh.get(2, 1).is_some(), recycled.get(2, 1).is_some());
-        assert_eq!(fresh.get(1, 1).is_some(), recycled.get(1, 1).is_some());
+        fresh.insert(3, 1, 0, rec(3, 0.3));
+        recycled.insert(3, 1, 0, rec(3, 0.3));
+        assert_eq!(
+            fresh.get(2, 1, 0).is_some(),
+            recycled.get(2, 1, 0).is_some()
+        );
+        assert_eq!(
+            fresh.get(1, 1, 0).is_some(),
+            recycled.get(1, 1, 0).is_some()
+        );
         // Counters kept counting across the invalidation (lifetime stats).
         assert_eq!(recycled.hits(), hits + fresh.hits());
         assert_eq!(recycled.misses(), misses + fresh.misses());
@@ -268,9 +277,25 @@ mod tests {
     #[test]
     fn clear_also_rewinds_stamps() {
         let mut c = ResultCache::new(2);
-        c.insert(1, 1, rec(1, 0.1));
-        assert!(c.get(1, 1).is_some());
+        c.insert(1, 1, 0, rec(1, 0.1));
+        assert!(c.get(1, 1, 0).is_some());
         c.clear();
         assert_eq!(c.next_stamp(), 0);
+    }
+
+    /// The precision tag partitions the key space: same (user, k) at a
+    /// different precision is a distinct entry, and user invalidation
+    /// sweeps every precision.
+    #[test]
+    fn precision_tag_separates_entries() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, 10, 0, rec(1, 0.5));
+        c.insert(1, 10, 2, rec(2, 0.25));
+        assert_eq!(c.get(1, 10, 0), Some(rec(1, 0.5)));
+        assert_eq!(c.get(1, 10, 2), Some(rec(2, 0.25)));
+        assert!(c.get(1, 10, 1).is_none());
+        c.invalidate_user(1);
+        assert!(c.get(1, 10, 0).is_none());
+        assert!(c.get(1, 10, 2).is_none());
     }
 }

@@ -19,16 +19,36 @@
 //!
 //! The cache never changes responses — a hit returns the same bits a
 //! recompute would — so serving stays deterministic at any worker count.
+//!
+//! # Quantized engines
+//!
+//! An engine can serve a frozen model at any
+//! [`scenerec_core::Precision`]:
+//!
+//! * **f32** keeps the bit-exact tape parity above.
+//! * **f16** widens rows exactly at score time (the only error vs. f32
+//!   is the one-time narrowing at freeze), in the same float order as
+//!   the f32 kernels.
+//! * **int8** scores dot heads in exact integer arithmetic
+//!   (`scenerec_tensor::quant::dot_i8_centered`) with one fixed-order
+//!   f32 rescale per element.
+//!
+//! Every precision keeps the *determinism* contract: identical bytes
+//! across kernel backends, thread counts and worker counts. Cache keys
+//! carry the precision tag, so entries can never cross precisions.
 
 use crate::cache::ResultCache;
 use crate::mask::SeenMask;
 use crate::topk::select_top_k;
-use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, Recommendation};
+use scenerec_core::{
+    EntityMatrix, FrozenHead, FrozenModel, PairwiseModel, Precision, Recommendation,
+};
 use scenerec_data::Dataset;
+use scenerec_faults::Injector;
 use scenerec_graph::UserId;
 use scenerec_obs::{metrics, FieldValue, Trace};
 use scenerec_tensor::score::try_score_bt;
-use scenerec_tensor::{linalg, Matrix};
+use scenerec_tensor::{linalg, quant, Matrix};
 use std::path::Path;
 use std::sync::{Mutex, MutexGuard};
 
@@ -152,13 +172,34 @@ impl FrozenEngine {
         let frozen = model
             .freeze()
             .ok_or_else(|| ServeError::Unsupported(model.name().to_owned()))?;
-        let seen: Vec<Vec<u32>> = (0..data.num_users())
-            .map(|u| data.train_graph.items_of(UserId(u)).to_vec())
-            .collect();
-        Self::new(frozen, &seen, config)
+        Self::new(frozen, &seen_lists(data), config)
     }
 
-    /// Loads a SceneRec checkpoint and freezes it for serving.
+    /// [`Self::from_model`] with the entity matrices re-encoded at
+    /// `precision` (`Precision::F32` equals `from_model`).
+    ///
+    /// # Errors
+    /// [`ServeError::Unsupported`] when the model cannot freeze;
+    /// [`ServeError::Invalid`] on an inconsistent snapshot.
+    pub fn from_model_quantized<M: PairwiseModel>(
+        model: &M,
+        data: &Dataset,
+        precision: Precision,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let frozen = model
+            .freeze_quantized(precision)
+            .ok_or_else(|| ServeError::Unsupported(model.name().to_owned()))?;
+        Self::new(frozen, &seen_lists(data), config)
+    }
+
+    /// Loads a SceneRec checkpoint and builds an engine from it.
+    ///
+    /// A v4 checkpoint carrying a `frozen` section is served from that
+    /// embedded snapshot — at whatever precision it was quantized to,
+    /// with its exact codes/scales — without re-freezing. Older (or
+    /// training-only) checkpoints fall back to freezing the restored
+    /// model at f32.
     ///
     /// # Errors
     /// [`ServeError::Invalid`] on checkpoint load failures.
@@ -167,9 +208,12 @@ impl FrozenEngine {
         data: &Dataset,
         config: EngineConfig,
     ) -> Result<Self, ServeError> {
-        let model = scenerec_core::checkpoint::load(path, data)
+        let loaded = scenerec_core::checkpoint::load_full(path, data, &Injector::disabled())
             .map_err(|e| ServeError::Invalid(e.to_string()))?;
-        Self::from_model(&model, data, config)
+        match loaded.frozen {
+            Some(frozen) => Self::new(frozen, &seen_lists(data), config),
+            None => Self::from_model(&loaded.model, data, config),
+        }
     }
 
     /// The frozen snapshot's display name.
@@ -185,6 +229,11 @@ impl FrozenEngine {
     /// Number of items in the frozen universe.
     pub fn num_items(&self) -> usize {
         self.frozen.num_items()
+    }
+
+    /// Storage precision of the frozen entity matrices.
+    pub fn precision(&self) -> Precision {
+        self.frozen.precision()
     }
 
     /// The seen-item mask for `user`.
@@ -220,25 +269,62 @@ impl FrozenEngine {
                 num_items,
             });
         }
-        let u = self.frozen.users.row(user as usize);
         let band = self.config.band.max(1);
         let mut out = Vec::with_capacity(items.len());
         match &self.frozen.head {
-            FrozenHead::DotBias { bias } => {
-                for &i in items {
-                    let row = self.frozen.items.row(i as usize);
-                    out.push(linalg::dot(u, row) + bias[i as usize]);
+            // Dot heads score straight off the stored representation:
+            // f32 keeps the tape-exact `linalg::dot`, f16 widens item
+            // lanes in-kernel against the (exactly widened) user row,
+            // int8 accumulates in exact integer arithmetic and rescales
+            // with one fixed-order f32 multiply chain per element.
+            FrozenHead::DotBias { bias } => match (&self.frozen.users, &self.frozen.items) {
+                (EntityMatrix::F32(users), EntityMatrix::F32(catalog)) => {
+                    let u = users.row(user as usize);
+                    for &i in items {
+                        out.push(linalg::dot(u, catalog.row(i as usize)) + bias[i as usize]);
+                    }
                 }
-            }
+                (EntityMatrix::F16(users), EntityMatrix::F16(catalog)) => {
+                    let mut u = vec![0.0f32; users.cols()];
+                    users.widen_row_into(user as usize, &mut u);
+                    for &i in items {
+                        out.push(quant::dot_f16(&u, catalog.row(i as usize)) + bias[i as usize]);
+                    }
+                }
+                (EntityMatrix::Int8(users), EntityMatrix::Int8(catalog)) => {
+                    let uc = users.centered_row(user as usize);
+                    let su = users.scale(user as usize);
+                    for &i in items {
+                        let it = i as usize;
+                        let zv = catalog.zero_point(it) as i16;
+                        let idot = quant::dot_i8_centered(&uc, catalog.row(it), zv);
+                        out.push(su * catalog.scale(it) * idot as f32 + bias[it]);
+                    }
+                }
+                // `new` validates matching precisions; reachable only
+                // through a hand-built inconsistent model.
+                _ => {
+                    return Err(ServeError::Invalid(
+                        "user/item entity matrices disagree on precision".to_owned(),
+                    ))
+                }
+            },
+            // MLP heads expand rows to f32 (copy / exact widen /
+            // dequantize) and replay the f32 layer stack; the expansion
+            // is deterministic, so so is the whole path.
             FrozenHead::Mlp { layers } => {
                 let du = self.frozen.users.cols();
                 let di = self.frozen.items.cols();
+                let mut u = vec![0.0f32; du];
+                self.frozen.users.expand_row_into(user as usize, &mut u);
                 for chunk in items.chunks(band) {
                     let mut h = Matrix::zeros(chunk.len(), du + di);
                     for (r, &i) in chunk.iter().enumerate() {
                         let row = h.row_mut(r);
-                        row[..du].copy_from_slice(u);
-                        row[du..].copy_from_slice(self.frozen.items.row(i as usize));
+                        row[..du].copy_from_slice(&u);
+                        self.frozen
+                            .items
+                            .expand_row_into(i as usize, &mut row[du..]);
                     }
                     for layer in layers {
                         let mut y = try_score_bt(&h, &layer.w, Some(&layer.b), self.config.threads)
@@ -296,6 +382,7 @@ impl FrozenEngine {
     ) -> Result<Vec<Recommendation>, ServeError> {
         metrics::counter("serve/requests").inc();
         let key_k = u32::try_from(k).unwrap_or(u32::MAX);
+        let tag = self.precision().tag();
         let cache_span = trace.as_deref_mut().map(|t| t.start_span("serve.cache"));
         let close_cache = |trace: &mut Option<&mut Trace>, hit: bool| {
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), cache_span) {
@@ -304,7 +391,7 @@ impl FrozenEngine {
             }
         };
         if (user as usize) < self.num_users() {
-            if let Some(hit) = self.lock_cache().get(user, key_k) {
+            if let Some(hit) = self.lock_cache().get(user, key_k, tag) {
                 metrics::counter("serve/cache_hits").inc();
                 close_cache(&mut trace, true);
                 return Ok(hit);
@@ -319,6 +406,16 @@ impl FrozenEngine {
         let score_span = trace.as_deref_mut().map(|t| {
             let s = t.start_span("serve.score");
             t.add_field(s, "candidates", FieldValue::Int(candidates.len() as i64));
+            t.add_field(
+                s,
+                "backend",
+                FieldValue::Str(scenerec_tensor::backend_name().to_owned()),
+            );
+            t.add_field(
+                s,
+                "precision",
+                FieldValue::Str(self.precision().name().to_owned()),
+            );
             s
         });
         let scores = self.score_items(user, &candidates)?;
@@ -326,7 +423,7 @@ impl FrozenEngine {
         if let (Some(t), Some(s)) = (trace, score_span) {
             t.end_span(s);
         }
-        self.lock_cache().insert(user, key_k, recs.clone());
+        self.lock_cache().insert(user, key_k, tag, recs.clone());
         Ok(recs)
     }
 
@@ -380,6 +477,14 @@ impl FrozenEngine {
     }
 }
 
+/// Per-user seen-item lists from the dataset's training interactions —
+/// the same exclusion set `top_k_unseen` uses.
+fn seen_lists(data: &Dataset) -> Vec<Vec<u32>> {
+    (0..data.num_users())
+        .map(|u| data.train_graph.items_of(UserId(u)).to_vec())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,12 +501,12 @@ mod tests {
         items.set_row(1, &[0.0, 1.0]);
         items.set_row(2, &[0.5, 0.5]);
         items.set_row(3, &[2.0, 0.0]);
-        FrozenModel {
-            name: "toy".to_owned(),
+        FrozenModel::dense(
+            "toy",
             users,
             items,
-            head: FrozenHead::DotBias { bias: vec![0.0; 4] },
-        }
+            FrozenHead::DotBias { bias: vec![0.0; 4] },
+        )
     }
 
     fn toy_engine(seen: &[Vec<u32>]) -> FrozenEngine {
@@ -460,5 +565,177 @@ mod tests {
     fn new_rejects_wrong_seen_count() {
         let err = FrozenEngine::new(toy_frozen(), &[vec![]], EngineConfig::default());
         assert!(matches!(err, Err(ServeError::Invalid(_))));
+    }
+
+    /// A larger pseudo-random dot model for the quantized-path tests —
+    /// the toy 0/1 weights are exactly representable at every precision
+    /// and would hide quantization entirely.
+    fn random_frozen(num_users: usize, num_items: usize, dim: usize) -> FrozenModel {
+        let mut v = 0.37f32;
+        let mut next = move || {
+            v = (v * 1.9 + 0.13).fract() - 0.5;
+            v * 3.0
+        };
+        let users = Matrix::from_vec(
+            num_users,
+            dim,
+            (0..num_users * dim).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let items = Matrix::from_vec(
+            num_items,
+            dim,
+            (0..num_items * dim).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let bias = (0..num_items).map(|_| next() * 0.1).collect();
+        FrozenModel::dense("rand", users, items, FrozenHead::DotBias { bias })
+    }
+
+    fn quantized_engine(precision: Precision) -> FrozenEngine {
+        let frozen = random_frozen(6, 40, 33).quantize(precision).unwrap();
+        let seen: Vec<Vec<u32>> = (0..6).map(|u| vec![u as u32]).collect();
+        FrozenEngine::new(frozen, &seen, EngineConfig::default()).unwrap()
+    }
+
+    /// Every precision's scores equal a from-scratch recompute off the
+    /// stored representation — pinned bit-for-bit, so any accidental
+    /// reordering (or backend divergence) in the quantized paths fails
+    /// loudly.
+    #[test]
+    fn quantized_scores_match_manual_recompute_bitwise() {
+        use scenerec_tensor::quant::{dot_f16, dot_i8_centered};
+
+        for precision in [Precision::F16, Precision::Int8] {
+            let engine = quantized_engine(precision);
+            assert_eq!(engine.precision(), precision);
+            let items: Vec<u32> = (0..engine.num_items() as u32).collect();
+            for user in 0..engine.num_users() as u32 {
+                let got = engine.score_items(user, &items).unwrap();
+                let FrozenHead::DotBias { bias } = &engine.frozen.head else {
+                    unreachable!()
+                };
+                for (j, &i) in items.iter().enumerate() {
+                    let want = match (&engine.frozen.users, &engine.frozen.items) {
+                        (EntityMatrix::F16(u), EntityMatrix::F16(c)) => {
+                            let mut uw = vec![0.0f32; u.cols()];
+                            u.widen_row_into(user as usize, &mut uw);
+                            dot_f16(&uw, c.row(i as usize)) + bias[i as usize]
+                        }
+                        (EntityMatrix::Int8(u), EntityMatrix::Int8(c)) => {
+                            let uc = u.centered_row(user as usize);
+                            let zv = c.zero_point(i as usize) as i16;
+                            let idot = dot_i8_centered(&uc, c.row(i as usize), zv);
+                            u.scale(user as usize) * c.scale(i as usize) * idot as f32
+                                + bias[i as usize]
+                        }
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(
+                        got[j].to_bits(),
+                        want.to_bits(),
+                        "{} user {user} item {i}",
+                        precision.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// int8 quantization is coarse but order-preserving enough that the
+    /// served top-K overlaps the f32 ranking heavily; f16 rounding is a
+    /// half-ulp and overlaps near-perfectly. (The hard ≥0.95 @ K=20 gate
+    /// runs in `tests/serving_parity.rs` on trained BPR-MF weights.)
+    #[test]
+    fn quantized_top_k_overlaps_f32() {
+        let f32_engine = {
+            let frozen = random_frozen(6, 40, 33);
+            let seen: Vec<Vec<u32>> = (0..6).map(|u| vec![u as u32]).collect();
+            FrozenEngine::new(frozen, &seen, EngineConfig::default()).unwrap()
+        };
+        for precision in [Precision::F16, Precision::Int8] {
+            let engine = quantized_engine(precision);
+            for user in 0..6u32 {
+                let want: Vec<u32> = f32_engine
+                    .top_k(user, 10)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.item.raw())
+                    .collect();
+                let got: Vec<u32> = engine
+                    .top_k(user, 10)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.item.raw())
+                    .collect();
+                let overlap = got.iter().filter(|i| want.contains(i)).count();
+                assert!(
+                    overlap >= 8,
+                    "{} user {user}: top-10 overlap {overlap}/10 (got {got:?}, want {want:?})",
+                    precision.name()
+                );
+            }
+        }
+    }
+
+    /// Entries never cross precisions in the result cache: engines at
+    /// different precisions produce their own cache keys.
+    #[test]
+    fn quantized_engine_serves_from_its_own_cache_key() {
+        let engine = quantized_engine(Precision::Int8);
+        let first = engine.top_k(1, 5).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        let second = engine.top_k(1, 5).unwrap();
+        assert_eq!(first, second);
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    /// An MLP head over quantized matrices expands rows to f32 and
+    /// replays the f32 stack — scores equal the same-head engine built
+    /// over the pre-expanded dense matrices.
+    #[test]
+    fn quantized_mlp_head_equals_dense_expansion() {
+        use scenerec_autodiff::Act;
+        use scenerec_core::FrozenLayer;
+
+        let base = random_frozen(4, 12, 6);
+        let (EntityMatrix::F32(users), EntityMatrix::F32(items)) = (&base.users, &base.items)
+        else {
+            unreachable!()
+        };
+        let head = FrozenHead::Mlp {
+            layers: vec![
+                FrozenLayer {
+                    w: Matrix::from_vec(3, 12, (0..36).map(|i| (i as f32 - 18.0) / 23.0).collect())
+                        .unwrap(),
+                    b: vec![0.05, -0.05, 0.0],
+                    act: Act::Tanh,
+                },
+                FrozenLayer {
+                    w: Matrix::from_vec(1, 3, vec![0.5, -0.25, 0.125]).unwrap(),
+                    b: vec![0.01],
+                    act: Act::Identity,
+                },
+            ],
+        };
+        let mlp = FrozenModel::dense("mlp", users.clone(), items.clone(), head);
+        let seen: Vec<Vec<u32>> = (0..4).map(|_| vec![]).collect();
+        for precision in [Precision::F16, Precision::Int8] {
+            let q = mlp.quantize(precision).unwrap();
+            // Reference: densify the quantized matrices by hand and run
+            // the plain f32 engine over them.
+            let dense =
+                FrozenModel::dense("mlp", q.users.to_f32(), q.items.to_f32(), q.head.clone());
+            let qe = FrozenEngine::new(q, &seen, EngineConfig::default()).unwrap();
+            let de = FrozenEngine::new(dense, &seen, EngineConfig::default()).unwrap();
+            for user in 0..4u32 {
+                let a = qe.score_all(user).unwrap();
+                let b = de.score_all(user).unwrap();
+                let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "{} user {user}", precision.name());
+            }
+        }
     }
 }

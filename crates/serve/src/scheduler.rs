@@ -196,8 +196,10 @@ struct Shared<'a> {
     injector: &'a Injector,
     queue: Mutex<VecDeque<Batch>>,
     slots: Mutex<Vec<Option<Response>>>,
-    /// Last good result per (user, k) — the degraded-mode fallback.
-    stale: Mutex<BTreeMap<(u32, u32), Vec<Recommendation>>>,
+    /// Last good result per (user, k, precision-tag) — the
+    /// degraded-mode fallback. Tagged like the engine's result cache so
+    /// stale entries can never cross precisions.
+    stale: Mutex<BTreeMap<(u32, u32, u8), Vec<Recommendation>>>,
     /// One trace per request (index-aligned with `slots`), present only
     /// on the traced entry points. A worker takes the trace alongside
     /// the request, appends its spans, and puts it back — single-owner
@@ -467,7 +469,11 @@ fn serve_one_supervised(
     mut trace: Option<&mut Trace>,
 ) -> Response {
     let config = shared.config;
-    let key = (req.user, u32::try_from(req.k).unwrap_or(u32::MAX));
+    let key = (
+        req.user,
+        u32::try_from(req.k).unwrap_or(u32::MAX),
+        shared.engine.precision().tag(),
+    );
     // Logical clock for this request: injected latency plus backoff.
     let mut ticks = shared.injector.latency("serve/request");
     let mut attempt = 0u32;
@@ -571,12 +577,12 @@ mod tests {
         for i in 0..5 {
             items.set_row(i, &[i as f32 * 0.25, 1.0 - i as f32 * 0.25]);
         }
-        let frozen = FrozenModel {
-            name: "toy".to_owned(),
+        let frozen = FrozenModel::dense(
+            "toy",
             users,
             items,
-            head: FrozenHead::DotBias { bias: vec![0.0; 5] },
-        };
+            FrozenHead::DotBias { bias: vec![0.0; 5] },
+        );
         FrozenEngine::new(frozen, &[vec![0], vec![], vec![4]], EngineConfig::default()).unwrap()
     }
 

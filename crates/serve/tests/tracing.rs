@@ -32,12 +32,12 @@ fn toy_engine() -> FrozenEngine {
     for i in 0..5 {
         items.set_row(i, &[i as f32 * 0.25, 1.0 - i as f32 * 0.25]);
     }
-    let frozen = FrozenModel {
-        name: "toy".to_owned(),
+    let frozen = FrozenModel::dense(
+        "toy",
         users,
         items,
-        head: FrozenHead::DotBias { bias: vec![0.0; 5] },
-    };
+        FrozenHead::DotBias { bias: vec![0.0; 5] },
+    );
     let config = EngineConfig {
         // Room for every distinct (user, k) in the log, so a warmed
         // engine serves the whole replay from cache.

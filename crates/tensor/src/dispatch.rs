@@ -1,0 +1,138 @@
+//! One-time runtime CPU-feature dispatch for the SIMD kernels.
+//!
+//! The workspace is compiled for a portable baseline (no
+//! `target-cpu=native`, see `.cargo/config.toml`): every explicitly
+//! vectorized inner loop lives in the private `simd` module behind
+//! `#[target_feature]` and is only reachable through the [`Backend`]
+//! chosen here. Detection runs once per process (cached in a
+//! [`OnceLock`]) so the hot paths pay a single relaxed load, and the
+//! choice is surfaced through [`backend_name`] so run manifests and
+//! trace spans can record which kernels produced a result.
+//!
+//! **Determinism.** Backend selection never changes *values*: each SIMD
+//! kernel replicates the scalar kernel's floating-point operation order
+//! bit for bit (see `crate::simd`), so `Scalar` vs `Avx2` is purely a
+//! speed decision. The env override `SCENEREC_FORCE_SCALAR=1` (read once,
+//! at first use) forces the scalar path for A/B testing; tests that need
+//! both paths in one process use the `*_with_backend` kernel variants
+//! instead of the env var.
+
+use std::sync::OnceLock;
+
+/// The kernel families the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable scalar kernels — the reference implementations; always
+    /// available and bit-identical to every other backend.
+    Scalar,
+    /// Hand-written AVX2 kernels. Requires `avx2` + `fma` + `f16c`
+    /// (every AVX2-era x86-64 CPU has all three). The kernels use
+    /// unfused multiply-then-add on purpose: fusing would change
+    /// rounding and break scalar parity.
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lowercase name, recorded in manifests and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+static CPU: OnceLock<Backend> = OnceLock::new();
+
+/// The process-wide kernel backend: detected once, cached forever.
+#[inline]
+pub fn backend() -> Backend {
+    *BACKEND.get_or_init(detect)
+}
+
+/// [`backend`]'s stable name (`"scalar"` / `"avx2"`), for provenance
+/// records.
+pub fn backend_name() -> &'static str {
+    backend().name()
+}
+
+/// What the CPU itself supports, ignoring the env override. Cached.
+#[inline]
+pub fn cpu_backend() -> Backend {
+    *CPU.get_or_init(detect_cpu)
+}
+
+/// Clamps a *requested* backend to what the CPU can actually run:
+/// `Scalar` is always honored, `Avx2` silently degrades to `Scalar` on
+/// CPUs without avx2+fma+f16c. Every kernel call site resolves through
+/// here, which is what makes the public `*_with_backend` functions safe
+/// to call with any [`Backend`] value on any machine.
+#[inline]
+pub fn resolve(requested: Backend) -> Backend {
+    match requested {
+        Backend::Scalar => Backend::Scalar,
+        Backend::Avx2 => cpu_backend(),
+    }
+}
+
+/// Uncached detection: env override first, then CPUID.
+fn detect() -> Backend {
+    if std::env::var_os("SCENEREC_FORCE_SCALAR").is_some_and(|v| v == "1") {
+        return Backend::Scalar;
+    }
+    detect_cpu()
+}
+
+/// This is the guarding dispatch check for every `unsafe` kernel in
+/// [`crate::simd`]: `Backend::Avx2` is returned only when the CPU
+/// reports `avx2`, `fma` and `f16c` at runtime.
+#[cfg(target_arch = "x86_64")]
+fn detect_cpu() -> Backend {
+    if is_x86_feature_detected!("avx2")
+        && is_x86_feature_detected!("fma")
+        && is_x86_feature_detected!("f16c")
+    {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_cpu() -> Backend {
+    Backend::Scalar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_stable_across_calls() {
+        assert_eq!(backend(), backend());
+        assert_eq!(backend().name(), backend_name());
+    }
+
+    #[test]
+    fn resolve_honors_scalar_and_clamps_avx2() {
+        assert_eq!(resolve(Backend::Scalar), Backend::Scalar);
+        assert_eq!(resolve(Backend::Avx2), cpu_backend());
+    }
+
+    #[test]
+    fn names_are_lowercase_identifiers() {
+        for b in [Backend::Scalar, Backend::Avx2] {
+            assert!(b.name().chars().all(|c| c.is_ascii_lowercase() || c == '2'));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn cpu_detection_matches_feature_macros() {
+        let want = is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+            && is_x86_feature_detected!("f16c");
+        assert_eq!(detect_cpu() == Backend::Avx2, want);
+    }
+}

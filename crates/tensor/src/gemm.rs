@@ -24,18 +24,19 @@
 //! only ever reads lane `i` of the packed `A` panel — so results are
 //! bit-identical at any thread count.
 
+use crate::dispatch::{self, Backend};
 use crate::matrix::Matrix;
 use crate::par;
 
 /// Micro-kernel tile height: rows of `C` accumulated per panel.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Micro-kernel tile width: one cache line of `f32` columns. The 4 x 16
 /// accumulator block is what LLVM reliably keeps in vector registers
 /// across SIMD widths (measured: larger tiles spill and fall off a cliff,
 /// smaller ones starve the FP ports).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// K-dimension slab depth; one packed `B` slab is `KC * n` floats.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 
 /// Multiply-add count (`m*n*k`) below which a thread is not worth its
 /// spawn cost; also the per-thread work target for the auto dispatch.
@@ -52,10 +53,30 @@ pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
 
 /// `C = op(A) * op(B)` where `op(X)` is `X^T` when the corresponding
 /// `ta`/`tb` flag is set. `threads = 0` auto-selects via [`auto_threads`].
+/// Routes the micro-kernel through the process-wide
+/// [`crate::dispatch::backend`]; results are bit-identical either way.
 ///
 /// # Panics
 /// Panics when the inner dimensions of `op(A)` and `op(B)` disagree.
 pub fn gemm(a: &Matrix, ta: bool, b: &Matrix, tb: bool, threads: usize) -> Matrix {
+    gemm_with_backend(a, ta, b, tb, threads, dispatch::backend())
+}
+
+/// [`gemm`] with an explicit backend request (degrades to scalar when
+/// the CPU lacks AVX2). Bit-identical across backends; used by parity
+/// tests that need both kernels in one process.
+///
+/// # Panics
+/// Panics when the inner dimensions of `op(A)` and `op(B)` disagree.
+pub fn gemm_with_backend(
+    a: &Matrix,
+    ta: bool,
+    b: &Matrix,
+    tb: bool,
+    threads: usize,
+    backend: Backend,
+) -> Matrix {
+    let backend = dispatch::resolve(backend);
     let (m, k) = if ta { (a.cols(), a.rows()) } else { a.shape() };
     let (kb, n) = if tb { (b.cols(), b.rows()) } else { b.shape() };
     assert_eq!(k, kb, "gemm inner dimension mismatch");
@@ -69,12 +90,12 @@ pub fn gemm(a: &Matrix, ta: bool, b: &Matrix, tb: bool, threads: usize) -> Matri
         threads.min(m)
     };
     if threads <= 1 {
-        gemm_band(c.as_mut_slice(), 0, m, a, ta, b, tb, n, k);
+        gemm_band(c.as_mut_slice(), 0, m, a, ta, b, tb, n, k, backend);
     } else {
         let band = m.div_ceil(threads);
         par::for_each_chunk(c.as_mut_slice(), band * n, |idx, c_band| {
             let rows = c_band.len() / n;
-            gemm_band(c_band, idx * band, rows, a, ta, b, tb, n, k);
+            gemm_band(c_band, idx * band, rows, a, ta, b, tb, n, k, backend);
         });
     }
     c
@@ -93,6 +114,7 @@ fn gemm_band(
     tb: bool,
     n: usize,
     k: usize,
+    backend: Backend,
 ) {
     debug_assert_eq!(c_band.len(), rows * n);
     let n_strips = n.div_ceil(NR);
@@ -108,6 +130,19 @@ fn gemm_band(
                 let j0 = js * NR;
                 let nr = NR.min(n - j0);
                 let b_strip = &b_pack[js * NR * KC..][..kc * NR];
+                #[cfg(target_arch = "x86_64")]
+                if backend == Backend::Avx2 {
+                    // SAFETY: `backend` came from `dispatch::resolve`, which
+                    // returns Avx2 only when `detect_cpu` saw avx2+fma+f16c;
+                    // the packed panels hold `kc` full MR-/NR-words.
+                    unsafe {
+                        crate::simd::micro_kernel_avx2(
+                            c_band, ir, j0, n, mr, nr, kc, &a_pack, b_strip,
+                        )
+                    };
+                    continue;
+                }
+                let _ = backend;
                 micro_kernel(c_band, ir, j0, n, mr, nr, kc, &a_pack, b_strip);
             }
         }

@@ -18,9 +18,18 @@
 //! * **Fallible shape-checked APIs** (`try_*`) alongside panicking
 //!   convenience wrappers used in hot inner loops that have already been
 //!   validated at model-construction time.
-//! * **No unsafe**: the kernels are written so the optimizer can vectorize
-//!   them (iterator chains over contiguous slices, `chunks_exact`).
+//! * **Runtime-dispatched kernels**: the workspace compiles for a
+//!   portable baseline, and [`dispatch`] picks between the scalar
+//!   reference kernels and the hand-written AVX2 kernels in `simd.rs`
+//!   once per process. `unsafe` is confined to `simd.rs`, every SIMD
+//!   kernel is bit-identical to its scalar twin (lint rules R2/S1
+//!   enforce the SAFETY-comment discipline), and
+//!   `SCENEREC_FORCE_SCALAR=1` forces the fallback for A/B testing.
+//! * **Quantized serving storage** ([`quant`]): bit-level f16 and
+//!   per-row affine int8 matrices with mixed-precision dot kernels for
+//!   the frozen engines.
 
+pub mod dispatch;
 pub mod error;
 pub mod gemm;
 pub mod init;
@@ -28,9 +37,13 @@ pub mod linalg;
 pub mod matrix;
 pub mod numeric;
 pub mod par;
+pub mod quant;
 pub mod score;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
 pub mod stats;
 
+pub use dispatch::{backend, backend_name, Backend};
 pub use error::{ShapeError, TensorResult};
 pub use init::Initializer;
 pub use matrix::Matrix;

@@ -6,6 +6,7 @@
 //! construction time. The inner loops operate on contiguous row slices so
 //! LLVM can auto-vectorize them.
 
+use crate::dispatch::{self, Backend};
 use crate::error::{ShapeError, TensorResult};
 use crate::gemm;
 use crate::matrix::Matrix;
@@ -185,18 +186,40 @@ pub fn matvec_t(a: &Matrix, x: &[f32]) -> Vec<f32> {
     try_matvec_t(a, x).expect("matvec_t shape mismatch") // lint:allow(R1): documented panicking wrapper over the try_ twin
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, routed through the
+/// process-wide [`crate::dispatch::backend`].
 ///
-/// Accumulates into 8 independent partial sums so the loop carries no
-/// single serial FP dependency chain and LLVM can keep it in vector
-/// registers; the partials are reduced in a fixed pairwise order, so the
-/// result is deterministic for given inputs.
+/// Accumulates into 8 independent partial sums reduced in a fixed
+/// pairwise order; the AVX2 kernel replays the identical per-lane
+/// operation sequence, so the result is deterministic for given inputs
+/// *and* bit-identical across backends.
 ///
 /// # Panics
 /// Panics if lengths differ (programming error at this level).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with_backend(a, b, dispatch::backend())
+}
+
+/// [`dot`] with an explicit backend request (degrades to scalar when the
+/// CPU lacks AVX2). Bit-identical across backends; used by parity tests
+/// that need both kernels in one process.
+pub fn dot_with_backend(a: &[f32], b: &[f32], backend: Backend) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if dispatch::resolve(backend) == Backend::Avx2 {
+        // SAFETY: `resolve` returns Avx2 only when the guarding dispatch
+        // check (`detect_cpu`) saw avx2+fma+f16c on this CPU.
+        return unsafe { crate::simd::dot_avx2(a, b) };
+    }
+    let _ = backend;
+    dot_scalar(a, b)
+}
+
+/// The scalar reference dot: 8 independent partial sums so the loop
+/// carries no serial FP dependency chain and LLVM keeps it in vector
+/// registers even on the portable build.
+pub(crate) fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     const LANES: usize = 8;
     let mut acc = [0.0f32; LANES];
     let main = a.len() - a.len() % LANES;

@@ -15,6 +15,7 @@
 //! is bit-identical to scoring each row with `linalg::matvec` + bias, at
 //! any `threads`.
 
+use crate::dispatch::{self, Backend};
 use crate::error::{ShapeError, TensorResult};
 use crate::linalg;
 use crate::matrix::Matrix;
@@ -36,6 +37,22 @@ pub fn try_score_bt(
     bias: Option<&[f32]>,
     threads: usize,
 ) -> TensorResult<Matrix> {
+    try_score_bt_with_backend(a, b, bias, threads, dispatch::backend())
+}
+
+/// [`try_score_bt`] with an explicit backend request (degrades to scalar
+/// when the CPU lacks AVX2). Every element is still one
+/// [`linalg::dot_with_backend`] call, and the AVX2 dot replays the
+/// scalar float order — bit-identical across backends, threads and
+/// bands.
+pub fn try_score_bt_with_backend(
+    a: &Matrix,
+    b: &Matrix,
+    bias: Option<&[f32]>,
+    threads: usize,
+    backend: Backend,
+) -> TensorResult<Matrix> {
+    let backend = dispatch::resolve(backend);
     if a.cols() != b.cols() {
         return Err(ShapeError::MatMul {
             lhs: a.shape(),
@@ -54,6 +71,9 @@ pub fn try_score_bt(
         }
     }
     let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
     let band = if threads <= 1 {
         m.max(1)
     } else {
@@ -63,7 +83,7 @@ pub fn try_score_bt(
     par::for_each_chunk_pair(c.as_mut_slice(), band * n, &a_rows, band, |_, out, rows| {
         for (c_row, a_row) in out.chunks_mut(n).zip(rows) {
             for (j, c_v) in c_row.iter_mut().enumerate() {
-                let mut v = linalg::dot(a_row, b.row(j));
+                let mut v = linalg::dot_with_backend(a_row, b.row(j), backend);
                 if let Some(bias) = bias {
                     v += bias[j];
                 }

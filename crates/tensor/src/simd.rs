@@ -1,0 +1,166 @@
+//! Hand-written AVX2 kernels, bit-identical to their scalar twins.
+//!
+//! Every function here is `unsafe` and `#[target_feature]`-gated: the
+//! only sound way in is through [`crate::dispatch`], whose
+//! `detect_cpu` check proves `avx2`, `fma` and `f16c` are present
+//! before [`crate::dispatch::Backend::Avx2`] can be observed by a
+//! kernel call site (lint rule S1 enforces the comment discipline).
+//!
+//! **Bit-exactness.** The kernels deliberately use *unfused*
+//! `_mm256_mul_ps` + `_mm256_add_ps` rather than FMA: rustc does not
+//! contract float expressions, so the scalar kernels round after every
+//! multiply — a fused kernel would produce different last bits.
+//! Each vector lane replays the exact per-element operation sequence of
+//! the corresponding scalar kernel, and horizontal reductions use the
+//! same fixed pairwise order, so `scalar == avx2` holds bit for bit.
+//! The integer int8 kernel is exact arithmetic in `i32`, which is
+//! order-independent, so it is trivially identical to its scalar twin.
+
+use crate::gemm::{MR, NR};
+use core::arch::x86_64::*;
+
+/// Dot product with [`crate::linalg::dot`]'s exact float order: one
+/// 8-lane accumulator updated mul-then-add per chunk, lanes reduced
+/// pairwise, scalar tail added last.
+///
+// SAFETY: callers must hold the guarding dispatch check
+// `dispatch::resolve(..) == Backend::Avx2`, which is only true when
+// `detect_cpu` observed avx2+fma+f16c at runtime.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const LANES: usize = 8;
+    let main = a.len() - a.len() % LANES;
+    let mut acc = _mm256_setzero_ps();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i < main {
+        let va = _mm256_loadu_ps(pa.add(i));
+        let vb = _mm256_loadu_ps(pb.add(i));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        i += LANES;
+    }
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0f32;
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        tail += x * y;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        + tail
+}
+
+/// Dot product of an `f32` row against an `f16` (bit-level `u16`) row,
+/// widening via `_mm256_cvtph_ps` — exact, like the scalar software
+/// widening — then following [`dot_avx2`]'s float order.
+///
+// SAFETY: callers must hold the guarding dispatch check
+// `dispatch::resolve(..) == Backend::Avx2` (avx2+fma+f16c verified);
+// f16c covers `_mm256_cvtph_ps`.
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot_f16_avx2(a: &[f32], hb: &[u16]) -> f32 {
+    debug_assert_eq!(a.len(), hb.len());
+    const LANES: usize = 8;
+    let main = a.len() - a.len() % LANES;
+    let mut acc = _mm256_setzero_ps();
+    let (pa, ph) = (a.as_ptr(), hb.as_ptr());
+    let mut i = 0;
+    while i < main {
+        let va = _mm256_loadu_ps(pa.add(i));
+        let vh = _mm_loadu_si128(ph.add(i) as *const __m128i);
+        let vb = _mm256_cvtph_ps(vh);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        i += LANES;
+    }
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0f32;
+    for (x, h) in a[main..].iter().zip(&hb[main..]) {
+        tail += x * crate::quant::f16_to_f32(*h);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        + tail
+}
+
+/// Integer dot of a pre-centered `i16` user row against a raw `i8` item
+/// row with zero point `zv`: `Σ uc[j] * (v[j] - zv)`, exact in `i32`
+/// (both operands are bounded by 255 in magnitude, so every
+/// `_mm256_madd_epi16` pair fits). Integer addition is associative —
+/// the wide and scalar orders agree exactly.
+///
+// SAFETY: callers must hold the guarding dispatch check
+// `dispatch::resolve(..) == Backend::Avx2` (avx2 verified at runtime).
+#[target_feature(enable = "avx2,fma,f16c")]
+pub(crate) unsafe fn dot_i8_avx2(uc: &[i16], v: &[i8], zv: i16) -> i32 {
+    debug_assert_eq!(uc.len(), v.len());
+    const STEP: usize = 16;
+    let main = uc.len() - uc.len() % STEP;
+    let vz = _mm256_set1_epi16(zv);
+    let mut acc = _mm256_setzero_si256();
+    let (pu, pv) = (uc.as_ptr(), v.as_ptr());
+    let mut i = 0;
+    while i < main {
+        let raw = _mm_loadu_si128(pv.add(i) as *const __m128i);
+        let wide = _mm256_cvtepi8_epi16(raw);
+        let centered = _mm256_sub_epi16(wide, vz);
+        let u = _mm256_loadu_si256(pu.add(i) as *const __m256i);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(u, centered));
+        i += STEP;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut total: i32 = lanes.iter().sum();
+    let zv = zv as i32;
+    for (&u, &q) in uc[main..].iter().zip(&v[main..]) {
+        total += u as i32 * (q as i32 - zv);
+    }
+    total
+}
+
+/// The GEMM register tile: replays `gemm::micro_kernel`'s per-element
+/// mul-then-add sequence with 8 `ymm` accumulators (4 lanes x 2 halves
+/// of the 16-wide strip), then adds the live `mr x nr` block into `C`
+/// in the same order as the scalar writeback.
+///
+// SAFETY: callers must hold the guarding dispatch check
+// `dispatch::resolve(..) == Backend::Avx2`, and pass panel slices with
+// the packed layout produced by `gemm::pack_a`/`gemm::pack_b`
+// (`a_pack` holds `kc` MR-words, `b_strip` holds `kc` NR-words).
+#[target_feature(enable = "avx2,fma,f16c")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn micro_kernel_avx2(
+    c_band: &mut [f32],
+    ir: usize,
+    j0: usize,
+    n: usize,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    a_pack: &[f32],
+    b_strip: &[f32],
+) {
+    debug_assert!(a_pack.len() >= kc * MR);
+    debug_assert!(b_strip.len() >= kc * NR);
+    let mut acc = [_mm256_setzero_ps(); 2 * MR];
+    let (pa, pb) = (a_pack.as_ptr(), b_strip.as_ptr());
+    for p in 0..kc {
+        let b_lo = _mm256_loadu_ps(pb.add(p * NR));
+        let b_hi = _mm256_loadu_ps(pb.add(p * NR + 8));
+        for lane in 0..MR {
+            let va = _mm256_set1_ps(*pa.add(p * MR + lane));
+            acc[2 * lane] = _mm256_add_ps(acc[2 * lane], _mm256_mul_ps(va, b_lo));
+            acc[2 * lane + 1] = _mm256_add_ps(acc[2 * lane + 1], _mm256_mul_ps(va, b_hi));
+        }
+    }
+    for lane in 0..mr {
+        let mut row = [0.0f32; NR];
+        _mm256_storeu_ps(row.as_mut_ptr(), acc[2 * lane]);
+        _mm256_storeu_ps(row.as_mut_ptr().add(8), acc[2 * lane + 1]);
+        let base = (ir + lane) * n + j0;
+        for (c_v, &acc_v) in c_band[base..base + nr].iter_mut().zip(&row[..nr]) {
+            *c_v += acc_v;
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests of the dispatch contract: the scalar reference
+//! kernels and the AVX2 kernels must agree **bit for bit** on arbitrary
+//! shapes — remainder columns not divisible by the vector width, empty
+//! matrices, `k = 0` — under both an explicit backend request and the
+//! process-wide auto dispatch.
+//!
+//! On machines without AVX2 the requested `Backend::Avx2` resolves to
+//! scalar and these tests degenerate to scalar==scalar; CI runs them on
+//! AVX2 hardware (and once more with `SCENEREC_FORCE_SCALAR=1`, which
+//! only changes the auto dispatch, not the explicit requests).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scenerec_tensor::quant::{self, Int8Matrix};
+use scenerec_tensor::{gemm, linalg, score, Backend, Matrix};
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-5.0f32..5.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `dot`: scalar and AVX2 agree bitwise at every length, including
+    /// the 8-lane remainder tail and the empty slice.
+    #[test]
+    fn dot_scalar_vs_avx2_bit_exact(
+        len in 0usize..70,
+        seed in prop::collection::vec(-10.0f32..10.0, 140),
+    ) {
+        let a = &seed[..len];
+        let b = &seed[70..70 + len];
+        let s = linalg::dot_with_backend(a, b, Backend::Scalar);
+        let v = linalg::dot_with_backend(a, b, Backend::Avx2);
+        let auto = linalg::dot(a, b);
+        prop_assert_eq!(s.to_bits(), v.to_bits());
+        prop_assert_eq!(s.to_bits(), auto.to_bits());
+    }
+
+    /// GEMM: random shapes straddling the 4x16 tile (remainder rows,
+    /// remainder columns, small k), all four transpose variants.
+    #[test]
+    fn gemm_scalar_vs_avx2_bit_exact(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        ta_bit in 0u32..2,
+        tb_bit in 0u32..2,
+        threads in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let (ta, tb) = (ta_bit == 1, tb_bit == 1);
+        let a = if ta { seeded(k, m, seed) } else { seeded(m, k, seed) };
+        let b = if tb { seeded(n, k, seed ^ 1) } else { seeded(k, n, seed ^ 1) };
+        let s = gemm::gemm_with_backend(&a, ta, &b, tb, threads, Backend::Scalar);
+        let v = gemm::gemm_with_backend(&a, ta, &b, tb, threads, Backend::Avx2);
+        prop_assert_eq!(bits(&s), bits(&v));
+    }
+
+    /// score_bt: remainder columns, optional bias, several worker
+    /// counts — the serving determinism contract across backends.
+    #[test]
+    fn score_bt_scalar_vs_avx2_bit_exact(
+        a in matrix(9, 37),
+        b in matrix(23, 37),
+        bias_vec in prop::collection::vec(-2.0f32..2.0, 23),
+        bias_on in 0u32..2,
+        threads in 1usize..5,
+    ) {
+        let bias = (bias_on == 1).then_some(bias_vec);
+        let s = score::try_score_bt_with_backend(&a, &b, bias.as_deref(), threads, Backend::Scalar).unwrap();
+        let v = score::try_score_bt_with_backend(&a, &b, bias.as_deref(), threads, Backend::Avx2).unwrap();
+        let auto = score::try_score_bt(&a, &b, bias.as_deref(), threads).unwrap();
+        prop_assert_eq!(bits(&s), bits(&v));
+        prop_assert_eq!(bits(&s), bits(&auto));
+    }
+
+    /// Mixed-precision dots: f16 (same float order) and int8 (exact
+    /// integer arithmetic) agree bitwise across backends.
+    #[test]
+    fn quant_dots_scalar_vs_avx2_bit_exact(
+        len in 0usize..70,
+        seed in prop::collection::vec(-3.0f32..3.0, 70),
+        zv_raw in 0u32..256,
+    ) {
+        let zv = zv_raw as i16 - 128;
+        let a = &seed[..len];
+        let hb: Vec<u16> = a.iter().map(|&x| quant::f32_to_f16(x)).collect();
+        let s = quant::dot_f16_with_backend(a, &hb, Backend::Scalar);
+        let v = quant::dot_f16_with_backend(a, &hb, Backend::Avx2);
+        prop_assert_eq!(s.to_bits(), v.to_bits());
+
+        let uc: Vec<i16> = (0..len).map(|i| ((i as i16) * 37) % 256 - 128).collect();
+        let q: Vec<i8> = (0..len).map(|i| (((i as i32) * 91) % 256 - 128) as i8).collect();
+        let si = quant::dot_i8_centered_with_backend(&uc, &q, zv, Backend::Scalar);
+        let vi = quant::dot_i8_centered_with_backend(&uc, &q, zv, Backend::Avx2);
+        prop_assert_eq!(si, vi);
+    }
+}
+
+#[test]
+fn gemm_empty_and_k_zero_match_across_backends() {
+    for (m, k, n) in [(0usize, 4usize, 3usize), (2, 0, 3), (2, 4, 0), (0, 0, 0)] {
+        let a = Matrix::zeros(m, k);
+        let b = Matrix::zeros(k, n);
+        let s = gemm::gemm_with_backend(&a, false, &b, false, 1, Backend::Scalar);
+        let v = gemm::gemm_with_backend(&a, false, &b, false, 1, Backend::Avx2);
+        assert_eq!(s.shape(), (m, n));
+        assert_eq!(bits(&s), bits(&v), "({m},{k},{n})");
+    }
+}
+
+#[test]
+fn score_bt_empty_and_k_zero_match_across_backends() {
+    for (m, k, n) in [(0usize, 4usize, 3usize), (2, 0, 3), (2, 4, 0)] {
+        let a = Matrix::zeros(m, k);
+        let b = Matrix::zeros(n, k);
+        let s = score::try_score_bt_with_backend(&a, &b, None, 2, Backend::Scalar).unwrap();
+        let v = score::try_score_bt_with_backend(&a, &b, None, 2, Backend::Avx2).unwrap();
+        assert_eq!(s.shape(), (m, n));
+        assert_eq!(bits(&s), bits(&v), "({m},{k},{n})");
+    }
+}
+
+/// The tile boundaries themselves: shapes exactly on and one off the
+/// MR=4 / NR=16 / KC=256 edges, threaded and not.
+#[test]
+fn gemm_tile_boundaries_bit_exact() {
+    for &(m, k, n) in &[
+        (4usize, 16usize, 16usize),
+        (5, 17, 17),
+        (3, 15, 15),
+        (8, 256, 32),
+        (9, 257, 33),
+        (64, 300, 48),
+    ] {
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k).map(|i| ((i % 23) as f32 - 11.0) / 7.0).collect(),
+        )
+        .unwrap();
+        let b = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n).map(|i| ((i % 19) as f32 - 9.0) / 5.0).collect(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let s = gemm::gemm_with_backend(&a, false, &b, false, threads, Backend::Scalar);
+            let v = gemm::gemm_with_backend(&a, false, &b, false, threads, Backend::Avx2);
+            assert_eq!(bits(&s), bits(&v), "({m},{k},{n}) threads={threads}");
+        }
+    }
+}
+
+/// int8 scoring is *identical* (not just close) across backends because
+/// the accumulation is exact integer arithmetic, even through the final
+/// f32 rescale.
+#[test]
+fn int8_rescaled_scores_bit_exact_across_backends() {
+    let dim = 129;
+    let users = Matrix::from_vec(
+        4,
+        dim,
+        (0..4 * dim)
+            .map(|i| ((i % 31) as f32 - 15.0) / 9.0)
+            .collect(),
+    )
+    .unwrap();
+    let items = Matrix::from_vec(
+        7,
+        dim,
+        (0..7 * dim)
+            .map(|i| ((i % 29) as f32 - 14.0) / 8.0)
+            .collect(),
+    )
+    .unwrap();
+    let qu = Int8Matrix::from_matrix(&users);
+    let qi = Int8Matrix::from_matrix(&items);
+    for u in 0..4 {
+        let uc = qu.centered_row(u);
+        let su = qu.scale(u);
+        for it in 0..7 {
+            let zv = qi.zero_point(it) as i16;
+            let s = quant::dot_i8_centered_with_backend(&uc, qi.row(it), zv, Backend::Scalar);
+            let v = quant::dot_i8_centered_with_backend(&uc, qi.row(it), zv, Backend::Avx2);
+            assert_eq!(s, v);
+            let score_s = su * qi.scale(it) * s as f32;
+            let score_v = su * qi.scale(it) * v as f32;
+            assert_eq!(score_s.to_bits(), score_v.to_bits());
+        }
+    }
+}

@@ -20,7 +20,7 @@
 
 use scenerec_core::checkpoint::{self, CheckpointError, CheckpointStore};
 use scenerec_core::trainer::{train_resumable, ResumableTrainConfig, TrainConfig, TrainRunError};
-use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, SceneRec, SceneRecConfig};
+use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, Precision, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, Dataset, GeneratorConfig};
 use scenerec_faults::{Fault, FaultPlan, Injector, Trigger};
 use scenerec_serve::{
@@ -58,12 +58,12 @@ fn toy_engine() -> FrozenEngine {
     for i in 0..6 {
         items.set_row(i, &[i as f32 * 0.2, 1.0 - i as f32 * 0.2]);
     }
-    let frozen = FrozenModel {
-        name: "chaos-toy".to_owned(),
+    let frozen = FrozenModel::dense(
+        "chaos-toy",
         users,
         items,
-        head: FrozenHead::DotBias { bias: vec![0.0; 6] },
-    };
+        FrozenHead::DotBias { bias: vec![0.0; 6] },
+    );
     let seen = vec![vec![0], vec![], vec![5], vec![1, 2]];
     FrozenEngine::new(frozen, &seen, EngineConfig::default()).unwrap()
 }
@@ -428,6 +428,69 @@ fn checkpoint_store_falls_back_over_corrupted_tail() {
         .expect("a good checkpoint must survive");
     assert_eq!(epoch, 3, "newest un-torn checkpoint wins");
     assert_eq!(params_of(&loaded.model), params_of(&model));
+}
+
+/// Corruption confined to the quantized `frozen` section must not take
+/// serving down: the newest file is truncated mid-frozen-payload, the
+/// next has a frozen bit flipped, and `load_latest_good` walks past both
+/// to the oldest file — whose quantized model survives intact.
+#[test]
+fn store_falls_back_over_corrupted_frozen_sections() {
+    let (data, mcfg, _) = tiny_setup();
+    let model = SceneRec::new(mcfg, &data);
+    let store = CheckpointStore::new(tmp_dir("store-frozen"), 10);
+    let ok = Injector::disabled();
+    let plans = [
+        (0usize, Precision::F16),
+        (1, Precision::Int8),
+        (2, Precision::Int8),
+    ];
+    for (epoch, precision) in plans {
+        let frozen = model
+            .freeze_quantized(precision)
+            .expect("scenerec freezes at every precision");
+        store
+            .save_with_frozen(&model, None, None, Some(&frozen), epoch, &ok)
+            .unwrap();
+    }
+
+    // Locate the frozen section of a file by name — corruption is aimed
+    // at *only* that payload, so every other CRC still passes.
+    let frozen_span = |bytes: &[u8]| {
+        checkpoint::section_spans(bytes)
+            .unwrap()
+            .into_iter()
+            .find(|s| s.name == "frozen")
+            .expect("quantized checkpoints carry a frozen section")
+    };
+    let mut files = store.list().unwrap();
+    let (_, newest) = files.pop().unwrap();
+    let (_, middle) = files.pop().unwrap();
+
+    let bytes = std::fs::read(&newest).unwrap();
+    let cut = frozen_span(&bytes).payload_start + 5;
+    std::fs::write(&newest, &bytes[..cut]).unwrap();
+
+    let mut bytes = std::fs::read(&middle).unwrap();
+    let at = frozen_span(&bytes).payload_start + 3;
+    bytes[at] ^= 0x40;
+    std::fs::write(&middle, &bytes).unwrap();
+
+    let (loaded, epoch) = store
+        .load_latest_good(&data, &ok)
+        .unwrap()
+        .expect("the untouched checkpoint must survive");
+    assert_eq!(
+        epoch, 0,
+        "falls back past truncated and bit-flipped frozen sections"
+    );
+    assert_eq!(params_of(&loaded.model), params_of(&model));
+    let frozen = loaded
+        .frozen
+        .expect("fallback checkpoint still carries its frozen model");
+    assert_eq!(frozen.precision(), Precision::F16);
+    assert_eq!(frozen.num_users(), data.num_users() as usize);
+    assert_eq!(frozen.num_items(), data.num_items() as usize);
 }
 
 /// When every retained checkpoint is corrupt the store reports a typed

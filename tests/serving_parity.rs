@@ -9,10 +9,12 @@
 
 use scenerec_baselines::BprMf;
 use scenerec_core::trainer::{train, TrainConfig};
-use scenerec_core::{top_k_unseen, PairwiseModel, SceneRec, SceneRecConfig};
+use scenerec_core::{top_k_unseen, PairwiseModel, Precision, SceneRec, SceneRecConfig};
 use scenerec_data::{generate, Dataset, GeneratorConfig};
 use scenerec_graph::{ItemId, UserId};
-use scenerec_serve::{EngineConfig, FrozenEngine};
+use scenerec_serve::{
+    replay, responses_to_json, EngineConfig, FrozenEngine, ReplayConfig, Request,
+};
 
 const SAMPLED_USERS: u32 = 50;
 const TOP_K: usize = 10;
@@ -105,6 +107,95 @@ fn bprmf_frozen_scores_match_tape_bit_for_bit() {
     let mut model = BprMf::new(&data, 16, 11);
     train(&mut model, &data, &train_cfg());
     assert_parity(&model, &data);
+}
+
+const OVERLAP_K: usize = 20;
+
+fn trained_bprmf(data: &Dataset) -> BprMf {
+    let mut model = BprMf::new(data, 16, 11);
+    train(&mut model, data, &train_cfg());
+    model
+}
+
+fn quantized_engine(
+    model: &BprMf,
+    data: &Dataset,
+    precision: Precision,
+    cache_capacity: usize,
+) -> FrozenEngine {
+    let config = EngineConfig {
+        cache_capacity,
+        ..EngineConfig::default()
+    };
+    FrozenEngine::from_model_quantized(model, data, precision, config)
+        .unwrap_or_else(|e| panic!("{} engine: {e}", precision.name()))
+}
+
+/// Every quantized precision must serve byte-identical responses across
+/// worker counts {1, 2, 4}: quantization changes which numbers the
+/// engine computes, never whether those numbers depend on scheduling.
+#[test]
+fn quantized_replay_is_byte_identical_across_worker_counts() {
+    let data = dataset();
+    let model = trained_bprmf(&data);
+    let requests: Vec<Request> = (0..SAMPLED_USERS)
+        .map(|user| Request { user, k: OVERLAP_K })
+        .collect();
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let run = |workers: usize| {
+            // A fresh engine per run so every request is a cold miss
+            // regardless of worker interleaving.
+            let engine = quantized_engine(&model, &data, precision, 0);
+            let cfg = ReplayConfig {
+                workers,
+                max_batch: 16,
+                ..ReplayConfig::default()
+            };
+            responses_to_json(&replay(&engine, &requests, &cfg))
+        };
+        let reference = run(1);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                run(workers),
+                reference,
+                "{}: bytes diverged at {workers} workers",
+                precision.name()
+            );
+        }
+    }
+}
+
+/// Int8 quantization is lossy, so we gate on ranking quality instead of
+/// bits: mean top-20 overlap against the f32 engine must stay >= 0.95.
+/// The f16 engine is held to the same bar (it is far above it).
+#[test]
+fn quantized_top_k_overlap_at_20_is_at_least_95_percent() {
+    let data = dataset();
+    let model = trained_bprmf(&data);
+    let exact = quantized_engine(&model, &data, Precision::F32, 0);
+    for precision in [Precision::F16, Precision::Int8] {
+        let quant = quantized_engine(&model, &data, precision, 0);
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for user in 0..SAMPLED_USERS {
+            let want: std::collections::BTreeSet<ItemId> = exact
+                .top_k(user, OVERLAP_K)
+                .expect("f32 top_k")
+                .iter()
+                .map(|r| r.item)
+                .collect();
+            let got = quant.top_k(user, OVERLAP_K).expect("quant top_k");
+            assert_eq!(got.len(), want.len(), "user {user} top-k length");
+            kept += got.iter().filter(|r| want.contains(&r.item)).count();
+            total += want.len();
+        }
+        let overlap = kept as f64 / total as f64;
+        assert!(
+            overlap >= 0.95,
+            "{}: top-{OVERLAP_K} overlap {overlap:.4} < 0.95",
+            precision.name()
+        );
+    }
 }
 
 /// Band size and kernel thread count must not perturb a single bit.
