@@ -54,6 +54,11 @@
 //! Sgd::new(0.1).step(&mut store, &grads);
 //! ```
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod gradcheck;
 pub mod graph;
 pub mod nn;

@@ -32,6 +32,11 @@
 //! * CMN implements the single-hop memory module, which Ebesu et al.
 //!   report to within noise of multi-hop on implicit-feedback data.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bprmf;
 pub mod cmn;
 pub mod common;

@@ -17,6 +17,11 @@
 //! paths: tensor kernels, tape forward/backward, attention, graph
 //! construction and dataset generation.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cli;
 pub mod diff;
 pub mod harness;

@@ -45,6 +45,11 @@
 //! * [`case_study`] — the Figure 3 attention/prediction probe.
 //! * [`tuning`] — the §5.3 grid search (learning rate × λ).
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod case_study;
 pub mod checkpoint;

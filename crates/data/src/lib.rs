@@ -26,6 +26,11 @@
 //!
 //! Four presets mirror the shape of the paper's datasets at several scales.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod dataset;
 pub mod generator;

@@ -13,6 +13,11 @@
 //! [`ranking::evaluate`] runs the protocol — in parallel across users via
 //! the shared `scenerec_tensor::par` scoped-thread helpers.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod full;
 pub mod metrics;
 pub mod ranking;

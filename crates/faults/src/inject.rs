@@ -3,9 +3,10 @@
 use crate::plan::{Fault, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scenerec_obs::lock_unpoisoned;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 
 /// The error produced when [`Fault::Io`] fires: call sites map it into
 /// their own error type (`CheckpointError::Io`, a retried serve attempt,
@@ -45,15 +46,6 @@ struct State {
 #[derive(Debug, Clone, Default)]
 pub struct Injector {
     state: Option<Arc<State>>,
-}
-
-/// The counter critical section only bumps one integer, so a poisoned
-/// lock (a worker panicked elsewhere) cannot leave it inconsistent.
-fn lock_counts(m: &Mutex<BTreeMap<String, u64>>) -> MutexGuard<'_, BTreeMap<String, u64>> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 /// FNV-1a over the point name, to fold it into the corruption seed.
@@ -103,7 +95,7 @@ impl Injector {
     pub fn probe(&self, point: &str) -> Option<(Fault, u64)> {
         let state = self.state.as_ref()?;
         let seq = {
-            let mut counts = lock_counts(&state.counts);
+            let mut counts = lock_unpoisoned(&state.counts);
             let c = counts.entry(point.to_owned()).or_insert(0);
             *c += 1;
             *c

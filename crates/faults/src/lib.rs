@@ -35,6 +35,11 @@
 //! `faults/injected` counter in `scenerec-obs`, so a chaos run's manifest
 //! records how much adversity it survived.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod backoff;
 pub mod crc;
 pub mod inject;

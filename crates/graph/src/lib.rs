@@ -15,6 +15,11 @@
 //! validating builders) and are shared by models, the data generator and
 //! the evaluation harness.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bipartite;
 pub mod csr;
 pub mod error;

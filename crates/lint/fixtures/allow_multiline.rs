@@ -1,0 +1,19 @@
+//! Regression fixture: a `// lint:allow(RULE)` comment covers the
+//! *entire* following statement, including method chains that continue
+//! on later lines — not just the next physical line.
+
+pub fn allowed(path: &str) -> u64 {
+    // lint:allow(R1): fixture — the allow must span the whole chain
+    let v = std::fs::read_to_string(path)
+        .unwrap()
+        .trim()
+        .parse::<u64>()
+        .unwrap();
+    v
+}
+
+pub fn not_allowed(path: &str) -> u64 {
+    let v = std::fs::read_to_string(path)
+        .unwrap();
+    v.trim().parse::<u64>().unwrap()
+}

@@ -1,0 +1,43 @@
+//! H1 fixture: a declared hot-path root reaching allocation, a lock,
+//! and IO through helpers. Checked as `crates/tensor/src/fixture.rs`
+//! with root `tensor::score_kernel` denying alloc/io/block/lock.
+
+use std::sync::Mutex;
+
+pub static STATS: Mutex<u64> = Mutex::new(0);
+
+/// BAD (reached): allocates a scratch buffer per call.
+pub fn scratch(n: usize) -> Vec<f32> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}
+
+/// BAD (reached): takes a lock inside the kernel's reachable set.
+pub fn tally(n: u64) {
+    let mut s = lock_unpoisoned(&STATS);
+    *s += n;
+}
+
+/// BAD (reached): stdio from the hot path.
+pub fn report(acc: f32) {
+    println!("acc={acc}");
+}
+
+/// The declared hot-path root: pure arithmetic itself, but everything
+/// it calls is charged to it.
+pub fn score_kernel(a: &[f32], b: &[f32]) -> f32 {
+    let buf = scratch(a.len());
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i] + buf[i];
+    }
+    tally(a.len() as u64);
+    report(acc);
+    acc
+}
+
+/// Not reachable from the root: its allocation must not be flagged.
+pub fn unrelated() -> Vec<u8> {
+    vec![0u8; 8]
+}

@@ -1,0 +1,57 @@
+//! L1 fixture: lock nestings that violate (or escape) the declared
+//! hierarchy. Checked as `crates/serve/src/fixture.rs` against a test
+//! hierarchy of `["serve.first", "serve.second"]`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct State {
+    pub first: Mutex<VecDeque<u32>>,
+    pub second: Mutex<Vec<u32>>,
+    pub third: Mutex<u32>,
+}
+
+impl State {
+    /// Sanctioned: `first` before `second` matches the hierarchy.
+    pub fn in_order(&self) {
+        let a = lock_unpoisoned(&self.first);
+        let b = lock_unpoisoned(&self.second);
+        drop(b);
+        drop(a);
+    }
+
+    /// BAD: acquires `second` then `first` — inverted against the
+    /// declared hierarchy.
+    pub fn inverted(&self) {
+        let b = lock_unpoisoned(&self.second);
+        let a = lock_unpoisoned(&self.first);
+        drop(a);
+        drop(b);
+    }
+
+    /// BAD: `third` is not in the hierarchy at all, so nesting it under
+    /// `first` is an undeclared pair.
+    pub fn undeclared_pair(&self) {
+        let a = lock_unpoisoned(&self.first);
+        let c = lock_unpoisoned(&self.third);
+        drop(c);
+        drop(a);
+    }
+
+    /// BAD: re-acquires the lock it already holds — guaranteed
+    /// self-deadlock.
+    pub fn self_deadlock(&self) {
+        let a = lock_unpoisoned(&self.first);
+        let again = lock_unpoisoned(&self.first);
+        drop(again);
+        drop(a);
+    }
+
+    /// Fine: the guards never overlap, so no nesting exists.
+    pub fn sequential(&self) {
+        let a = lock_unpoisoned(&self.first);
+        drop(a);
+        let b = lock_unpoisoned(&self.second);
+        drop(b);
+    }
+}

@@ -1,0 +1,41 @@
+//! L2 fixture: a guard held across a call that (transitively) acquires
+//! another lock — the cross-function deadlock surface L1 cannot see.
+//! Checked as `crates/serve/src/fixture.rs`.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub queue: Mutex<Vec<u32>>,
+    pub counts: Mutex<u32>,
+}
+
+/// Leaf helper that takes its own lock.
+pub fn bump(state: &State) {
+    let mut c = lock_unpoisoned(&state.counts);
+    *c += 1;
+}
+
+/// Middle layer: no lock of its own, but reaches `bump`. The transitive
+/// summary must carry `serve.counts` up through here.
+pub fn record(state: &State) {
+    bump(state);
+}
+
+impl State {
+    /// BAD: holds `queue` across a call that re-locks `counts` two
+    /// frames down.
+    pub fn push_and_record(&self, v: u32) {
+        let mut q = lock_unpoisoned(&self.queue);
+        q.push(v);
+        record(self);
+        drop(q);
+    }
+
+    /// Fine: the guard is dropped before the locking call.
+    pub fn push_then_record(&self, v: u32) {
+        let mut q = lock_unpoisoned(&self.queue);
+        q.push(v);
+        drop(q);
+        record(self);
+    }
+}

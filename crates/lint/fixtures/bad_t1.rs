@@ -1,0 +1,46 @@
+//! T1 fixture: lib functions that transitively reach an unseeded RNG or
+//! a raw clock through a helper chain. The direct uses also trip D2/D3;
+//! T1 is about the *callers* that inherit the taint invisibly. Checked
+//! as `crates/core/src/fixture.rs`.
+
+/// Direct RNG source (also a D2 site).
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// Direct clock source (also a D3 site).
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// BAD (T1): one hop from the RNG source.
+pub fn shuffle_ids(ids: &mut [u64]) {
+    for i in 0..ids.len() {
+        let j = draw() as usize % ids.len();
+        ids.swap(i, j);
+    }
+}
+
+/// BAD (T1): two hops — the taint must propagate through the chain and
+/// the diagnostic must print the path.
+pub fn init_embeddings(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut ids = vec![0u64; 4];
+        shuffle_ids(&mut ids);
+        out.push(ids[0]);
+    }
+    out
+}
+
+/// BAD (T1): reaches the clock source instead.
+pub fn tag_run(label: &str) -> String {
+    format!("{label}-{}", stamp())
+}
+
+/// Fine: deterministic arithmetic only.
+pub fn stable_hash(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -9,8 +9,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// All rule identifiers the pass knows about.
-pub const ALL_RULES: [&str; 8] = ["D1", "D2", "D3", "N1", "R1", "R2", "R3", "S1"];
+/// All rule identifiers the pass knows about. D/N/R/S rules are
+/// per-file token rules; L/H/T rules run on the workspace call graph.
+pub const ALL_RULES: [&str; 12] = [
+    "D1", "D2", "D3", "H1", "L1", "L2", "N1", "R1", "R2", "R3", "S1", "T1",
+];
+
+/// Effect names accepted in `[rules.H1]` deny lists.
+const EFFECT_NAMES: [&str; 6] = ["alloc", "io", "block", "lock", "rng", "clock"];
 
 /// Rule applicability plus the file-level allowlist.
 #[derive(Debug, Clone)]
@@ -31,6 +37,20 @@ pub struct Config {
     pub r3_exempt_crates: BTreeSet<String>,
     /// `workspace-relative path -> rules` file-level allowlist.
     pub allow: BTreeMap<String, BTreeSet<String>>,
+    /// L1 lock hierarchy: full lock ids (`crate.lock`), outermost
+    /// first. Nested acquisitions must follow this order.
+    pub l1_hierarchy: Vec<String>,
+    /// Helper functions whose call *is* a lock acquisition of the lock
+    /// named by their argument (`lock_unpoisoned(&self.cache)`).
+    pub acquire_fns: BTreeSet<String>,
+    /// H1 hot-path roots: `fn` / `crate::fn` / `crate::Type::fn` spec
+    /// -> effect names the root's reachable set must not perform.
+    pub h1_roots: BTreeMap<String, BTreeSet<String>>,
+    /// Crates exempt from T1 (transitive determinism taint).
+    pub t1_exempt_crates: BTreeSet<String>,
+    /// Whether a parsed `[rules.H1]` section has replaced the built-in
+    /// roots (the first key clears the defaults; later keys append).
+    h1_defaults_cleared: bool,
 }
 
 impl Default for Config {
@@ -64,8 +84,43 @@ impl Default for Config {
             d2_exempt_crates: BTreeSet::new(),
             r3_exempt_crates: BTreeSet::new(),
             allow: BTreeMap::new(),
+            // Declared lock order; outermost first. The only sanctioned
+            // nesting today is the flight recorder walking its rings.
+            l1_hierarchy: vec!["obs.rings".to_string(), "obs.events".to_string()],
+            acquire_fns: set(&["lock_unpoisoned"]),
+            h1_roots: default_h1_roots(),
+            t1_exempt_crates: set(&["bench"]),
+            h1_defaults_cleared: false,
         }
     }
+}
+
+/// Hot-path roots mirrored by `lint.toml`: the GEMM/scoring kernels may
+/// not allocate/lock/do IO/block at all; the batch-scoring entry points
+/// allocate their output buffers but must stay lock/IO/block free; the
+/// serve batch loop locks its queues by design but must never touch IO
+/// or block.
+fn default_h1_roots() -> BTreeMap<String, BTreeSet<String>> {
+    let deny = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
+    let mut roots = BTreeMap::new();
+    roots.insert(
+        "tensor::dot_with_backend".to_string(),
+        deny(&["alloc", "io", "block", "lock"]),
+    );
+    roots.insert(
+        "tensor::micro_kernel".to_string(),
+        deny(&["alloc", "io", "block", "lock"]),
+    );
+    roots.insert(
+        "tensor::try_score_bt_with_backend".to_string(),
+        deny(&["io", "block", "lock"]),
+    );
+    roots.insert(
+        "tensor::gemm_with_backend".to_string(),
+        deny(&["io", "block", "lock"]),
+    );
+    roots.insert("serve::drain".to_string(), deny(&["io", "block"]));
+    roots
 }
 
 /// A `lint.toml` syntax or semantic error.
@@ -180,6 +235,34 @@ fn apply(cfg: &mut Config, section: &str, key: &str, values: Vec<String>) -> Res
         }
         "rules.R3" if key == "exempt-crates" => {
             cfg.r3_exempt_crates = values.into_iter().collect();
+            Ok(())
+        }
+        "rules.L1" if key == "hierarchy" => {
+            cfg.l1_hierarchy = values;
+            Ok(())
+        }
+        "rules.L1" if key == "acquire-fns" => {
+            cfg.acquire_fns = values.into_iter().collect();
+            Ok(())
+        }
+        "rules.T1" if key == "exempt-crates" => {
+            cfg.t1_exempt_crates = values.into_iter().collect();
+            Ok(())
+        }
+        // `[rules.H1]` maps root specs to denied-effect lists; the file
+        // replaces the defaults wholesale on the first key.
+        "rules.H1" => {
+            if let Some(bad) = values.iter().find(|v| !EFFECT_NAMES.contains(&v.as_str())) {
+                return Err(format!(
+                    "unknown effect `{bad}` for H1 root `{key}` (expected one of {EFFECT_NAMES:?})"
+                ));
+            }
+            if !cfg.h1_defaults_cleared {
+                cfg.h1_roots.clear();
+                cfg.h1_defaults_cleared = true;
+            }
+            cfg.h1_roots
+                .insert(key.to_string(), values.into_iter().collect());
             Ok(())
         }
         _ => Err(format!("unknown setting `{key}` in section `[{section}]`")),

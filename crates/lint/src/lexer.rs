@@ -430,6 +430,114 @@ mod tests {
     }
 
     #[test]
+    fn multiline_raw_string_counts_lines() {
+        let src = "let s = r##\"line one\nthread_rng()\nline three \"# not end\"##;\nafter()";
+        let l = lex(src);
+        assert!(!idents(src).contains(&"thread_rng".to_string()));
+        let after = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("after".to_string()))
+            .expect("after token");
+        assert_eq!(after.line, 4, "raw string newlines must advance the line");
+    }
+
+    #[test]
+    fn raw_identifiers_are_normalized() {
+        assert_eq!(
+            idents("let r#fn = r#match(r#type);"),
+            vec!["let", "fn", "match", "type"]
+        );
+        // `r` alone and `r#"…"` must not be confused with `r#ident`.
+        assert_eq!(idents("let r = 1;"), vec!["let", "r"]);
+    }
+
+    #[test]
+    fn char_literal_edge_cases() {
+        // Escaped quote, escaped backslash, underscore lifetime, and a
+        // lifetime in a range-ish position.
+        let l = lex(r"let a = '\''; let b = '\\'; fn f<'_>(x: &'_ u8) {} ");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        // `'a'..='z'` is two char literals, not lifetimes.
+        let l = lex("match c { 'a'..='z' => (), _ => () }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            0
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_literals_hide_contents() {
+        let src = "let x = b'x'; let y = b'\\''; let z = br#\"unwrap() panic!\"#;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        // The prefixes must not leak as identifiers either.
+        assert!(!ids.contains(&"br".to_string()) && !ids.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn unterminated_inputs_never_panic() {
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "/* outer /* inner */ still open",
+            "r#\"never closed",
+            "b\"never closed",
+            "'",
+            "b'",
+            "r#",
+        ] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+
+    #[test]
+    fn token_lines_are_monotonic_on_tricky_corpus() {
+        // A fixed corpus of adversarial snippets: every lexing must
+        // produce nondecreasing line numbers bounded by the line count.
+        let corpus = [
+            "a\nr#\"x\ny\"#\nb",
+            "/*\n*/\nx /* /*\n*/ */ y",
+            "let s = \"two\\nlines in escape, one in source\";\nnext",
+            "'a' 'b'\n'\\n'\n<'a, 'b>",
+            "b\"bytes\nmore\"\ntail",
+        ];
+        for src in corpus {
+            let l = lex(src);
+            let max_line = src.lines().count() as u32;
+            let mut prev = 1;
+            for t in &l.tokens {
+                assert!(t.line >= prev && t.line <= max_line.max(1), "{src:?} {t:?}");
+                prev = t.line;
+            }
+        }
+    }
+
+    #[test]
     fn range_after_integer_is_not_a_float() {
         let l = lex("for i in 0..10 {}");
         let puncts: Vec<char> = l

@@ -4,37 +4,83 @@
 //! guarantee; this crate machine-checks the invariants that guarantee
 //! rests on. It lexes every `crates/*/src/**/*.rs` (no `syn` is
 //! available offline, so a purpose-built lexer in [`lexer`] provides the
-//! token stream) and enforces five rules (see [`rules`]):
+//! token stream) and enforces two layers of rules:
+//!
+//! **Per-file token rules** (see [`rules`]):
 //!
 //! * **D1** — no iteration over `HashMap`/`HashSet` in numeric/data
 //!   crates: randomized iteration order leaks into Eq. 1–15 sums and the
 //!   mined graphs of Table 1.
 //! * **D2** — no unseeded RNG (`thread_rng`, `from_entropy`): every
 //!   random stream must be reproducible from a config seed.
-//! * **D3** — no `Instant::now`/`SystemTime::now` in model/data crates:
-//!   timing belongs to `scenerec_obs` spans and stopwatches.
+//! * **D3** — no `Instant::now`/`SystemTime::now` outside the obs clock
+//!   shims: timing belongs to `scenerec_obs` spans and stopwatches.
+//! * **N1** — literal span names are dotted `snake_case` paths.
 //! * **R1** — no `unwrap()`/`expect()`/`panic!` in library crates:
 //!   fallible paths must surface typed errors.
 //! * **R2** — every `unsafe` block carries a `// SAFETY:` comment.
+//! * **R3** — no `process::exit`/`process::abort` in library crates.
+//! * **S1** — every `#[target_feature]` fn is `unsafe` and documents
+//!   its guarding dispatch check.
 //!
-//! Violations can be suppressed per-line with `// lint:allow(RULE)` or
-//! per-file via the checked-in `lint.toml` allowlist. The binary exits
-//! nonzero when any violation remains, making it CI-gateable:
+//! **Workspace call-graph rules** (see [`parse`] → [`summary`] →
+//! [`graph`] → [`wrules`]): a lightweight item parser recovers `fn`
+//! items, per-function summaries record direct effects / lock
+//! acquisitions (with guard extents) / call sites, and a conservative
+//! name-resolved call graph propagates them to a fixpoint.
+//!
+//! * **L1** — nested lock acquisitions follow the declared hierarchy
+//!   (`[rules.L1] hierarchy` in `lint.toml`).
+//! * **L2** — no lock held across a call that can transitively acquire
+//!   another lock.
+//! * **H1** — functions reachable from declared hot-path roots stay
+//!   free of their denied effects (alloc/lock/IO/block/…).
+//! * **T1** — no lib function transitively reaches an unseeded RNG or
+//!   raw clock; the taint path is printed.
+//!
+//! Violations can be suppressed with `// lint:allow(RULE): why` (covers
+//! the comment's line and the entire following statement) or per-file
+//! via the checked-in `lint.toml` allowlist. The binary exits nonzero
+//! when any violation remains, making it CI-gateable:
 //!
 //! ```text
 //! cargo run -p scenerec-lint            # lint the workspace
 //! cargo run -p scenerec-lint -- --list  # show files that would be linted
+//! cargo run -p scenerec-lint -- --github --json out.json   # CI outputs
 //! ```
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod summary;
 pub mod walk;
+pub mod wrules;
 
 pub use config::Config;
 pub use rules::{check_source, Violation};
 
 use std::path::Path;
+
+/// Runs the per-file rules over every file *and* the workspace rules
+/// (L1/L2/H1/T1) over the call graph the files form together. Returns
+/// all violations sorted by file, line, rule.
+pub fn check_sources(files: &[(String, String)], cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (path, src) in files {
+        out.extend(check_source(path, src, cfg));
+    }
+    let ws = graph::Workspace::build(files, cfg);
+    out.extend(wrules::check_graph(&ws, cfg));
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
 
 /// Lints the whole workspace rooted at `root`, using `lint.toml` when
 /// present. Returns all violations, sorted by file then line.
@@ -48,12 +94,12 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
         Config::default()
     };
     let files = walk::workspace_sources(root).map_err(|e| format!("walking workspace: {e}"))?;
-    let mut out = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let src = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("reading {}: {e}", rel.display()))?;
-        out.extend(check_source(&rel_str, &src, &cfg));
+        sources.push((rel_str, src));
     }
-    Ok(out)
+    Ok(check_sources(&sources, &cfg))
 }

@@ -1,6 +1,6 @@
 //! CLI entry point for `scenerec-lint`.
 
-use scenerec_lint::walk;
+use scenerec_lint::{walk, Violation};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -16,9 +16,20 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut list_only = false;
-    for a in args {
+    let mut github = false;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => list_only = true,
+            "--github" => github = true,
+            "--json" => {
+                json_path = Some(
+                    it.next()
+                        .ok_or_else(|| "--json requires a path argument".to_string())?
+                        .clone(),
+                );
+            }
             "--help" | "-h" => {
                 print_help();
                 return Ok(ExitCode::SUCCESS);
@@ -41,6 +52,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let violations = scenerec_lint::check_workspace(&root)?;
     for v in &violations {
         println!("{v}");
+        if github {
+            // GitHub Actions workflow-command annotations: rendered
+            // inline on the PR diff by the Actions runner.
+            println!(
+                "::error file={},line={},title=lint {}::{}",
+                v.file,
+                v.line,
+                v.rule,
+                v.message.replace('\n', " ")
+            );
+        }
+    }
+    if let Some(path) = json_path {
+        let json = render_json(&violations);
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("creating {path}: {e}"))?;
+            }
+        }
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
     }
     if violations.is_empty() {
         eprintln!("scenerec-lint: workspace clean");
@@ -55,21 +86,76 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Renders violations as a JSON array (the workspace vendors no serde
+/// for binaries, so escaping is done by hand).
+fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape_json(&v.file),
+            v.line,
+            v.rule,
+            escape_json(&v.message)
+        ));
+        out.push_str(if i + 1 < violations.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn print_help() {
     println!(
         "scenerec-lint — determinism & reliability invariants for the SceneRec workspace
 
 USAGE:
-    cargo run -p scenerec-lint [-- --list]
+    cargo run -p scenerec-lint [-- OPTIONS]
 
-RULES:
+OPTIONS:
+    --list          show the files that would be linted and exit
+    --github        also print GitHub Actions ::error annotations
+    --json PATH     write violations as a JSON array to PATH
+    -h, --help      this text
+
+PER-FILE RULES:
     D1  no HashMap/HashSet iteration in numeric/data crates
     D2  no unseeded RNG (thread_rng / from_entropy) outside tests
-    D3  no Instant::now / SystemTime::now outside the obs crate
+    D3  no Instant::now / SystemTime::now outside the obs clock shims
+    N1  literal span names are dotted snake_case paths
     R1  no unwrap() / expect() / panic! in library crates
     R2  unsafe blocks must carry a // SAFETY: comment
+    R3  no process::exit / process::abort in library crates
+    S1  #[target_feature] fns are unsafe with a SAFETY dispatch note
 
-Suppressions: `// lint:allow(RULE): reason` on or above the line, or a
-file-level entry in lint.toml under [allow]."
+CALL-GRAPH RULES (whole-workspace analysis):
+    L1  nested lock acquisitions follow the declared hierarchy
+    L2  no lock held across a call that can acquire another lock
+    H1  hot-path roots stay free of their denied effects
+    T1  no lib fn transitively reaches unseeded RNG or a raw clock
+
+Suppressions: `// lint:allow(RULE): reason` on or above the line (covers
+the whole following statement), or a file-level entry in lint.toml under
+[allow]. Lock hierarchy, hot-path roots and taint exemptions live in
+lint.toml under [rules.L1] / [rules.H1] / [rules.T1]."
     );
 }

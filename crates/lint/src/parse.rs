@@ -1,0 +1,343 @@
+//! A lightweight item parser over the [`crate::lexer`] token stream.
+//!
+//! The workspace pass (L1/L2/H1/T1) needs to know *which function* a
+//! token belongs to, what the function is called, and whether it is a
+//! free function or a method. Full Rust parsing is out of scope (the
+//! crate stays dependency-free — no `syn`), so this module recovers just
+//! the item skeleton: `mod` nesting, `impl`/`trait` blocks with the
+//! self-type name, and `fn` items with their body token ranges.
+//!
+//! Approximations, all conservative and documented:
+//! * Generic arguments in impl headers are skipped by angle-bracket
+//!   counting; exotic const-generic expressions containing unbalanced
+//!   `<`/`>` would confuse it, but none exist in this workspace.
+//! * Nested `fn` items become separate [`FnItem`]s; their token ranges
+//!   are subtracted from the parent by the summarizer so effects are
+//!   attributed to the function that actually executes them.
+//! * Closure bodies belong to the enclosing function — a closure's
+//!   effects are charged to its definer even when the closure escapes,
+//!   which over-approximates (safe for "must not" rules).
+
+use crate::lexer::Tok;
+use crate::rules::{ident_at, is_punct};
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`drain`, `lock_unpoisoned`).
+    pub name: String,
+    /// Self-type name when declared inside `impl Type`/`trait Type`
+    /// (`FrozenEngine`), `None` for free functions.
+    pub impl_type: Option<String>,
+    /// `mod` path inside the file, outermost first (excludes the crate
+    /// and the file itself).
+    pub modules: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, *exclusive* of the outer braces:
+    /// `tokens[body.0..body.1]` are the statements.
+    pub body: (usize, usize),
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test_region: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn display_name(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Extracts every `fn` item from a lexed file. `test_lines` are the
+/// `#[cfg(test)]` line ranges from [`crate::rules::test_regions`].
+pub fn parse_items(toks: &[Tok], test_lines: &[std::ops::RangeInclusive<u32>]) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    // Stack of scopes entered at each open brace. Each entry is what the
+    // brace belongs to, so closing braces pop the right context.
+    #[derive(Debug)]
+    enum Scope {
+        Mod(String),
+        Impl(String),
+        Other,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match ident_at(toks, i) {
+            Some("mod") => {
+                // `mod name {` opens a module scope; `mod name;` is an
+                // out-of-line module (no scope here).
+                if let Some(name) = ident_at(toks, i + 1) {
+                    if is_punct(toks, i + 2, '{') {
+                        scopes.push(Scope::Mod(name.to_string()));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Some("impl") | Some("trait") => {
+                if let Some((ty, brace)) = impl_self_type(toks, i) {
+                    scopes.push(Scope::Impl(ty));
+                    i = brace + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Some("fn") => {
+                // `fn` in type position (`fn(u32) -> u32`) has no name.
+                let Some(name) = ident_at(toks, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let line = toks[i].line;
+                // Find the body `{`, skipping generics, params, return
+                // type, and where clauses. A `;` first means a bodyless
+                // trait/extern declaration.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut body_start = None;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        crate::lexer::TokKind::Punct('<') => angle += 1,
+                        crate::lexer::TokKind::Punct('>') => angle -= 1,
+                        crate::lexer::TokKind::Punct('(') | crate::lexer::TokKind::Punct('[') => {
+                            // Skip balanced groups wholesale so `;` or
+                            // `{` inside default-arg-like positions
+                            // (none in Rust, but closures in where
+                            // clauses exist) cannot end the scan.
+                            let close = matching_close(toks, j);
+                            j = close;
+                        }
+                        crate::lexer::TokKind::Punct(';') if angle <= 0 => break,
+                        crate::lexer::TokKind::Punct('{') if angle <= 0 => {
+                            body_start = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let Some(bs) = body_start else {
+                    i = j + 1;
+                    continue;
+                };
+                let be = matching_close(toks, bs);
+                let impl_type = scopes.iter().rev().find_map(|s| match s {
+                    Scope::Impl(t) => Some(t.clone()),
+                    _ => None,
+                });
+                let modules = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                items.push(FnItem {
+                    name: name.to_string(),
+                    impl_type,
+                    modules,
+                    line,
+                    body: (bs + 1, be),
+                    in_test_region: test_lines.iter().any(|r| r.contains(&line)),
+                });
+                // Continue *inside* the body so nested items (and nested
+                // fns) are still discovered.
+                scopes.push(Scope::Other);
+                i = bs + 1;
+            }
+            _ => {
+                match toks[i].kind {
+                    crate::lexer::TokKind::Punct('{') => scopes.push(Scope::Other),
+                    crate::lexer::TokKind::Punct('}') => {
+                        scopes.pop();
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    items
+}
+
+/// Index of the punct that closes the group opened at `open` (which must
+/// be `(`, `[`, or `{`). Returns the last token index when unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].kind {
+        crate::lexer::TokKind::Punct('(') => ('(', ')'),
+        crate::lexer::TokKind::Punct('[') => ('[', ']'),
+        crate::lexer::TokKind::Punct('{') => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            crate::lexer::TokKind::Punct(p) if p == o => depth += 1,
+            crate::lexer::TokKind::Punct(p) if p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses an `impl`/`trait` header starting at `kw`, returning the
+/// self-type name and the index of the opening `{`.
+///
+/// `impl Foo {` -> `Foo`; `impl<T> Foo<T> {` -> `Foo`;
+/// `impl Display for Bar {` -> `Bar`; `trait Sink {` -> `Sink`.
+fn impl_self_type(toks: &[Tok], kw: usize) -> Option<(String, usize)> {
+    // Find the opening brace of the block, skipping angle brackets so a
+    // `where T: Fn() -> B` clause cannot fake it. A `;` first (e.g.
+    // `trait Alias = …;`) means no block.
+    let mut brace = None;
+    let mut angle = 0i32;
+    let mut j = kw + 1;
+    while j < toks.len() {
+        match toks[j].kind {
+            crate::lexer::TokKind::Punct('<') => angle += 1,
+            crate::lexer::TokKind::Punct('>') => angle -= 1,
+            crate::lexer::TokKind::Punct('(') | crate::lexer::TokKind::Punct('[') => {
+                j = matching_close(toks, j);
+            }
+            crate::lexer::TokKind::Punct(';') if angle <= 0 => return None,
+            crate::lexer::TokKind::Punct('{') if angle <= 0 => {
+                brace = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let brace = brace?;
+    // The self type is the last path identifier before `where`/`<`/`{`,
+    // taken from the segment after `for` when present (trait impls).
+    let mut start = kw + 1;
+    for k in kw + 1..brace {
+        if ident_at(toks, k) == Some("for") {
+            start = k + 1;
+        }
+    }
+    let mut last: Option<String> = None;
+    let mut angle = 0i32;
+    for t in &toks[start..brace] {
+        match &t.kind {
+            crate::lexer::TokKind::Punct('<') => angle += 1,
+            crate::lexer::TokKind::Punct('>') => angle -= 1,
+            crate::lexer::TokKind::Ident(s) if angle == 0 => {
+                if s == "where" {
+                    break;
+                }
+                last = Some(s.clone());
+            }
+            _ => {}
+        }
+    }
+    last.map(|t| (t, brace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_regions;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.tokens);
+        parse_items(&lexed.tokens, &regions)
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let src = r#"
+fn top(a: u32) -> u32 { a }
+struct S;
+impl S {
+    fn method(&self) -> u32 { 1 }
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+"#;
+        let got = items(src);
+        let names: Vec<String> = got.iter().map(|f| f.display_name()).collect();
+        assert_eq!(names, vec!["top", "S::method", "S::fmt"]);
+        assert!(got[0].impl_type.is_none());
+        assert_eq!(got[1].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_impls_and_trait_defaults() {
+        let src = r#"
+impl<T: Clone> Wrapper<T> {
+    fn get(&self) -> &T { &self.0 }
+}
+trait Sink {
+    fn emit(&self);
+    fn flush(&self) { self.emit() }
+}
+"#;
+        let names: Vec<String> = items(src).iter().map(|f| f.display_name()).collect();
+        // `emit` has no body, so only `get` and the default `flush`.
+        assert_eq!(names, vec!["Wrapper::get", "Sink::flush"]);
+    }
+
+    #[test]
+    fn nested_modules_and_fns() {
+        let src = r#"
+mod outer {
+    pub fn a() { fn inner() {} inner(); }
+    mod deep { pub fn b() {} }
+}
+"#;
+        let got = items(src);
+        let names: Vec<&str> = got.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "inner", "b"]);
+        assert_eq!(got[0].modules, vec!["outer"]);
+        assert_eq!(got[2].modules, vec!["outer", "deep"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn f(cb: fn(u32) -> u32) -> u32 { cb(1) }";
+        let got = items(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "f");
+    }
+
+    #[test]
+    fn test_region_flag() {
+        let src = r#"
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+"#;
+        let got = items(src);
+        assert!(!got[0].in_test_region);
+        assert!(got[1].in_test_region);
+    }
+
+    #[test]
+    fn where_clause_and_return_type_do_not_break_body_detection() {
+        let src = r#"
+fn g<F>(f: F) -> Vec<u32> where F: Fn(u32) -> u32 { vec![f(1)] }
+"#;
+        let got = items(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "g");
+    }
+}

@@ -46,7 +46,7 @@ impl std::fmt::Display for Violation {
 
 /// How a file participates in the rule set, derived from its path.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum FileKind {
+pub(crate) enum FileKind {
     /// `crates/<name>/src/…` library source.
     Lib(String),
     /// `crates/<name>/src/bin/…` or `crates/<name>/src/main.rs` binary
@@ -56,7 +56,7 @@ enum FileKind {
     Exempt,
 }
 
-fn classify(path: &str) -> FileKind {
+pub(crate) fn classify(path: &str) -> FileKind {
     let parts: Vec<&str> = path.split('/').collect();
     if parts
         .iter()
@@ -89,7 +89,7 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         path,
         kind,
         test_regions: test_regions(&lexed.tokens),
-        suppressions: suppressions(&lexed.comments),
+        suppressions: suppressions(&lexed.comments, &lexed.tokens),
         file_allow: cfg.allow.get(path).cloned().unwrap_or_default(),
     };
 
@@ -163,7 +163,7 @@ impl FileCtx<'_> {
 /// An attribute whose tokens include the ident `test` marks the item it
 /// decorates; the item extends to the matching `}` of its first brace
 /// (or to the `;` of a brace-less item such as `#[cfg(test)] use …;`).
-fn test_regions(toks: &[Tok]) -> Vec<RangeInclusive<u32>> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<RangeInclusive<u32>> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -251,9 +251,12 @@ fn test_regions(toks: &[Tok]) -> Vec<RangeInclusive<u32>> {
 }
 
 /// Parses `lint:allow(R1)` / `lint:allow(D1, R1): reason` comments into
-/// `(line, rule)` suppressions covering the comment's own line and the
-/// line after it (so both trailing and standalone comments work).
-fn suppressions(comments: &[Comment]) -> BTreeSet<(u32, String)> {
+/// `(line, rule)` suppressions covering the comment's own line(s) and
+/// the *entire statement that follows* — a multi-line call chain is one
+/// statement, so a single allow above it covers every continuation
+/// line. (Trailing comments work because the comment's own line is
+/// always covered.)
+pub(crate) fn suppressions(comments: &[Comment], toks: &[Tok]) -> BTreeSet<(u32, String)> {
     let mut out = BTreeSet::new();
     for c in comments {
         let Some(idx) = c.text.find("lint:allow(") else {
@@ -263,22 +266,70 @@ fn suppressions(comments: &[Comment]) -> BTreeSet<(u32, String)> {
         let Some(close) = rest.find(')') else {
             continue;
         };
+        let covered = statement_lines(toks, c.end_line);
         for rule in rest[..close].split(',') {
             let rule = rule.trim();
             if ALL_RULES.contains(&rule) {
                 out.insert((c.line, rule.to_string()));
-                out.insert((c.end_line + 1, rule.to_string()));
+                for &line in &covered {
+                    out.insert((line, rule.to_string()));
+                }
             }
         }
     }
     out
 }
 
-fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+/// Lines spanned by the statement that starts at the first token after
+/// `after_line`: forward to the statement's `;` (tracking `()`/`[]`
+/// nesting so a `;` inside arguments cannot end it early), stopping
+/// before a statement-level `{` (an item body gets no blanket
+/// suppression) or at the `}` that closes the enclosing block.
+fn statement_lines(toks: &[Tok], after_line: u32) -> Vec<u32> {
+    let Some(start) = toks.iter().position(|t| t.line > after_line) else {
+        return vec![after_line + 1];
+    };
+    let mut lines = vec![toks[start].line];
+    let mut depth = 0i32;
+    for t in &toks[start..] {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            TokKind::Punct('{') => {
+                if depth == 0 {
+                    break;
+                }
+                depth += 1;
+            }
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            TokKind::Punct(';') if depth <= 0 => {
+                lines.push(t.line);
+                break;
+            }
+            _ => {}
+        }
+        lines.push(t.line);
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+pub(crate) fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
     matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct(c))
 }
 
-fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
     match toks.get(i) {
         Some(Tok {
             kind: TokKind::Ident(s),

@@ -1,0 +1,356 @@
+//! Workspace rules evaluated over the call graph:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L1   | nested lock acquisitions follow the declared hierarchy (`[rules.L1] hierarchy` in `lint.toml`) |
+//! | L2   | no lock is held across a call that can (transitively) acquire another lock |
+//! | H1   | functions reachable from declared hot-path roots stay free of their denied effects |
+//! | T1   | no lib function transitively reaches an unseeded RNG or raw clock source |
+//!
+//! Diagnostics point at the *effect site* (the inner acquisition, the
+//! offending call, the allocation line), so an inline
+//! `// lint:allow(RULE): reason` at that site is the escape hatch when
+//! the nesting is sanctioned. T1 points at the function header, since
+//! the taint arrives through the body's call graph rather than one
+//! token.
+
+use crate::config::Config;
+use crate::graph::{FileInfo, FnId, Workspace};
+use crate::rules::Violation;
+use crate::summary::Effect;
+use std::collections::BTreeMap;
+
+/// Runs L1/L2/H1/T1 over a built workspace graph.
+pub fn check_graph(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    rule_l1(ws, cfg, &mut out);
+    rule_l2(ws, cfg, &mut out);
+    rule_h1(ws, cfg, &mut out);
+    rule_t1(ws, cfg, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+/// Emits unless the site is silenced by a file allow, an inline allow,
+/// or a test region.
+fn emit(
+    files: &BTreeMap<String, FileInfo>,
+    out: &mut Vec<Violation>,
+    file: &str,
+    line: u32,
+    rule: &'static str,
+    message: String,
+) {
+    if let Some(info) = files.get(file) {
+        if info.file_allow.contains(rule)
+            || info.suppressions.contains(&(line, rule.to_string()))
+            || info.test_regions.iter().any(|r| r.contains(&line))
+        {
+            return;
+        }
+    }
+    out.push(Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// L1: every *visible* nesting (an acquisition inside another guard's
+/// extent, in one function body) must be sanctioned by the declared
+/// hierarchy: both locks listed, outer strictly before inner.
+fn rule_l1(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    let rank = |id: &str| cfg.l1_hierarchy.iter().position(|h| h == id);
+    for f in &ws.fns {
+        for a in &f.summary.acquisitions {
+            let outer = format!("{}.{}", f.crate_name, a.lock);
+            for b in &f.summary.acquisitions {
+                if b.at <= a.at || b.at >= a.extent.1 {
+                    continue;
+                }
+                let inner = format!("{}.{}", f.crate_name, b.lock);
+                if inner == outer {
+                    emit(
+                        &ws.files,
+                        out,
+                        &f.file,
+                        b.line,
+                        "L1",
+                        format!(
+                            "lock `{inner}` acquired in `{}` while already held \
+                             (self-deadlock)",
+                            f.qual_name()
+                        ),
+                    );
+                    continue;
+                }
+                match (rank(&outer), rank(&inner)) {
+                    (Some(ro), Some(ri)) if ri > ro => {} // sanctioned order
+                    (Some(_), Some(_)) => emit(
+                        &ws.files,
+                        out,
+                        &f.file,
+                        b.line,
+                        "L1",
+                        format!(
+                            "lock `{inner}` acquired in `{}` while holding `{outer}`, \
+                             against the declared hierarchy (lint.toml ranks \
+                             `{inner}` before `{outer}`)",
+                            f.qual_name()
+                        ),
+                    ),
+                    _ => emit(
+                        &ws.files,
+                        out,
+                        &f.file,
+                        b.line,
+                        "L1",
+                        format!(
+                            "lock nesting `{outer}` -> `{inner}` in `{}` is not covered \
+                             by the declared hierarchy; add both to \
+                             `[rules.L1] hierarchy` in lint.toml (outer first) or \
+                             restructure to avoid holding both",
+                            f.qual_name()
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// L2: a guard held across a call whose transitive summary may acquire
+/// any lock is a deadlock surface the per-function view cannot rank —
+/// the acquisition happens in another function, possibly another crate.
+fn rule_l2(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    let _ = cfg;
+    for f in &ws.fns {
+        for a in &f.summary.acquisitions {
+            let outer = format!("{}.{}", f.crate_name, a.lock);
+            for (k, call) in f.summary.calls.iter().enumerate() {
+                if call.at <= a.at || call.at >= a.extent.1 {
+                    continue;
+                }
+                let Some(&target) = f.call_targets[k]
+                    .iter()
+                    .find(|&&t| !ws.fns[t].may_acquire.is_empty())
+                else {
+                    continue;
+                };
+                let locks = &ws.fns[target].may_acquire;
+                let example = locks.iter().next().cloned().unwrap_or_default();
+                let path = ws
+                    .path_to(target, &|n| !n.summary.acquisitions.is_empty())
+                    .map(|p| ws.render_path(&p))
+                    .unwrap_or_else(|| ws.fns[target].qual_name());
+                let danger = if locks.contains(&outer) {
+                    format!("which can re-acquire `{outer}` (self-deadlock)")
+                } else {
+                    format!("which may acquire `{example}`")
+                };
+                emit(
+                    &ws.files,
+                    out,
+                    &f.file,
+                    call.line,
+                    "L2",
+                    format!(
+                        "`{outer}` is held across the call to `{}` {danger}; \
+                         drop the guard first or inline the locking here so L1 \
+                         can rank it (path: {path})",
+                        ws.fns[target].qual_name()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// H1: hot-path purity. Roots declared in `[rules.H1]` map a function
+/// (optionally `crate::fn` / `crate::Type::fn`) to the effects its whole
+/// reachable set must not perform.
+fn rule_h1(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    let mut seen: std::collections::BTreeSet<(String, u32)> = std::collections::BTreeSet::new();
+    for (spec, denied) in &cfg.h1_roots {
+        let roots = resolve_spec(ws, spec);
+        if roots.is_empty() {
+            // A typo in lint.toml must not silently disable the rule.
+            out.push(Violation {
+                file: "lint.toml".to_string(),
+                line: 0,
+                rule: "H1",
+                message: format!("hot-path root `{spec}` matches no workspace function"),
+            });
+            continue;
+        }
+        for root in roots {
+            let (order, parent) = ws.reachable(root);
+            for v in order {
+                let node = &ws.fns[v];
+                let path = render_root_path(ws, &parent, root, v);
+                for (kind, line) in &node.summary.effects {
+                    if !denied.contains(kind.name()) {
+                        continue;
+                    }
+                    if !seen.insert((format!("{}:{}", node.file, kind.name()), *line)) {
+                        continue;
+                    }
+                    emit(
+                        &ws.files,
+                        out,
+                        &node.file,
+                        *line,
+                        "H1",
+                        format!(
+                            "{} in `{}` on the hot path rooted at `{spec}` \
+                             (reached via {path}); hoist it out of the kernel or \
+                             justify with lint:allow(H1)",
+                            effect_desc(*kind),
+                            node.qual_name()
+                        ),
+                    );
+                }
+                if denied.contains("lock") {
+                    for acq in &node.summary.acquisitions {
+                        if !seen.insert((format!("{}:lock", node.file), acq.line)) {
+                            continue;
+                        }
+                        emit(
+                            &ws.files,
+                            out,
+                            &node.file,
+                            acq.line,
+                            "H1",
+                            format!(
+                                "lock acquisition of `{}.{}` in `{}` on the hot path \
+                                 rooted at `{spec}` (reached via {path})",
+                                node.crate_name,
+                                acq.lock,
+                                node.qual_name()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// T1: determinism taint. A lib function whose *callees* reach an
+/// unseeded RNG or raw clock inherits the nondeterminism D2/D3 flag at
+/// the source — print the path so the reader sees how it arrives.
+fn rule_t1(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !f.is_lib || cfg.t1_exempt_crates.contains(&f.crate_name) {
+            continue;
+        }
+        for (kind, what) in [
+            (Effect::Rng, "an unseeded RNG source"),
+            (Effect::Clock, "a raw clock source"),
+        ] {
+            if !f
+                .callees
+                .iter()
+                .any(|&c| ws.fns[c].trans_effects.contains(&kind))
+            {
+                continue;
+            }
+            // Shortest path through a callee to a direct source.
+            let Some(path) = first_taint_path(ws, id, kind) else {
+                continue;
+            };
+            let Some(&last) = path.last() else {
+                continue;
+            };
+            let src = &ws.fns[last];
+            let src_line = src
+                .summary
+                .effects
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, l)| *l)
+                .unwrap_or(src.item.line);
+            emit(
+                &ws.files,
+                out,
+                &f.file,
+                f.item.line,
+                "T1",
+                format!(
+                    "`{}` transitively reaches {what}: {} ({}:{src_line}); \
+                     thread a seeded StdRng / obs clock shim through instead",
+                    f.qual_name(),
+                    ws.render_path(&path),
+                    src.file
+                ),
+            );
+        }
+    }
+}
+
+/// Shortest path `f -> … -> source` with at least one edge, where the
+/// source has `kind` as a *direct* effect.
+fn first_taint_path(ws: &Workspace, from: FnId, kind: Effect) -> Option<Vec<FnId>> {
+    for &c in &ws.fns[from].callees {
+        if !ws.fns[c].trans_effects.contains(&kind) {
+            continue;
+        }
+        if let Some(mut sub) = ws.path_to(c, &|n| n.summary.effects.iter().any(|(k, _)| *k == kind))
+        {
+            let mut path = vec![from];
+            path.append(&mut sub);
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Resolves an H1 root spec (`fn`, `crate::fn`, `crate::Type::fn`) to
+/// node ids.
+fn resolve_spec(ws: &Workspace, spec: &str) -> Vec<FnId> {
+    let segs: Vec<&str> = spec.split("::").collect();
+    ws.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| match segs.as_slice() {
+            [name] => f.item.name == *name,
+            [krate, name] => f.crate_name == *krate && f.item.name == *name,
+            [krate, ty, name] => {
+                f.crate_name == *krate
+                    && f.item.impl_type.as_deref() == Some(*ty)
+                    && f.item.name == *name
+            }
+            _ => false,
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// `root -> … -> v` along BFS parents.
+fn render_root_path(ws: &Workspace, parent: &BTreeMap<FnId, FnId>, root: FnId, v: FnId) -> String {
+    let mut path = vec![v];
+    let mut cur = v;
+    while cur != root {
+        match parent.get(&cur) {
+            Some(&p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    ws.render_path(&path)
+}
+
+fn effect_desc(kind: Effect) -> &'static str {
+    match kind {
+        Effect::Alloc => "heap allocation",
+        Effect::Io => "IO",
+        Effect::Block => "blocking call",
+        Effect::Rng => "unseeded RNG",
+        Effect::Clock => "raw clock read",
+    }
+}

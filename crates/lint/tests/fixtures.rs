@@ -3,7 +3,15 @@
 //! `crates/lint/fixtures/` and are never compiled — they are checked as
 //! if they lived at a library-source path in the relevant crate.
 
-use scenerec_lint::{check_source, Config};
+use scenerec_lint::{check_source, check_sources, Config};
+
+/// Runs the full pass (per-file rules + call-graph rules) over one
+/// fixture placed at `as_path`, with a `lint.toml`-syntax config (empty
+/// string = built-in defaults).
+fn graph_check(fixture: &str, as_path: &str, toml: &str) -> Vec<scenerec_lint::Violation> {
+    let cfg = Config::parse(toml).unwrap();
+    check_sources(&[(as_path.to_string(), fixture.to_string())], &cfg)
+}
 
 fn rules_fired(fixture: &str, as_path: &str) -> Vec<&'static str> {
     let mut rules: Vec<&'static str> = check_source(as_path, fixture, &Config::default())
@@ -109,7 +117,113 @@ fn r3_fixture_flags_process_teardown() {
 }
 
 #[test]
-fn all_eight_rule_classes_fire() {
+fn l1_fixture_flags_bad_lock_orders() {
+    let v = graph_check(
+        include_str!("../fixtures/bad_l1.rs"),
+        "crates/serve/src/fixture.rs",
+        "[rules.L1]\nhierarchy = [\"serve.first\", \"serve.second\"]\n",
+    );
+    let l1: Vec<_> = v.iter().filter(|v| v.rule == "L1").collect();
+    assert_eq!(l1.len(), 3, "{v:?}");
+    // One of each failure mode; `in_order` and `sequential` stay silent.
+    assert!(l1
+        .iter()
+        .any(|v| v.message.contains("against the declared hierarchy")));
+    assert!(l1
+        .iter()
+        .any(|v| v.message.contains("not covered by the declared hierarchy")));
+    assert!(l1.iter().any(|v| v.message.contains("self-deadlock")));
+}
+
+#[test]
+fn l2_fixture_flags_lock_held_across_locking_call() {
+    let v = graph_check(
+        include_str!("../fixtures/bad_l2.rs"),
+        "crates/serve/src/fixture.rs",
+        "",
+    );
+    let l2: Vec<_> = v.iter().filter(|v| v.rule == "L2").collect();
+    assert_eq!(l2.len(), 1, "only `push_and_record` fires: {v:?}");
+    // The diagnostic names the held lock, the callee, the lock it can
+    // reach, and the call path to the acquisition.
+    assert!(l2[0].message.contains("serve.queue"), "{}", l2[0].message);
+    assert!(l2[0].message.contains("serve::record"), "{}", l2[0].message);
+    assert!(l2[0].message.contains("serve.counts"), "{}", l2[0].message);
+    assert!(l2[0].message.contains("serve::bump"), "{}", l2[0].message);
+}
+
+#[test]
+fn h1_fixture_flags_impure_hot_path() {
+    let v = graph_check(
+        include_str!("../fixtures/bad_h1.rs"),
+        "crates/tensor/src/fixture.rs",
+        "[rules.H1]\n\"tensor::score_kernel\" = [\"alloc\", \"io\", \"block\", \"lock\"]\n",
+    );
+    let h1: Vec<_> = v.iter().filter(|v| v.rule == "H1").collect();
+    // The alloc in `scratch`, the lock in `tally`, the IO in `report` —
+    // all charged to the root; `unrelated`'s alloc is unreachable.
+    assert_eq!(h1.len(), 3, "{v:?}");
+    assert!(h1.iter().all(|v| v.message.contains("score_kernel")));
+    assert!(h1.iter().any(|v| v.message.contains("heap allocation")));
+    assert!(h1.iter().any(|v| v.message.contains("lock acquisition")));
+    assert!(h1.iter().any(|v| v.message.contains("IO")));
+    assert!(
+        !h1.iter().any(|v| v.message.contains("unrelated")),
+        "unreachable fn must not be charged: {h1:?}"
+    );
+}
+
+#[test]
+fn h1_unresolved_root_is_itself_a_violation() {
+    let v = graph_check(
+        include_str!("../fixtures/clean.rs"),
+        "crates/core/src/fixture.rs",
+        "[rules.H1]\n\"core::no_such_fn\" = [\"alloc\"]\n",
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "H1" && v.file == "lint.toml" && v.message.contains("no_such_fn")),
+        "a typo in lint.toml must not silently disable the rule: {v:?}"
+    );
+}
+
+#[test]
+fn t1_fixture_flags_transitive_nondeterminism_with_path() {
+    let v = graph_check(
+        include_str!("../fixtures/bad_t1.rs"),
+        "crates/core/src/fixture.rs",
+        "",
+    );
+    let t1: Vec<_> = v.iter().filter(|v| v.rule == "T1").collect();
+    // `shuffle_ids` (one hop), `init_embeddings` (two hops), `tag_run`
+    // (clock); the direct sources themselves are D2/D3 territory.
+    assert_eq!(t1.len(), 3, "{t1:?}");
+    assert!(t1.iter().any(|v| v
+        .message
+        .contains("core::init_embeddings -> core::shuffle_ids -> core::draw")));
+    assert!(t1.iter().any(|v| v.message.contains("raw clock source")));
+    assert!(
+        !t1.iter().any(|v| v.message.contains("stable_hash")),
+        "deterministic fn must stay clean: {t1:?}"
+    );
+}
+
+#[test]
+fn allow_comment_covers_following_multiline_statement() {
+    let v = check_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/allow_multiline.rs"),
+        &Config::default(),
+    );
+    let r1: Vec<_> = v.iter().filter(|v| v.rule == "R1").collect();
+    // `allowed` has two unwraps across a multi-line chain, both covered
+    // by the single allow comment; `not_allowed` has two that fire.
+    assert_eq!(r1.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.line >= 16), "{v:?}");
+}
+
+#[test]
+fn all_twelve_rule_classes_fire() {
     let mut fired: Vec<&str> = Vec::new();
     fired.extend(rules_fired(
         include_str!("../fixtures/bad_d1.rs"),
@@ -143,9 +257,34 @@ fn all_eight_rule_classes_fire() {
         include_str!("../fixtures/bad_s1.rs"),
         "crates/tensor/src/fixture.rs",
     ));
+    let graph_fixtures = [
+        (
+            include_str!("../fixtures/bad_l1.rs"),
+            "crates/serve/src/fixture.rs",
+            "[rules.L1]\nhierarchy = [\"serve.first\", \"serve.second\"]\n",
+        ),
+        (
+            include_str!("../fixtures/bad_l2.rs"),
+            "crates/serve/src/fixture.rs",
+            "",
+        ),
+        (
+            include_str!("../fixtures/bad_h1.rs"),
+            "crates/tensor/src/fixture.rs",
+            "[rules.H1]\n\"tensor::score_kernel\" = [\"alloc\", \"io\", \"block\", \"lock\"]\n",
+        ),
+        (
+            include_str!("../fixtures/bad_t1.rs"),
+            "crates/core/src/fixture.rs",
+            "",
+        ),
+    ];
+    for (src, path, toml) in graph_fixtures {
+        fired.extend(graph_check(src, path, toml).into_iter().map(|v| v.rule));
+    }
     fired.sort_unstable();
     fired.dedup();
-    assert_eq!(fired, vec!["D1", "D2", "D3", "N1", "R1", "R2", "R3", "S1"]);
+    assert_eq!(fired, scenerec_lint::config::ALL_RULES.to_vec());
 }
 
 #[test]

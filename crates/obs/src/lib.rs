@@ -33,6 +33,11 @@
 //! [`RunManifest`] snapshots timings/metrics (plus git revision and
 //! [`HostInfo`]) next to a result file.
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod dispatch;
 mod event;
 pub mod flight;
@@ -54,6 +59,7 @@ pub use span::{
     monotonic_ns, record_duration, reset_timings, span, timing_snapshot, PhaseTiming, SpanGuard,
     Stopwatch,
 };
+pub use sync::lock_unpoisoned;
 pub use trace::{
     chrome_trace_json, structure_digest, structure_text, SpanId, SpanRecord, Trace, TraceData,
     TraceId,

@@ -94,7 +94,10 @@ impl ResultCache {
 
     /// Drops every cached result for `user` (all k values, all
     /// precisions). Call after the user's seen-set or embedding changes.
-    pub fn invalidate_user(&mut self, user: u32) {
+    /// (Named distinctly from `FrozenEngine::invalidate_user` so the
+    /// lint call graph can tell the lock-taking engine wrapper from this
+    /// pure map operation.)
+    pub fn evict_user(&mut self, user: u32) {
         let doomed: Vec<Key> = self
             .entries
             .range((user, 0, 0)..=(user, u32::MAX, u8::MAX))
@@ -206,7 +209,7 @@ mod tests {
         c.insert(1, 1, 0, rec(1, 0.1));
         c.insert(1, 5, 0, rec(1, 0.1));
         c.insert(2, 1, 0, rec(2, 0.2));
-        c.invalidate_user(1);
+        c.evict_user(1);
         assert!(c.get(1, 1, 0).is_none());
         assert!(c.get(1, 5, 0).is_none());
         assert!(c.get(2, 1, 0).is_some());
@@ -249,8 +252,8 @@ mod tests {
 
         let mut recycled = ResultCache::new(2);
         fill(&mut recycled);
-        recycled.invalidate_user(1);
-        recycled.invalidate_user(2);
+        recycled.evict_user(1);
+        recycled.evict_user(2);
         assert!(recycled.is_empty());
         assert_eq!(recycled.next_stamp(), 0, "empty cache rewinds its stamps");
         let (hits, misses) = (recycled.hits(), recycled.misses());
@@ -294,7 +297,7 @@ mod tests {
         assert_eq!(c.get(1, 10, 0), Some(rec(1, 0.5)));
         assert_eq!(c.get(1, 10, 2), Some(rec(2, 0.25)));
         assert!(c.get(1, 10, 1).is_none());
-        c.invalidate_user(1);
+        c.evict_user(1);
         assert!(c.get(1, 10, 0).is_none());
         assert!(c.get(1, 10, 2).is_none());
     }

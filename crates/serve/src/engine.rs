@@ -46,11 +46,11 @@ use scenerec_core::{
 use scenerec_data::Dataset;
 use scenerec_faults::Injector;
 use scenerec_graph::UserId;
-use scenerec_obs::{metrics, FieldValue, Trace};
+use scenerec_obs::{lock_unpoisoned, metrics, FieldValue, Trace};
 use scenerec_tensor::score::try_score_bt;
 use scenerec_tensor::{linalg, quant, Matrix};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 
 /// Tuning knobs for a [`FrozenEngine`].
 #[derive(Debug, Clone)]
@@ -391,7 +391,11 @@ impl FrozenEngine {
             }
         };
         if (user as usize) < self.num_users() {
-            if let Some(hit) = self.lock_cache().get(user, key_k, tag) {
+            // Bind the lookup result so the cache guard (a temporary) is
+            // dropped before the metrics counter takes the obs registry
+            // lock — holding one across the other is an L2 violation.
+            let cached = lock_unpoisoned(&self.cache).get(user, key_k, tag);
+            if let Some(hit) = cached {
                 metrics::counter("serve/cache_hits").inc();
                 close_cache(&mut trace, true);
                 return Ok(hit);
@@ -423,7 +427,7 @@ impl FrozenEngine {
         if let (Some(t), Some(s)) = (trace, score_span) {
             t.end_span(s);
         }
-        self.lock_cache().insert(user, key_k, tag, recs.clone());
+        lock_unpoisoned(&self.cache).insert(user, key_k, tag, recs.clone());
         Ok(recs)
     }
 
@@ -439,41 +443,31 @@ impl FrozenEngine {
             .get_mut(user as usize)
             .ok_or(ServeError::UserOutOfRange { user, num_users })?;
         mask.insert(item);
-        self.lock_cache().invalidate_user(user);
+        lock_unpoisoned(&self.cache).evict_user(user);
         Ok(())
     }
 
     /// Drops cached results for one user without touching the seen mask.
     pub fn invalidate_user(&self, user: u32) {
-        self.lock_cache().invalidate_user(user);
+        lock_unpoisoned(&self.cache).evict_user(user);
     }
 
     /// Drops every cached result.
     pub fn clear_cache(&self) {
-        self.lock_cache().clear();
+        lock_unpoisoned(&self.cache).clear();
     }
 
     /// Number of cached (user, k) entries — test/diagnostic hook.
     pub fn cache_len(&self) -> usize {
-        self.lock_cache().len()
+        lock_unpoisoned(&self.cache).len()
     }
 
     /// Lifetime (hits, misses) of this engine's result cache. Unlike the
     /// global `serve/cache_hits` counters these are per-engine, so they
     /// stay deterministic when engines run in parallel in one process.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let cache = self.lock_cache();
+        let cache = lock_unpoisoned(&self.cache);
         (cache.hits(), cache.misses())
-    }
-
-    /// A cache mutex can only be poisoned by a panic inside one of the
-    /// short lock sections above, none of which leave the cache in a
-    /// broken state — recover the guard instead of propagating.
-    fn lock_cache(&self) -> MutexGuard<'_, ResultCache> {
-        match self.cache.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
     }
 }
 

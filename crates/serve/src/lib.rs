@@ -37,6 +37,11 @@
 //!   results, and bounds injected latency with logical-tick deadlines
 //!   (`tests/chaos.rs`).
 
+// Library crates stay entirely safe; tensor alone carries the SIMD
+// intrinsics and documents each unsafe block (lint rule R2).
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod engine;
 pub mod mask;

@@ -52,9 +52,11 @@
 use crate::engine::FrozenEngine;
 use scenerec_core::Recommendation;
 use scenerec_faults::{Backoff, Injector};
-use scenerec_obs::{flight, metrics, obs_event, FieldValue, Level, Stopwatch, Trace, TraceData};
+use scenerec_obs::{
+    flight, lock_unpoisoned, metrics, obs_event, FieldValue, Level, Stopwatch, Trace, TraceData,
+};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 
 /// One inference request: top-`k` unseen items for `user`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,11 +318,15 @@ fn run_replay(
     };
     supervise(&shared, workers);
 
-    let out: Vec<Response> = lock(&shared.slots).drain(..).flatten().collect();
+    let out: Vec<Response> = lock_unpoisoned(&shared.slots).drain(..).flatten().collect();
     debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
     let traces = shared.traces.as_ref().map(|m| {
-        lock(m)
-            .drain(..)
+        // Drain under the lock, finish outside it: `Trace::finish`
+        // touches the obs span registry, and holding one lock across a
+        // call that takes another is an L2 violation.
+        let drained: Vec<Option<Trace>> = lock_unpoisoned(m).drain(..).collect();
+        drained
+            .into_iter()
             .enumerate()
             .map(|(idx, t)| t.unwrap_or_else(|| Trace::new(idx as u64)).finish())
             .collect()
@@ -348,7 +354,7 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
             // The worker panicked. Recover its in-flight batch first so
             // the replacement finds it back on the queue.
             metrics::counter("serve/worker_respawns").inc();
-            let orphan = lock(&registry[slot]).take();
+            let orphan = lock_unpoisoned(&registry[slot]).take();
             obs_event!(
                 Level::Warn, "serve", "worker panicked; respawning";
                 "slot" => slot as u64,
@@ -357,7 +363,7 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
             );
             if let Some(batch) = orphan {
                 if batch.requeues < shared.config.max_retries {
-                    lock(&shared.queue).push_front(Batch {
+                    lock_unpoisoned(&shared.queue).push_front(Batch {
                         requeues: batch.requeues + 1,
                         ..batch
                     });
@@ -380,7 +386,7 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
     let latency_hist = metrics::histogram("serve/latency_ns", &latency_edges());
     loop {
         let batch = {
-            let mut q = lock(&shared.queue);
+            let mut q = lock_unpoisoned(&shared.queue);
             let depth: usize = q.iter().map(|b| b.end - b.start).sum();
             if depth > 0 {
                 queue_hist.observe(depth as f64);
@@ -388,7 +394,7 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
             q.pop_front()
         };
         let Some(batch) = batch else { break };
-        *lock(inflight) = Some(batch);
+        *lock_unpoisoned(inflight) = Some(batch);
         flight::record(
             "serve.batch.claim",
             format!(
@@ -407,7 +413,10 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
         let mut served = Vec::with_capacity(batch.end - batch.start);
         for idx in batch.start..batch.end {
             let watch = Stopwatch::start();
-            let mut trace = shared.traces.as_ref().and_then(|m| lock(m)[idx].take());
+            let mut trace = shared
+                .traces
+                .as_ref()
+                .and_then(|m| lock_unpoisoned(m)[idx].take());
             let batch_span = trace.as_mut().map(|t| {
                 t.end_top(); // serve.queue: the wait is over
                 let b = t.start_span("serve.batch");
@@ -420,7 +429,7 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
                 t.end_span(b);
             }
             if let (Some(m), Some(t)) = (shared.traces.as_ref(), trace) {
-                lock(m)[idx] = Some(t);
+                lock_unpoisoned(m)[idx] = Some(t);
             }
             latency_hist.observe(watch.elapsed_ns() as f64);
             served.push((idx, response));
@@ -429,19 +438,19 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
         // Atomic commit: a batch's responses land all at once, after the
         // last fallible step, so a crashed batch contributes nothing.
         {
-            let mut slots = lock(&shared.slots);
+            let mut slots = lock_unpoisoned(&shared.slots);
             for (idx, response) in served {
                 debug_assert!(slots[idx].is_none(), "response {idx} served twice");
                 slots[idx] = Some(response);
             }
         }
-        *lock(inflight) = None;
+        *lock_unpoisoned(inflight) = None;
     }
 }
 
 /// Error responses for a batch whose requeue budget ran out.
 fn commit_errors(shared: &Shared<'_>, batch: Batch) {
-    let mut slots = lock(&shared.slots);
+    let mut slots = lock_unpoisoned(&shared.slots);
     for idx in batch.start..batch.end {
         let req = &shared.requests[idx];
         debug_assert!(slots[idx].is_none(), "response {idx} served twice");
@@ -495,7 +504,7 @@ fn serve_one_supervised(
             Ok(()) => {
                 let response = serve_one(shared.engine, req, trace.take());
                 if response.error.is_none() {
-                    lock(&shared.stale).insert(key, response.recs.clone());
+                    lock_unpoisoned(&shared.stale).insert(key, response.recs.clone());
                 }
                 return response;
             }
@@ -509,7 +518,11 @@ fn serve_one_supervised(
                 // Retries exhausted: degrade to the last good result for
                 // this (user, k) when allowed, else a typed error.
                 if config.degraded {
-                    if let Some(recs) = lock(&shared.stale).get(&key).cloned() {
+                    // Bind the lookup so the stale-map guard (a
+                    // temporary) is dropped before the metrics counter
+                    // takes the obs registry lock (L2).
+                    let stale_hit = lock_unpoisoned(&shared.stale).get(&key).cloned();
+                    if let Some(recs) = stale_hit {
                         metrics::counter("serve/degraded_hits").inc();
                         return Response {
                             user: req.user,
@@ -548,16 +561,6 @@ fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) ->
             error: Some(e.to_string()),
             degraded: false,
         },
-    }
-}
-
-/// Every scheduler critical section only moves values between containers
-/// (no invariant can be left half-updated), so a poisoned lock — some
-/// worker panicked elsewhere — is safe to recover.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
     }
 }
 

@@ -29,6 +29,11 @@
 //!   per-row affine int8 matrices with mixed-precision dot kernels for
 //!   the frozen engines.
 
+// The SIMD backends require unsafe; every unsafe operation inside an
+// unsafe fn must still be wrapped in an explicit `unsafe {}` block
+// with its own SAFETY comment (lint rule R2).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dispatch;
 pub mod error;
 pub mod gemm;

@@ -35,13 +35,15 @@ pub(crate) unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     let (pa, pb) = (a.as_ptr(), b.as_ptr());
     let mut i = 0;
     while i < main {
-        let va = _mm256_loadu_ps(pa.add(i));
-        let vb = _mm256_loadu_ps(pb.add(i));
+        // SAFETY: i + LANES <= main <= a.len() == b.len(), so both
+        // 8-lane unaligned loads read in bounds.
+        let (va, vb) = unsafe { (_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i))) };
         acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
         i += LANES;
     }
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly 8 f32s, the width of one ymm store.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     let mut tail = 0.0f32;
     for (x, y) in a[main..].iter().zip(&b[main..]) {
         tail += x * y;
@@ -67,14 +69,21 @@ pub(crate) unsafe fn dot_f16_avx2(a: &[f32], hb: &[u16]) -> f32 {
     let (pa, ph) = (a.as_ptr(), hb.as_ptr());
     let mut i = 0;
     while i < main {
-        let va = _mm256_loadu_ps(pa.add(i));
-        let vh = _mm_loadu_si128(ph.add(i) as *const __m128i);
+        // SAFETY: i + LANES <= main <= a.len() == hb.len(); the f32
+        // load reads 8 lanes of `a`, the 128-bit load 8 u16s of `hb`.
+        let (va, vh) = unsafe {
+            (
+                _mm256_loadu_ps(pa.add(i)),
+                _mm_loadu_si128(ph.add(i) as *const __m128i),
+            )
+        };
         let vb = _mm256_cvtph_ps(vh);
         acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
         i += LANES;
     }
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly 8 f32s, the width of one ymm store.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     let mut tail = 0.0f32;
     for (x, h) in a[main..].iter().zip(&hb[main..]) {
         tail += x * crate::quant::f16_to_f32(*h);
@@ -102,15 +111,22 @@ pub(crate) unsafe fn dot_i8_avx2(uc: &[i16], v: &[i8], zv: i16) -> i32 {
     let (pu, pv) = (uc.as_ptr(), v.as_ptr());
     let mut i = 0;
     while i < main {
-        let raw = _mm_loadu_si128(pv.add(i) as *const __m128i);
+        // SAFETY: i + STEP <= main <= uc.len() == v.len(); the 128-bit
+        // load reads 16 i8s of `v`, the 256-bit load 16 i16s of `uc`.
+        let (raw, u) = unsafe {
+            (
+                _mm_loadu_si128(pv.add(i) as *const __m128i),
+                _mm256_loadu_si256(pu.add(i) as *const __m256i),
+            )
+        };
         let wide = _mm256_cvtepi8_epi16(raw);
         let centered = _mm256_sub_epi16(wide, vz);
-        let u = _mm256_loadu_si256(pu.add(i) as *const __m256i);
         acc = _mm256_add_epi32(acc, _mm256_madd_epi16(u, centered));
         i += STEP;
     }
     let mut lanes = [0i32; 8];
-    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    // SAFETY: `lanes` is exactly 8 i32s, the width of one ymm store.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
     let mut total: i32 = lanes.iter().sum();
     let zv = zv as i32;
     for (&u, &q) in uc[main..].iter().zip(&v[main..]) {
@@ -146,18 +162,31 @@ pub(crate) unsafe fn micro_kernel_avx2(
     let mut acc = [_mm256_setzero_ps(); 2 * MR];
     let (pa, pb) = (a_pack.as_ptr(), b_strip.as_ptr());
     for p in 0..kc {
-        let b_lo = _mm256_loadu_ps(pb.add(p * NR));
-        let b_hi = _mm256_loadu_ps(pb.add(p * NR + 8));
+        // SAFETY: p < kc and the asserted pack invariant
+        // `b_strip.len() >= kc * NR` keep both 8-lane loads (NR = 16:
+        // offsets 0 and 8 of the p-th NR-word) inside the packed panel.
+        let (b_lo, b_hi) = unsafe {
+            (
+                _mm256_loadu_ps(pb.add(p * NR)),
+                _mm256_loadu_ps(pb.add(p * NR + 8)),
+            )
+        };
         for lane in 0..MR {
-            let va = _mm256_set1_ps(*pa.add(p * MR + lane));
+            // SAFETY: lane < MR, so `p * MR + lane < kc * MR`, which the
+            // asserted pack invariant bounds by `a_pack.len()`.
+            let va = unsafe { _mm256_set1_ps(*pa.add(p * MR + lane)) };
             acc[2 * lane] = _mm256_add_ps(acc[2 * lane], _mm256_mul_ps(va, b_lo));
             acc[2 * lane + 1] = _mm256_add_ps(acc[2 * lane + 1], _mm256_mul_ps(va, b_hi));
         }
     }
     for lane in 0..mr {
         let mut row = [0.0f32; NR];
-        _mm256_storeu_ps(row.as_mut_ptr(), acc[2 * lane]);
-        _mm256_storeu_ps(row.as_mut_ptr().add(8), acc[2 * lane + 1]);
+        // SAFETY: `row` is exactly NR = 16 f32s — two 8-lane stores at
+        // offsets 0 and 8.
+        unsafe {
+            _mm256_storeu_ps(row.as_mut_ptr(), acc[2 * lane]);
+            _mm256_storeu_ps(row.as_mut_ptr().add(8), acc[2 * lane + 1]);
+        }
         let base = (ir + lane) * n + j0;
         for (c_v, &acc_v) in c_band[base..base + nr].iter_mut().zip(&row[..nr]) {
             *c_v += acc_v;
