@@ -145,6 +145,45 @@ impl EntityMatrix {
             EntityMatrix::Int8(m) => m.to_matrix(),
         }
     }
+
+    /// Copies rows `start..end` into a new matrix at the same precision.
+    ///
+    /// This is the shard-slicing primitive: the row payload is copied
+    /// verbatim (f32 values, f16 bits, int8 codes plus the *per-row*
+    /// scales and zero points), so scoring row `start + r` of the slice
+    /// is bit-identical to scoring row `start + r` of the original at
+    /// every precision.
+    ///
+    /// # Errors
+    /// When `start > end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<EntityMatrix, String> {
+        if start > end || end > self.rows() {
+            return Err(format!(
+                "row slice {start}..{end} out of bounds for {} rows",
+                self.rows()
+            ));
+        }
+        let cols = self.cols();
+        match self {
+            EntityMatrix::F32(m) => {
+                let data = m.as_slice()[start * cols..end * cols].to_vec();
+                Matrix::from_vec(end - start, cols, data)
+                    .map(EntityMatrix::F32)
+                    .map_err(|e| e.to_string())
+            }
+            EntityMatrix::F16(m) => {
+                let bits = m.as_bits()[start * cols..end * cols].to_vec();
+                HalfMatrix::from_parts(end - start, cols, bits).map(EntityMatrix::F16)
+            }
+            EntityMatrix::Int8(m) => {
+                let codes = m.codes()[start * cols..end * cols].to_vec();
+                let scales = m.scales()[start..end].to_vec();
+                let zero_points = m.zero_points()[start..end].to_vec();
+                Int8Matrix::from_parts(end - start, cols, codes, scales, zero_points)
+                    .map(EntityMatrix::Int8)
+            }
+        }
+    }
 }
 
 /// One frozen dense layer `y = act(W x + b)`.
@@ -171,6 +210,102 @@ pub enum FrozenHead {
         /// Layers in application order; the last outputs a single scalar.
         layers: Vec<FrozenLayer>,
     },
+}
+
+impl FrozenHead {
+    /// Restricts the head to items `start..end` of the catalog.
+    ///
+    /// A dot head carries per-item bias, so the slice keeps exactly the
+    /// window's entries (item `start + r` of the original becomes local
+    /// item `r`). An MLP head has no per-item state and is cloned whole.
+    ///
+    /// # Errors
+    /// When a dot head's bias does not cover `start..end`.
+    pub fn slice_items(&self, start: usize, end: usize) -> Result<FrozenHead, String> {
+        match self {
+            FrozenHead::DotBias { bias } => {
+                if start > end || end > bias.len() {
+                    return Err(format!(
+                        "bias slice {start}..{end} out of bounds for {} items",
+                        bias.len()
+                    ));
+                }
+                Ok(FrozenHead::DotBias {
+                    bias: bias[start..end].to_vec(),
+                })
+            }
+            FrozenHead::Mlp { layers } => Ok(FrozenHead::Mlp {
+                layers: layers.clone(),
+            }),
+        }
+    }
+}
+
+/// Contiguous range partitioning of an item catalog into shards.
+///
+/// `boundaries` holds `num_shards + 1` cumulative item ids:
+/// shard `s` owns items `boundaries[s]..boundaries[s + 1]`. Ranges are
+/// balanced to within one row (the first `num_items % shards` shards get
+/// the extra row), cover the catalog exactly once, and are ordered — so
+/// concatenating per-shard results in shard order visits items in
+/// ascending global id order, which is what keeps the scatter-gather
+/// merge's tie-breaks identical to a single-engine scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    boundaries: Vec<u32>,
+}
+
+impl ShardMap {
+    /// A balanced contiguous partition of `num_items` into `shards`
+    /// ranges. `shards` is clamped to `1..=max(num_items, 1)`, so no
+    /// shard is ever empty (except the single shard of an empty catalog).
+    pub fn contiguous(num_items: usize, shards: usize) -> ShardMap {
+        let shards = shards.clamp(1, num_items.max(1));
+        let base = num_items / shards;
+        let extra = num_items % shards;
+        let mut boundaries = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        boundaries.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            boundaries.push(at as u32);
+        }
+        ShardMap { boundaries }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Total number of items covered.
+    pub fn num_items(&self) -> usize {
+        *self.boundaries.last().unwrap_or(&0) as usize
+    }
+
+    /// The global item range of shard `s`, or `None` out of range.
+    pub fn range(&self, s: usize) -> Option<std::ops::Range<u32>> {
+        let start = *self.boundaries.get(s)?;
+        let end = *self.boundaries.get(s + 1)?;
+        Some(start..end)
+    }
+
+    /// The shard owning `item`, or `None` past the catalog.
+    pub fn shard_of(&self, item: u32) -> Option<usize> {
+        if (item as usize) >= self.num_items() {
+            return None;
+        }
+        // boundaries is strictly increasing past index 0; partition_point
+        // finds the first boundary > item, whose predecessor's index is
+        // the owning shard.
+        Some(self.boundaries.partition_point(|&b| b <= item) - 1)
+    }
+
+    /// The cumulative boundaries (len = shards + 1, first 0, last =
+    /// num_items).
+    pub fn boundaries(&self) -> &[u32] {
+        &self.boundaries
+    }
 }
 
 /// A tape-free snapshot of a trained [`crate::PairwiseModel`].
@@ -315,6 +450,75 @@ impl FrozenModel {
             }
         }
         Ok(())
+    }
+
+    /// Slices the *item side* of the model to `start..end`: the item
+    /// matrix rows and the head's per-item state, together, so the pair
+    /// stays consistent. The user matrix is untouched by sharding — every
+    /// shard scores against the full user universe.
+    ///
+    /// # Errors
+    /// Out-of-bounds ranges.
+    pub fn slice_items(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> Result<(EntityMatrix, FrozenHead), String> {
+        let items = self.items.slice_rows(start, end)?;
+        let head = self.head.slice_items(start, end)?;
+        Ok((items, head))
+    }
+
+    /// A deterministic dense dot-head model filled from `seed` — the
+    /// frozen-only synthesis behind the `paper_scale_plus` preset.
+    ///
+    /// No interactions, graphs or training happen: at ≥1M users × ≥500k
+    /// items only the frozen matrices fit in CI-adjacent memory, and the
+    /// sharded serving path needs exactly those. Values come from a
+    /// splitmix64 stream, so the same `(seed, shape)` always freezes the
+    /// same bits on every platform.
+    ///
+    /// # Errors
+    /// Shape inconsistencies (zero `dim` with nonzero rows cannot occur;
+    /// the error path exists because `Matrix::from_vec` is fallible).
+    pub fn synthetic(
+        name: impl Into<String>,
+        num_users: usize,
+        num_items: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Result<FrozenModel, String> {
+        // splitmix64: one stream for users, items, bias in that order.
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || -> f32 {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Top 24 bits -> [-1, 1), scaled down so dot products stay
+            // in a quantization-friendly range at any dim.
+            ((z >> 40) as f32 / 8_388_608.0 - 1.0) * 0.5
+        };
+        let users = Matrix::from_vec(
+            num_users,
+            dim,
+            (0..num_users * dim).map(|_| next()).collect(),
+        )
+        .map_err(|e| e.to_string())?;
+        let items = Matrix::from_vec(
+            num_items,
+            dim,
+            (0..num_items * dim).map(|_| next()).collect(),
+        )
+        .map_err(|e| e.to_string())?;
+        let bias = (0..num_items).map(|_| next() * 0.05).collect();
+        Ok(FrozenModel::dense(
+            name,
+            users,
+            items,
+            FrozenHead::DotBias { bias },
+        ))
     }
 }
 
@@ -692,6 +896,103 @@ mod tests {
         assert_eq!(layers[0].act, Act::LeakyRelu(0.125));
         assert_eq!(layers[1].act, Act::Identity);
         assert_eq!(layers[0].w.as_slice(), filled(4, 6, 0.05).as_slice());
+    }
+
+    #[test]
+    fn shard_map_is_balanced_contiguous_and_total() {
+        for (num_items, shards) in [(10usize, 4usize), (7, 2), (1, 8), (500, 8), (6, 6), (0, 3)] {
+            let map = ShardMap::contiguous(num_items, shards);
+            assert_eq!(map.num_items(), num_items);
+            assert_eq!(map.boundaries().first(), Some(&0));
+            let mut sizes = Vec::new();
+            let mut at = 0u32;
+            for s in 0..map.num_shards() {
+                let r = map.range(s).unwrap();
+                assert_eq!(r.start, at, "ranges must be contiguous");
+                at = r.end;
+                sizes.push(r.len());
+            }
+            assert_eq!(at as usize, num_items, "ranges must cover the catalog");
+            let (min, max) = (
+                sizes.iter().min().copied().unwrap_or(0),
+                sizes.iter().max().copied().unwrap_or(0),
+            );
+            assert!(max - min <= 1, "balanced to within one row: {sizes:?}");
+            for item in 0..num_items as u32 {
+                let s = map.shard_of(item).unwrap();
+                assert!(map.range(s).unwrap().contains(&item));
+            }
+            assert_eq!(map.shard_of(num_items as u32), None);
+        }
+        // More shards than items clamps rather than creating empties.
+        assert_eq!(ShardMap::contiguous(3, 8).num_shards(), 3);
+        assert_eq!(ShardMap::contiguous(0, 8).num_shards(), 1);
+    }
+
+    #[test]
+    fn slice_rows_is_bitwise_faithful_at_every_precision() {
+        let m = FrozenModel::dense(
+            "s",
+            filled(2, 4, 0.25),
+            filled(9, 4, 0.375),
+            FrozenHead::DotBias {
+                bias: (0..9).map(|i| i as f32 * 0.1).collect(),
+            },
+        );
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            let q = m.quantize(p).unwrap();
+            let (start, end) = (3usize, 7usize);
+            let (slice, head) = q.slice_items(start, end).unwrap();
+            assert_eq!(slice.rows(), end - start);
+            assert_eq!(slice.precision(), p);
+            let mut want = vec![0.0f32; 4];
+            let mut got = vec![0.0f32; 4];
+            for r in 0..slice.rows() {
+                q.items.expand_row_into(start + r, &mut want);
+                slice.expand_row_into(r, &mut got);
+                let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, gb, "{} row {r}", p.name());
+            }
+            let FrozenHead::DotBias { bias } = &head else {
+                panic!("head kind changed in slice")
+            };
+            let FrozenHead::DotBias { bias: full } = &q.head else {
+                panic!()
+            };
+            assert_eq!(bias.as_slice(), &full[start..end]);
+        }
+        assert!(m.items.slice_rows(5, 3).is_err());
+        assert!(m.items.slice_rows(0, 10).is_err());
+    }
+
+    #[test]
+    fn synthetic_models_are_seed_deterministic() {
+        let a = FrozenModel::synthetic("syn", 13, 29, 8, 42).unwrap();
+        let b = FrozenModel::synthetic("syn", 13, 29, 8, 42).unwrap();
+        let c = FrozenModel::synthetic("syn", 13, 29, 8, 43).unwrap();
+        assert!(a.validate().is_ok());
+        assert_eq!(a.num_users(), 13);
+        assert_eq!(a.num_items(), 29);
+        let bits = |m: &FrozenModel| -> Vec<u32> {
+            m.items
+                .as_f32()
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed, same bits");
+        assert_ne!(bits(&a), bits(&c), "different seed, different bits");
+        // Values stay bounded for quantization-friendly dot products.
+        assert!(a
+            .items
+            .as_f32()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|v| v.abs() <= 0.5));
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod tuning;
 
 pub use api::{ModelScorer, PairwiseModel};
 pub use config::{NeighborCaps, SceneRecConfig, Variant};
-pub use freeze::{EntityMatrix, FrozenHead, FrozenLayer, FrozenModel, FrozenSnapshot, Precision};
+pub use freeze::{
+    EntityMatrix, FrozenHead, FrozenLayer, FrozenModel, FrozenSnapshot, Precision, ShardMap,
+};
 pub use model::SceneRec;
 pub use recommend::{top_k_for_user, top_k_unseen, Recommendation};
 pub use trainer::{train, train_traced, TrainConfig, TrainReport};

@@ -44,6 +44,6 @@ pub mod taxonomy;
 pub use config::GeneratorConfig;
 pub use dataset::Dataset;
 pub use generator::generate;
-pub use presets::{DatasetProfile, Scale};
+pub use presets::{DatasetProfile, FrozenSynthesisSpec, Scale};
 pub use split::{EvalInstance, LeaveOneOutSplit};
 pub use taxonomy::Taxonomy;

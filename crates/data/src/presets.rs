@@ -108,6 +108,59 @@ impl DatasetProfile {
     }
 }
 
+/// Shape of a frozen-only synthetic model: the `paper_scale_plus`
+/// preset family.
+///
+/// At a million users the interaction/graph pipeline (and even the
+/// per-user seen lists) stops fitting CI-adjacent memory; what sharded
+/// serving needs is only the frozen entity matrices. This spec carries
+/// the plain numbers — `scenerec-core`'s `FrozenModel::synthetic` turns
+/// them into a deterministic dense snapshot (core depends on data, so
+/// the constructor cannot live here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrozenSynthesisSpec {
+    /// Rows in the frozen user matrix.
+    pub num_users: usize,
+    /// Rows in the frozen item matrix.
+    pub num_items: usize,
+    /// Embedding dimension (columns of both matrices).
+    pub dim: usize,
+    /// Seeds the splitmix64 fill; same seed, same bits.
+    pub seed: u64,
+}
+
+impl FrozenSynthesisSpec {
+    /// The `paper_scale_plus` preset: 20× the paper's largest Table-1
+    /// user count and 20× its item count — 1M users x 1M items at dim 32
+    /// is a 128 MiB matrix per entity side at f32, large enough that the
+    /// item catalog cannot stay cache-resident unsharded.
+    pub fn paper_scale_plus(seed: u64) -> FrozenSynthesisSpec {
+        FrozenSynthesisSpec {
+            num_users: 1_000_000,
+            num_items: 1_000_000,
+            dim: 32,
+            seed,
+        }
+    }
+
+    /// A CI-sized reduction with the same shape ratios, for the shard
+    /// bench's A/B perf gate where the full preset would dominate runner
+    /// time.
+    pub fn reduced(self) -> FrozenSynthesisSpec {
+        FrozenSynthesisSpec {
+            num_users: (self.num_users / 100).max(1),
+            num_items: (self.num_items / 100).max(1),
+            dim: self.dim,
+            seed: self.seed,
+        }
+    }
+
+    /// f32 bytes of one entity side — sizing hint for bench manifests.
+    pub fn f32_bytes_per_side(self) -> usize {
+        self.num_items.max(self.num_users) * self.dim * 4
+    }
+}
+
 /// Dataset magnitude.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Scale {
@@ -182,6 +235,22 @@ mod tests {
         assert_eq!("laptop".parse::<Scale>().unwrap(), Scale::Laptop);
         assert_eq!("PAPER".parse::<Scale>().unwrap(), Scale::Paper);
         assert!("huge".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn paper_scale_plus_meets_roadmap_floor() {
+        let spec = FrozenSynthesisSpec::paper_scale_plus(7);
+        assert!(spec.num_users >= 1_000_000, "preset promises >=1M users");
+        assert!(spec.num_items >= 500_000, "preset promises >=500k items");
+        let small = spec.reduced();
+        assert!(small.num_users >= 1 && small.num_users < spec.num_users);
+        assert_eq!(small.dim, spec.dim);
+        assert_eq!(small.seed, spec.seed);
+        assert_eq!(
+            spec.f32_bytes_per_side(),
+            spec.num_items * spec.dim * 4,
+            "1M x 32 f32 is 128 MiB per side"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl FnItem {
 }
 
 /// Extracts every `fn` item from a lexed file. `test_lines` are the
-/// `#[cfg(test)]` line ranges from [`crate::rules::test_regions`].
+/// `#[cfg(test)]` line ranges from `crate::rules::test_regions`.
 pub fn parse_items(toks: &[Tok], test_lines: &[std::ops::RangeInclusive<u32>]) -> Vec<FnItem> {
     let mut items = Vec::new();
     // Stack of scopes entered at each open brace. Each entry is what the

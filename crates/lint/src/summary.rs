@@ -64,7 +64,7 @@ pub struct Acquisition {
     /// Line of the acquiring call.
     pub line: u32,
     /// Token range `[start, end)` over which the returned guard is
-    /// conservatively considered held (see [`guard_extent`]).
+    /// conservatively considered held (see `guard_extent`).
     pub extent: (usize, usize),
     /// Token index of the acquiring call's name, so L2 can skip the
     /// acquiring call itself when scanning the extent for callees.

@@ -19,6 +19,9 @@ type Key = (u32, u32, u8);
 #[derive(Debug, Clone)]
 struct Slot {
     stamp: u64,
+    /// The cache epoch this entry was inserted under; entries from older
+    /// epochs are treated as misses and dropped lazily on lookup.
+    epoch: u64,
     recs: Vec<Recommendation>,
 }
 
@@ -27,6 +30,14 @@ struct Slot {
 pub struct ResultCache {
     capacity: usize,
     next_stamp: u64,
+    /// Current epoch. `bump_epoch` is the O(1) whole-cache invalidation
+    /// a shard swap uses: every live entry instantly becomes stale
+    /// without walking or freeing anything under the lock; stale entries
+    /// are collected lazily by `get`. With one cache per shard this is
+    /// what makes a single shard's swap leave every *other* shard's warm
+    /// entries untouched — the engine-global `clear` is no longer the
+    /// only invalidation.
+    epoch: u64,
     entries: BTreeMap<Key, Slot>,
     /// Reverse index: logical stamp -> key, used to find the LRU victim.
     recency: BTreeMap<u64, Key>,
@@ -44,6 +55,7 @@ impl ResultCache {
         ResultCache {
             capacity,
             next_stamp: 0,
+            epoch: 0,
             entries: BTreeMap::new(),
             recency: BTreeMap::new(),
             hits: 0,
@@ -52,11 +64,21 @@ impl ResultCache {
     }
 
     /// Looks up `(user, k, tag)`, refreshing its recency on a hit.
+    /// Entries inserted under an older epoch count as misses and are
+    /// dropped here (lazy collection after [`ResultCache::bump_epoch`]).
     pub fn get(&mut self, user: u32, k: u32, tag: u8) -> Option<Vec<Recommendation>> {
         let Some(slot) = self.entries.get_mut(&(user, k, tag)) else {
             self.misses += 1;
             return None;
         };
+        if slot.epoch != self.epoch {
+            let old = slot.stamp;
+            self.entries.remove(&(user, k, tag));
+            self.recency.remove(&old);
+            self.reset_stamps_if_empty();
+            self.misses += 1;
+            return None;
+        }
         self.hits += 1;
         let old = slot.stamp;
         slot.stamp = self.next_stamp;
@@ -85,6 +107,7 @@ impl ResultCache {
             (user, k, tag),
             Slot {
                 stamp: self.next_stamp,
+                epoch: self.epoch,
                 recs,
             },
         );
@@ -131,7 +154,23 @@ impl ResultCache {
         }
     }
 
-    /// Number of cached entries.
+    /// Invalidates every current entry in O(1) by advancing the epoch.
+    /// Stale entries are collected lazily: a later `get` on one removes
+    /// it and counts a miss; an untouched stale entry ages out through
+    /// ordinary LRU eviction. Lifetime hit/miss counters survive, same
+    /// as [`ResultCache::clear`].
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current epoch (starts at 0, advances on every
+    /// [`ResultCache::bump_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of cached entries. After a `bump_epoch` this may still
+    /// count stale entries that no `get` has collected yet.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -284,6 +323,49 @@ mod tests {
         assert!(c.get(1, 1, 0).is_some());
         c.clear();
         assert_eq!(c.next_stamp(), 0);
+    }
+
+    /// Regression test for engine-global invalidation: epoch bumps
+    /// invalidate in O(1) — pre-bump entries answer as misses (and are
+    /// collected), post-bump entries hit — with the hit/miss counters
+    /// tracking exactly that.
+    #[test]
+    fn bump_epoch_invalidates_lazily_with_correct_counters() {
+        let mut c = ResultCache::new(8);
+        assert_eq!(c.epoch(), 0);
+        c.insert(1, 10, 0, rec(1, 0.5));
+        c.insert(2, 10, 0, rec(2, 0.25));
+        assert!(c.get(1, 10, 0).is_some());
+        assert_eq!((c.hits(), c.misses()), (1, 0));
+
+        c.bump_epoch();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.len(), 2, "invalidation is lazy; nothing walked yet");
+        assert!(c.get(1, 10, 0).is_none(), "stale epoch answers as a miss");
+        assert_eq!(c.len(), 1, "the touched stale entry was collected");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+
+        // Fresh inserts under the new epoch hit normally; the untouched
+        // stale entry for user 2 still misses when finally probed.
+        c.insert(1, 10, 0, rec(9, 0.9));
+        assert_eq!(c.get(1, 10, 0), Some(rec(9, 0.9)));
+        assert!(c.get(2, 10, 0).is_none());
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+        assert_eq!(c.len(), 1);
+    }
+
+    /// An epoch-emptied cache rewinds its stamps exactly like
+    /// `evict_user` / `clear` do, so refill behavior matches a fresh
+    /// cache (the invariant `invalidate_then_refill_matches_fresh_cache`
+    /// pins for the eager paths).
+    #[test]
+    fn epoch_collection_rewinds_stamps_when_empty() {
+        let mut c = ResultCache::new(4);
+        c.insert(1, 1, 0, rec(1, 0.1));
+        c.bump_epoch();
+        assert!(c.get(1, 1, 0).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.next_stamp(), 0, "empty cache rewinds its stamps");
     }
 
     /// The precision tag partitions the key space: same (user, k) at a

@@ -269,76 +269,15 @@ impl FrozenEngine {
                 num_items,
             });
         }
-        let band = self.config.band.max(1);
-        let mut out = Vec::with_capacity(items.len());
-        match &self.frozen.head {
-            // Dot heads score straight off the stored representation:
-            // f32 keeps the tape-exact `linalg::dot`, f16 widens item
-            // lanes in-kernel against the (exactly widened) user row,
-            // int8 accumulates in exact integer arithmetic and rescales
-            // with one fixed-order f32 multiply chain per element.
-            FrozenHead::DotBias { bias } => match (&self.frozen.users, &self.frozen.items) {
-                (EntityMatrix::F32(users), EntityMatrix::F32(catalog)) => {
-                    let u = users.row(user as usize);
-                    for &i in items {
-                        out.push(linalg::dot(u, catalog.row(i as usize)) + bias[i as usize]);
-                    }
-                }
-                (EntityMatrix::F16(users), EntityMatrix::F16(catalog)) => {
-                    let mut u = vec![0.0f32; users.cols()];
-                    users.widen_row_into(user as usize, &mut u);
-                    for &i in items {
-                        out.push(quant::dot_f16(&u, catalog.row(i as usize)) + bias[i as usize]);
-                    }
-                }
-                (EntityMatrix::Int8(users), EntityMatrix::Int8(catalog)) => {
-                    let uc = users.centered_row(user as usize);
-                    let su = users.scale(user as usize);
-                    for &i in items {
-                        let it = i as usize;
-                        let zv = catalog.zero_point(it) as i16;
-                        let idot = quant::dot_i8_centered(&uc, catalog.row(it), zv);
-                        out.push(su * catalog.scale(it) * idot as f32 + bias[it]);
-                    }
-                }
-                // `new` validates matching precisions; reachable only
-                // through a hand-built inconsistent model.
-                _ => {
-                    return Err(ServeError::Invalid(
-                        "user/item entity matrices disagree on precision".to_owned(),
-                    ))
-                }
-            },
-            // MLP heads expand rows to f32 (copy / exact widen /
-            // dequantize) and replay the f32 layer stack; the expansion
-            // is deterministic, so so is the whole path.
-            FrozenHead::Mlp { layers } => {
-                let du = self.frozen.users.cols();
-                let di = self.frozen.items.cols();
-                let mut u = vec![0.0f32; du];
-                self.frozen.users.expand_row_into(user as usize, &mut u);
-                for chunk in items.chunks(band) {
-                    let mut h = Matrix::zeros(chunk.len(), du + di);
-                    for (r, &i) in chunk.iter().enumerate() {
-                        let row = h.row_mut(r);
-                        row[..du].copy_from_slice(&u);
-                        self.frozen
-                            .items
-                            .expand_row_into(i as usize, &mut row[du..]);
-                    }
-                    for layer in layers {
-                        let mut y = try_score_bt(&h, &layer.w, Some(&layer.b), self.config.threads)
-                            .map_err(|e| ServeError::Invalid(e.to_string()))?;
-                        for v in y.as_mut_slice() {
-                            *v = layer.act.apply(*v);
-                        }
-                        h = y;
-                    }
-                    out.extend_from_slice(h.as_slice());
-                }
-            }
-        }
-        Ok(out)
+        score_ids(
+            &self.frozen.users,
+            &self.frozen.items,
+            &self.frozen.head,
+            user as usize,
+            items,
+            self.config.band,
+            self.config.threads,
+        )
     }
 
     /// Scores every item in the catalog for `user` (no seen filtering).
@@ -471,9 +410,103 @@ impl FrozenEngine {
     }
 }
 
+/// Scores `ids` (row indices into `items` / the head's per-item state)
+/// against `users` row `user`.
+///
+/// This is the one scoring implementation behind both engines: the
+/// single [`FrozenEngine`] calls it with global item ids over the whole
+/// catalog, and a `ShardedEngine` shard calls it with shard-local ids
+/// over its sliced matrix + head. Per-element scores depend only on the
+/// user row, the item row, and that item's head state — never on which
+/// other ids ride in the same call — so slicing (like banding and
+/// threading, pinned by `parity_is_invariant_to_band_and_threads`)
+/// cannot change a single bit.
+///
+/// Callers are responsible for bounds checks; `ids` must index within
+/// `items`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_ids(
+    users: &EntityMatrix,
+    items: &EntityMatrix,
+    head: &FrozenHead,
+    user: usize,
+    ids: &[u32],
+    band: usize,
+    threads: usize,
+) -> Result<Vec<f32>, ServeError> {
+    let band = band.max(1);
+    let mut out = Vec::with_capacity(ids.len());
+    match head {
+        // Dot heads score straight off the stored representation:
+        // f32 keeps the tape-exact `linalg::dot`, f16 widens item
+        // lanes in-kernel against the (exactly widened) user row,
+        // int8 accumulates in exact integer arithmetic and rescales
+        // with one fixed-order f32 multiply chain per element.
+        FrozenHead::DotBias { bias } => match (users, items) {
+            (EntityMatrix::F32(users), EntityMatrix::F32(catalog)) => {
+                let u = users.row(user);
+                for &i in ids {
+                    out.push(linalg::dot(u, catalog.row(i as usize)) + bias[i as usize]);
+                }
+            }
+            (EntityMatrix::F16(users), EntityMatrix::F16(catalog)) => {
+                let mut u = vec![0.0f32; users.cols()];
+                users.widen_row_into(user, &mut u);
+                for &i in ids {
+                    out.push(quant::dot_f16(&u, catalog.row(i as usize)) + bias[i as usize]);
+                }
+            }
+            (EntityMatrix::Int8(users), EntityMatrix::Int8(catalog)) => {
+                let uc = users.centered_row(user);
+                let su = users.scale(user);
+                for &i in ids {
+                    let it = i as usize;
+                    let zv = catalog.zero_point(it) as i16;
+                    let idot = quant::dot_i8_centered(&uc, catalog.row(it), zv);
+                    out.push(su * catalog.scale(it) * idot as f32 + bias[it]);
+                }
+            }
+            // Engine constructors validate matching precisions;
+            // reachable only through a hand-built inconsistent model.
+            _ => {
+                return Err(ServeError::Invalid(
+                    "user/item entity matrices disagree on precision".to_owned(),
+                ))
+            }
+        },
+        // MLP heads expand rows to f32 (copy / exact widen /
+        // dequantize) and replay the f32 layer stack; the expansion
+        // is deterministic, so so is the whole path.
+        FrozenHead::Mlp { layers } => {
+            let du = users.cols();
+            let di = items.cols();
+            let mut u = vec![0.0f32; du];
+            users.expand_row_into(user, &mut u);
+            for chunk in ids.chunks(band) {
+                let mut h = Matrix::zeros(chunk.len(), du + di);
+                for (r, &i) in chunk.iter().enumerate() {
+                    let row = h.row_mut(r);
+                    row[..du].copy_from_slice(&u);
+                    items.expand_row_into(i as usize, &mut row[du..]);
+                }
+                for layer in layers {
+                    let mut y = try_score_bt(&h, &layer.w, Some(&layer.b), threads)
+                        .map_err(|e| ServeError::Invalid(e.to_string()))?;
+                    for v in y.as_mut_slice() {
+                        *v = layer.act.apply(*v);
+                    }
+                    h = y;
+                }
+                out.extend_from_slice(h.as_slice());
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Per-user seen-item lists from the dataset's training interactions —
 /// the same exclusion set `top_k_unseen` uses.
-fn seen_lists(data: &Dataset) -> Vec<Vec<u32>> {
+pub(crate) fn seen_lists(data: &Dataset) -> Vec<Vec<u32>> {
     (0..data.num_users())
         .map(|u| data.train_graph.items_of(UserId(u)).to_vec())
         .collect()

@@ -36,6 +36,13 @@
 //!   engine outages with deterministic backoff, degrades to stale cached
 //!   results, and bounds injected latency with logical-tick deadlines
 //!   (`tests/chaos.rs`).
+//! * **Sharding is invisible in the bytes**: a [`shard::ShardedEngine`]
+//!   range-partitions the catalog, scores shards independently, and
+//!   merges with an exact scatter-gather — responses are bit-identical
+//!   to the single engine at every shard count, worker count, and
+//!   precision; a shard outage degrades a response and names the
+//!   missing ranges ([`Response::partial_shards`]) instead of silently
+//!   truncating it (`tests/properties.rs`, `tests/chaos.rs`).
 
 // Library crates stay entirely safe; tensor alone carries the SIMD
 // intrinsics and documents each unsafe block (lint rule R2).
@@ -46,6 +53,7 @@ pub mod cache;
 pub mod engine;
 pub mod mask;
 pub mod scheduler;
+pub mod shard;
 pub mod topk;
 
 pub use cache::ResultCache;
@@ -56,4 +64,9 @@ pub use scheduler::{
     latency_edges, replay, replay_supervised, replay_traced, replay_traced_supervised,
     responses_to_json, ReplayConfig, Request, Response,
 };
-pub use topk::select_top_k;
+pub use shard::{
+    replay_sharded, replay_sharded_supervised, replay_sharded_traced,
+    replay_sharded_traced_supervised, ShardPartial, ShardReplayConfig, ShardedConfig,
+    ShardedEngine,
+};
+pub use topk::{merge_top_k, select_top_k};

@@ -83,6 +83,12 @@ pub struct Response {
     /// fresh ones — the engine is pure — but the flag is surfaced so
     /// clients can tell).
     pub degraded: bool,
+    /// Shards whose partial results are **missing** from `recs`
+    /// (sharded serving only; always empty on the single-engine path).
+    /// A shard outage never silently truncates a top-K: the response is
+    /// flagged `degraded` and names exactly which item ranges went
+    /// unscored, in ascending shard order.
+    pub partial_shards: Vec<u32>,
 }
 
 impl Response {
@@ -115,6 +121,16 @@ impl Response {
         }
         if self.degraded {
             s.push_str(",\"degraded\":true");
+        }
+        if !self.partial_shards.is_empty() {
+            s.push_str(",\"partial_shards\":[");
+            for (i, shard) in self.partial_shards.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&shard.to_string());
+            }
+            s.push(']');
         }
         s.push('}');
         s
@@ -463,6 +479,7 @@ fn commit_errors(shared: &Shared<'_>, batch: Batch) {
                 batch.requeues + 1
             )),
             degraded: false,
+            partial_shards: Vec::new(),
         });
     }
 }
@@ -498,6 +515,7 @@ fn serve_one_supervised(
                     config.deadline_ticks
                 )),
                 degraded: false,
+                partial_shards: Vec::new(),
             };
         }
         match shared.injector.io("serve/engine") {
@@ -530,6 +548,7 @@ fn serve_one_supervised(
                             recs,
                             error: None,
                             degraded: true,
+                            partial_shards: Vec::new(),
                         };
                     }
                 }
@@ -539,6 +558,7 @@ fn serve_one_supervised(
                     recs: Vec::new(),
                     error: Some(format!("engine unavailable after {attempt} retries: {e}")),
                     degraded: false,
+                    partial_shards: Vec::new(),
                 };
             }
         }
@@ -553,6 +573,7 @@ fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) ->
             recs,
             error: None,
             degraded: false,
+            partial_shards: Vec::new(),
         },
         Err(e) => Response {
             user: req.user,
@@ -560,6 +581,7 @@ fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) ->
             recs: Vec::new(),
             error: Some(e.to_string()),
             degraded: false,
+            partial_shards: Vec::new(),
         },
     }
 }
@@ -667,6 +689,7 @@ mod tests {
             }],
             error: None,
             degraded: false,
+            partial_shards: Vec::new(),
         };
         assert_eq!(
             r.to_json(),
@@ -676,6 +699,12 @@ mod tests {
         assert_eq!(
             r.to_json(),
             "{\"user\":1,\"k\":2,\"recs\":[{\"item\":7,\"score\":0.5}],\"degraded\":true}"
+        );
+        r.partial_shards = vec![1, 3];
+        assert_eq!(
+            r.to_json(),
+            "{\"user\":1,\"k\":2,\"recs\":[{\"item\":7,\"score\":0.5}],\"degraded\":true,\
+             \"partial_shards\":[1,3]}"
         );
     }
 

@@ -94,6 +94,30 @@ where
     out
 }
 
+/// Exact scatter-gather merge: re-selects the global top `k` from
+/// per-shard top-`k` lists.
+///
+/// **Why this is exact** (the proof sketch in DESIGN.md §15): the
+/// serving order `(score desc, item id asc)` is a *strict total order*
+/// on candidates (item ids are unique, finite scores compare totally).
+/// Restricting a strict total order to a subset preserves ranking, so
+/// every member of the global top-k that lives in shard `s` is also in
+/// shard `s`'s local top-k — no global winner can be truncated away by
+/// its own shard. The union of the per-shard lists therefore contains
+/// the global top-k, and re-selecting with the same comparator
+/// ([`select_top_k`], which is input-order independent under a strict
+/// order) yields exactly the single-engine result, ties included.
+///
+/// NaN scores sit outside this contract (the comparator treats NaN as
+/// equal to everything, which is not a total order) — exactly the same
+/// exclusion the single-engine parity contract already makes.
+pub fn merge_top_k(partials: &[Vec<Recommendation>], k: usize) -> Vec<Recommendation> {
+    select_top_k(
+        partials.iter().flatten().map(|r| (r.item.raw(), r.score)),
+        k,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +166,28 @@ mod tests {
     fn k_zero_and_empty_candidates() {
         assert!(select_top_k([(0u32, 1.0f32)].iter().copied(), 0).is_empty());
         assert!(select_top_k(std::iter::empty::<(u32, f32)>(), 5).is_empty());
+    }
+
+    /// The scatter-gather merge equals a single global selection, on a
+    /// distribution built to stress it: heavy score collisions with tie
+    /// runs straddling the shard boundaries.
+    #[test]
+    fn merge_of_shard_top_ks_equals_global_top_k() {
+        // 60 items, scores collide every 5 ids -> ties cross any
+        // contiguous boundary; boundary at 29|30 splits a tie run.
+        let cands: Vec<(u32, f32)> = (0..60u32).map(|i| (i, (i % 5) as f32)).collect();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let per = cands.len().div_ceil(shards);
+            for k in [0usize, 1, 7, 20, 60, 100] {
+                let partials: Vec<Vec<Recommendation>> = cands
+                    .chunks(per)
+                    .map(|chunk| select_top_k(chunk.iter().copied(), k))
+                    .collect();
+                let merged = merge_top_k(&partials, k);
+                let global = select_top_k(cands.iter().copied(), k);
+                assert_eq!(merged, global, "shards={shards} k={k}");
+            }
+        }
     }
 
     /// NaN is outside the parity contract (models emit finite scores);

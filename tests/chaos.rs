@@ -24,7 +24,9 @@ use scenerec_core::{FrozenHead, FrozenModel, PairwiseModel, Precision, SceneRec,
 use scenerec_data::{generate, Dataset, GeneratorConfig};
 use scenerec_faults::{Fault, FaultPlan, Injector, Trigger};
 use scenerec_serve::{
-    replay, replay_supervised, responses_to_json, EngineConfig, FrozenEngine, ReplayConfig, Request,
+    merge_top_k, replay, replay_sharded, replay_sharded_supervised, replay_supervised,
+    responses_to_json, EngineConfig, FrozenEngine, ReplayConfig, Request, ShardReplayConfig,
+    ShardedConfig, ShardedEngine,
 };
 use scenerec_tensor::Matrix;
 
@@ -47,8 +49,8 @@ fn tmp_dir(name: &str) -> std::path::PathBuf {
     dir
 }
 
-/// A small deterministic engine: 4 users x 6 items, distinct scores.
-fn toy_engine() -> FrozenEngine {
+/// A small deterministic snapshot: 4 users x 6 items, distinct scores.
+fn toy_frozen() -> (FrozenModel, Vec<Vec<u32>>) {
     let mut users = Matrix::zeros(4, 2);
     users.set_row(0, &[1.0, 0.0]);
     users.set_row(1, &[0.0, 1.0]);
@@ -65,7 +67,18 @@ fn toy_engine() -> FrozenEngine {
         FrozenHead::DotBias { bias: vec![0.0; 6] },
     );
     let seen = vec![vec![0], vec![], vec![5], vec![1, 2]];
+    (frozen, seen)
+}
+
+fn toy_engine() -> FrozenEngine {
+    let (frozen, seen) = toy_frozen();
     FrozenEngine::new(frozen, &seen, EngineConfig::default()).unwrap()
+}
+
+/// The same snapshot range-partitioned across `shards` item ranges.
+fn toy_sharded(shards: usize) -> ShardedEngine {
+    let (frozen, seen) = toy_frozen();
+    ShardedEngine::new(frozen, &seen, ShardedConfig::with_shards(shards)).unwrap()
 }
 
 fn request_log() -> Vec<Request> {
@@ -396,6 +409,114 @@ fn worker_panic_dumps_flight_recorder() {
         dump.contains("faults.injected") && dump.contains("Panic at serve/worker"),
         "dump must show the injected fault:\n{dump}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving under chaos
+// ---------------------------------------------------------------------
+
+/// Shard-worker panic storms at any worker count: the supervisor
+/// respawns the dead slot and requeues its in-flight (batch x shard)
+/// task exactly once, so recovered output is byte-identical to a
+/// fault-free run — no lost cells, no double-served cells.
+#[test]
+fn shard_worker_panic_storms_never_lose_or_duplicate_responses() {
+    let reqs = request_log();
+    let reference = responses_to_json(&replay_sharded(
+        &toy_sharded(4),
+        &reqs,
+        &ShardReplayConfig {
+            max_batch: 4,
+            ..ShardReplayConfig::default()
+        },
+    ));
+    for workers in [1usize, 2, 4] {
+        let engine = toy_sharded(4);
+        let inj = Injector::new(FaultPlan::new(chaos_seed()).inject(
+            "serve/shard_worker",
+            Trigger::Every(3),
+            Fault::Panic,
+        ));
+        let cfg = ShardReplayConfig {
+            workers,
+            max_batch: 4,
+            // Every third claim panics; the invariant under test is
+            // exactly-once delivery, not the requeue budget.
+            max_retries: 32,
+            ..ShardReplayConfig::default()
+        };
+        let got = responses_to_json(&replay_sharded_supervised(&engine, &reqs, &cfg, &inj));
+        assert!(inj.injected() >= 1, "plan never fired at workers={workers}");
+        assert_eq!(
+            reference, got,
+            "workers={workers} diverged under shard-worker panics"
+        );
+    }
+}
+
+/// One shard down past its retry budget: every response degrades, names
+/// the dead shard in `partial_shards`, and carries the *exact* merge of
+/// the surviving shards — independently recomputed here — so the outage
+/// is never silently truncated into a shorter clean-looking answer.
+#[test]
+fn shard_outage_degrades_to_exact_merge_of_survivors() {
+    let reqs = request_log();
+    let engine = toy_sharded(4);
+    let inj = Injector::new(FaultPlan::new(chaos_seed()).inject(
+        "serve/shard/2",
+        Trigger::Always,
+        Fault::Io,
+    ));
+    let out = replay_sharded_supervised(&engine, &reqs, &ShardReplayConfig::default(), &inj);
+    assert_eq!(out.len(), reqs.len());
+    let dead = engine.shard_map().range(2).expect("shard 2 exists");
+    for (req, resp) in reqs.iter().zip(&out) {
+        assert!(
+            resp.error.is_none(),
+            "outage must degrade, not error: {:?}",
+            resp.error
+        );
+        assert!(resp.degraded, "missing shard must flag the response");
+        assert_eq!(resp.partial_shards, vec![2], "the dead shard is named");
+        assert!(
+            resp.recs.iter().all(|r| !dead.contains(&r.item.raw())),
+            "user {}: a rec came from the dead shard",
+            req.user
+        );
+        let partials: Vec<_> = [0usize, 1, 3]
+            .iter()
+            .map(|&s| engine.partial_top_k(s, req.user, req.k).unwrap().recs)
+            .collect();
+        assert_eq!(
+            resp.recs,
+            merge_top_k(&partials, req.k),
+            "user {} k {}: not the exact merge of the survivors",
+            req.user,
+            req.k
+        );
+    }
+}
+
+/// Every shard down: the response is a typed error naming the first
+/// dead shard and its retry count — never an empty-but-clean result.
+#[test]
+fn full_shard_outage_is_a_typed_error_not_an_empty_result() {
+    let engine = toy_sharded(4);
+    let mut plan = FaultPlan::new(chaos_seed());
+    for s in 0..4 {
+        plan = plan.inject(&format!("serve/shard/{s}"), Trigger::Always, Fault::Io);
+    }
+    let inj = Injector::new(plan);
+    let out = replay_sharded_supervised(
+        &engine,
+        &[Request { user: 1, k: 3 }],
+        &ShardReplayConfig::default(),
+        &inj,
+    );
+    let err = out[0].error.as_deref().expect("full outage must be typed");
+    assert!(err.contains("shard 0 unavailable after 2 retries"), "{err}");
+    assert!(out[0].recs.is_empty());
+    assert!(!out[0].degraded && out[0].partial_shards.is_empty());
 }
 
 // ---------------------------------------------------------------------

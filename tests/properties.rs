@@ -179,6 +179,158 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Shard equivalence: a ShardedEngine is byte-identical to the single
+// FrozenEngine on the same frozen model — at any shard count, any
+// precision, any k (including 0 and > candidates), under any seen mask
+// (including all-seen), with ties straddling every shard boundary.
+// ---------------------------------------------------------------------
+
+use scenerec_core::{FrozenHead, FrozenModel, Precision, Recommendation};
+use scenerec_serve::{EngineConfig, FrozenEngine, ShardedConfig, ShardedEngine};
+use scenerec_tensor::Matrix;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded dot-bias model. `tie_heavy` snaps embeddings to a 3-value
+/// grid so distinct items collide on exact scores in long runs.
+fn random_frozen(
+    seed: u64,
+    num_users: usize,
+    num_items: usize,
+    dim: usize,
+    tie_heavy: bool,
+) -> FrozenModel {
+    let mut state = seed;
+    let mut next = move || {
+        state = splitmix64(state.wrapping_add(1));
+        if tie_heavy {
+            ((state % 3) as f32 - 1.0) * 0.5
+        } else {
+            (state >> 40) as f32 / 8_388_608.0 - 1.0
+        }
+    };
+    let users = Matrix::from_vec(
+        num_users,
+        dim,
+        (0..num_users * dim).map(|_| next()).collect(),
+    )
+    .unwrap();
+    let items = Matrix::from_vec(
+        num_items,
+        dim,
+        (0..num_items * dim).map(|_| next()).collect(),
+    )
+    .unwrap();
+    let bias = (0..num_items).map(|_| next() * 0.125).collect();
+    FrozenModel::dense("prop", users, items, FrozenHead::DotBias { bias })
+}
+
+fn rec_bits(recs: &[Recommendation]) -> Vec<(u32, u32)> {
+    recs.iter()
+        .map(|r| (r.item.raw(), r.score.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random models, every precision, shard counts {1,2,4,8}: sharded
+    /// top-K equals the single engine bit-for-bit — including k = 0,
+    /// k beyond the candidate count, and users whose entire catalog is
+    /// masked as seen (`seen_mod == 1`).
+    #[test]
+    fn sharded_engine_is_bit_identical_to_single_engine(
+        seed in 0u64..1_000_000,
+        num_users in 1usize..6,
+        num_items in 1usize..80,
+        dim in 1usize..8,
+        tie_idx in 0usize..2,
+        seen_mod in 1usize..5,
+        precision_idx in 0usize..3,
+        k in 0usize..100,
+    ) {
+        let precision = [Precision::F32, Precision::F16, Precision::Int8][precision_idx];
+        let tie_heavy = tie_idx == 1;
+        let frozen = random_frozen(seed, num_users, num_items, dim, tie_heavy)
+            .quantize(precision)
+            .unwrap();
+        // `seen_mod == 1` marks every item seen for every user.
+        let seen: Vec<Vec<u32>> = (0..num_users)
+            .map(|u| {
+                (0..num_items as u32)
+                    .filter(|i| (*i as usize + u) % seen_mod == 0)
+                    .collect()
+            })
+            .collect();
+        let single = FrozenEngine::new(frozen.clone(), &seen, EngineConfig::default()).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let sharded =
+                ShardedEngine::new(frozen.clone(), &seen, ShardedConfig::with_shards(shards))
+                    .unwrap();
+            for user in 0..num_users as u32 {
+                for k in [0usize, 1, k, num_items, num_items + 7] {
+                    let want = single.top_k(user, k).unwrap();
+                    let got = sharded.top_k(user, k).unwrap();
+                    prop_assert_eq!(
+                        rec_bits(&want),
+                        rec_bits(&got),
+                        "shards={} user={} k={} precision={}",
+                        shards, user, k, precision.name()
+                    );
+                    if seen_mod == 1 {
+                        prop_assert!(got.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adversarial tie runs straddling every shard boundary: all items
+    /// score on a tiny cyclic grid, so every contiguous partition cuts
+    /// through maximal tie runs — the merge must still reproduce the
+    /// single engine's ascending-item tie order exactly.
+    #[test]
+    fn boundary_straddling_ties_merge_exactly(
+        num_items in 8usize..120,
+        cycle in 2usize..7,
+        k in 1usize..130,
+    ) {
+        let users = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        let items = Matrix::from_vec(
+            num_items,
+            1,
+            (0..num_items).map(|i| (i % cycle) as f32 * 0.25).collect(),
+        )
+        .unwrap();
+        let frozen = FrozenModel::dense(
+            "ties",
+            users,
+            items,
+            FrozenHead::DotBias { bias: vec![0.0; num_items] },
+        );
+        let single =
+            FrozenEngine::new(frozen.clone(), &[Vec::new()], EngineConfig::default()).unwrap();
+        let want = rec_bits(&single.top_k(0, k).unwrap());
+        for shards in [1usize, 2, 4, 8] {
+            let sharded =
+                ShardedEngine::new_unseen(frozen.clone(), ShardedConfig::with_shards(shards))
+                    .unwrap();
+            prop_assert_eq!(
+                &want,
+                &rec_bits(&sharded.top_k(0, k).unwrap()),
+                "shards={} cycle={} k={}",
+                shards, cycle, k
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Retry backoff (scenerec_faults::Backoff): the schedule the serving
 // scheduler and chaos suite rely on must be a pure, bounded, monotone
 // function of the attempt index.

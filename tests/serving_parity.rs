@@ -13,7 +13,8 @@ use scenerec_core::{top_k_unseen, PairwiseModel, Precision, SceneRec, SceneRecCo
 use scenerec_data::{generate, Dataset, GeneratorConfig};
 use scenerec_graph::{ItemId, UserId};
 use scenerec_serve::{
-    replay, responses_to_json, EngineConfig, FrozenEngine, ReplayConfig, Request,
+    replay, replay_sharded, replay_sharded_traced, responses_to_json, EngineConfig, FrozenEngine,
+    ReplayConfig, Request, ShardReplayConfig, ShardedConfig, ShardedEngine,
 };
 
 const SAMPLED_USERS: u32 = 50;
@@ -194,6 +195,95 @@ fn quantized_top_k_overlap_at_20_is_at_least_95_percent() {
             overlap >= 0.95,
             "{}: top-{OVERLAP_K} overlap {overlap:.4} < 0.95",
             precision.name()
+        );
+    }
+}
+
+/// The sharded engine is a partitioning of the single engine, not a new
+/// scoring path: on a trained model, at every storage precision,
+/// `replay_sharded` must render byte-identical responses to the
+/// single-engine `replay` — and those bytes must not move across worker
+/// counts {1, 2, 4}, since consistent-hash routing plus request-order
+/// assembly make scheduling invisible.
+#[test]
+fn sharded_replay_is_byte_identical_to_single_engine_at_every_precision() {
+    let data = dataset();
+    let model = trained_bprmf(&data);
+    let requests: Vec<Request> = (0..SAMPLED_USERS)
+        .map(|user| Request { user, k: OVERLAP_K })
+        .collect();
+    for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+        let engine = quantized_engine(&model, &data, precision, 0);
+        let reference = responses_to_json(&replay(
+            &engine,
+            &requests,
+            &ReplayConfig {
+                max_batch: 16,
+                ..ReplayConfig::default()
+            },
+        ));
+        for workers in [1usize, 2, 4] {
+            let sharded = ShardedEngine::from_model_quantized(
+                &model,
+                &data,
+                precision,
+                ShardedConfig::with_shards(4),
+            )
+            .unwrap_or_else(|e| panic!("{} sharded engine: {e}", precision.name()));
+            let cfg = ShardReplayConfig {
+                workers,
+                max_batch: 16,
+                ..ShardReplayConfig::default()
+            };
+            assert_eq!(
+                responses_to_json(&replay_sharded(&sharded, &requests, &cfg)),
+                reference,
+                "{}: sharded bytes diverged at {workers} workers",
+                precision.name()
+            );
+        }
+    }
+}
+
+/// Sharded trace *structure* is a pure function of the request log and
+/// the shard count: the coordinator assembles every span tree in
+/// deterministic shard order, so the digest over all trees is pinned
+/// across worker counts on a trained model too.
+#[test]
+fn sharded_trace_structure_digest_is_pinned_across_worker_counts() {
+    use scenerec_obs::trace::structure_digest;
+
+    let data = dataset();
+    let model = trained_bprmf(&data);
+    let engine = ShardedEngine::from_model_quantized(
+        &model,
+        &data,
+        Precision::F32,
+        ShardedConfig::with_shards(4),
+    )
+    .expect("sharded engine");
+    let requests: Vec<Request> = (0..SAMPLED_USERS)
+        .map(|user| Request { user, k: OVERLAP_K })
+        .collect();
+    let digest_at = |workers: usize| {
+        let (responses, traces) = replay_sharded_traced(
+            &engine,
+            &requests,
+            &ShardReplayConfig {
+                workers,
+                max_batch: 16,
+                ..ShardReplayConfig::default()
+            },
+        );
+        assert_eq!(traces.len(), responses.len());
+        structure_digest(&traces)
+    };
+    let want = digest_at(1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            want,
+            digest_at(workers),
+            "digest moved at {workers} workers"
         );
     }
 }
