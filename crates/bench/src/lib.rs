@@ -28,6 +28,7 @@ pub mod harness;
 pub mod manifest;
 pub mod reference;
 pub mod table;
+pub mod traffic;
 
 pub use harness::{run_model, HarnessConfig, ModelKind, ModelResult};
 pub use manifest::{manifest_for, write_manifest};

@@ -9,6 +9,8 @@
 
 use scenerec_core::Recommendation;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cache key: one entry per (user, k, precision-tag) triple. The tag
 /// (`scenerec_core::Precision::tag`) rides in the key so results
@@ -41,12 +43,38 @@ pub struct ResultCache {
     entries: BTreeMap<Key, Slot>,
     /// Reverse index: logical stamp -> key, used to find the LRU victim.
     recency: BTreeMap<u64, Key>,
-    /// Lookups answered from the cache. Kept on the cache itself (not
-    /// the global obs registry) so per-cache stats are deterministic
-    /// even when tests or engines run in parallel in one process.
-    hits: u64,
-    /// Lookups that found nothing.
-    misses: u64,
+    /// Lifetime hit/miss counters, shared via [`CacheStats`].
+    stats: Arc<CacheStats>,
+}
+
+/// Lifetime hit/miss counters for one [`ResultCache`], kept per-cache
+/// (not in the global obs registry) so per-cache stats stay
+/// deterministic even when tests or engines run in parallel in one
+/// process.
+///
+/// The counters are atomics in a shared handle ([`ResultCache::stats`])
+/// rather than plain fields, so reading them never requires the mutex
+/// the cache itself lives behind: the engine's fast path updates them
+/// while it holds its cache lock, and a stats poller reads them without
+/// ever contending for that lock (the regression
+/// `cache_stats_reads_do_not_take_the_cache_lock` in `engine.rs` pins
+/// this).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 impl ResultCache {
@@ -58,9 +86,14 @@ impl ResultCache {
             epoch: 0,
             entries: BTreeMap::new(),
             recency: BTreeMap::new(),
-            hits: 0,
-            misses: 0,
+            stats: Arc::new(CacheStats::default()),
         }
+    }
+
+    /// A shared handle to this cache's lifetime hit/miss counters,
+    /// readable without whatever lock guards the cache itself.
+    pub fn stats(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Looks up `(user, k, tag)`, refreshing its recency on a hit.
@@ -68,7 +101,7 @@ impl ResultCache {
     /// dropped here (lazy collection after [`ResultCache::bump_epoch`]).
     pub fn get(&mut self, user: u32, k: u32, tag: u8) -> Option<Vec<Recommendation>> {
         let Some(slot) = self.entries.get_mut(&(user, k, tag)) else {
-            self.misses += 1;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
         if slot.epoch != self.epoch {
@@ -76,10 +109,10 @@ impl ResultCache {
             self.entries.remove(&(user, k, tag));
             self.recency.remove(&old);
             self.reset_stamps_if_empty();
-            self.misses += 1;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        self.hits += 1;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
         let old = slot.stamp;
         slot.stamp = self.next_stamp;
         let recs = slot.recs.clone();
@@ -182,12 +215,12 @@ impl ResultCache {
 
     /// Lookups answered from the cache since construction.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.stats.hits()
     }
 
     /// Lookups that missed since construction.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.stats.misses()
     }
 
     /// The next logical recency stamp — exposed for the regression test

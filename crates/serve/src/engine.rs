@@ -122,6 +122,10 @@ pub struct FrozenEngine {
     seen: Vec<SeenMask>,
     config: EngineConfig,
     cache: Mutex<ResultCache>,
+    /// Shared handle to the cache's lifetime hit/miss counters, cloned
+    /// out before the cache goes behind its mutex — stats reads never
+    /// contend with the serving fast path for the cache lock.
+    cache_stats: std::sync::Arc<crate::cache::CacheStats>,
 }
 
 impl FrozenEngine {
@@ -149,12 +153,14 @@ impl FrozenEngine {
             .iter()
             .map(|items| SeenMask::from_items(num_items, items))
             .collect();
-        let cache = Mutex::new(ResultCache::new(config.cache_capacity));
+        let cache = ResultCache::new(config.cache_capacity);
+        let cache_stats = cache.stats();
         Ok(FrozenEngine {
             frozen,
             seen,
             config,
-            cache,
+            cache: Mutex::new(cache),
+            cache_stats,
         })
     }
 
@@ -404,9 +410,13 @@ impl FrozenEngine {
     /// Lifetime (hits, misses) of this engine's result cache. Unlike the
     /// global `serve/cache_hits` counters these are per-engine, so they
     /// stay deterministic when engines run in parallel in one process.
+    ///
+    /// Reads the shared [`crate::cache::CacheStats`] atomics — **not**
+    /// the cache mutex — so polling stats can never block the serving
+    /// fast path (and the fast path's cache probe never waits behind a
+    /// stats reader).
     pub fn cache_stats(&self) -> (u64, u64) {
-        let cache = lock_unpoisoned(&self.cache);
-        (cache.hits(), cache.misses())
+        (self.cache_stats.hits(), self.cache_stats.misses())
     }
 }
 
@@ -554,6 +564,20 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].item.raw(), 0); // item 3 (score 2.0) is seen
         assert_eq!(recs[1].item.raw(), 2);
+    }
+
+    /// Satellite regression for the stats split: `cache_stats` reads
+    /// the shared atomics, not the cache mutex. The test holds the
+    /// cache lock on the same thread while polling stats — if the
+    /// accessor ever went back to locking the cache, this would
+    /// deadlock (std mutexes are non-reentrant) and hang the test.
+    #[test]
+    fn cache_stats_reads_do_not_take_the_cache_lock() {
+        let engine = toy_engine(&[vec![], vec![], vec![]]);
+        engine.top_k(0, 2).unwrap(); // one miss, filled
+        engine.top_k(0, 2).unwrap(); // one hit
+        let _cache_guard = engine.cache.lock().expect("test holds the cache lock");
+        assert_eq!(engine.cache_stats(), (1, 1));
     }
 
     #[test]

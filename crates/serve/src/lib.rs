@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod mask;
@@ -56,17 +57,22 @@ pub mod scheduler;
 pub mod shard;
 pub mod topk;
 
-pub use cache::ResultCache;
+pub use admission::{
+    plan as admission_plan, AdmissionConfig, AdmissionPlan, Lane, OverloadInfo, TimedRequest,
+    Verdict,
+};
+pub use cache::{CacheStats, ResultCache};
 pub use engine::{EngineConfig, FrozenEngine, ServeError};
 pub use mask::SeenMask;
 pub use scenerec_faults::Backoff;
 pub use scheduler::{
-    latency_edges, replay, replay_supervised, replay_traced, replay_traced_supervised,
-    responses_to_json, ReplayConfig, Request, Response,
+    latency_edges, replay, replay_bounded, replay_bounded_supervised, replay_bounded_traced,
+    replay_bounded_traced_supervised, replay_supervised, replay_traced, replay_traced_supervised,
+    responses_to_json, BoundedReplayConfig, ReplayConfig, Request, Response,
 };
 pub use shard::{
-    replay_sharded, replay_sharded_supervised, replay_sharded_traced,
-    replay_sharded_traced_supervised, ShardPartial, ShardReplayConfig, ShardedConfig,
-    ShardedEngine,
+    replay_sharded, replay_sharded_bounded, replay_sharded_bounded_supervised,
+    replay_sharded_supervised, replay_sharded_traced, replay_sharded_traced_supervised,
+    ShardPartial, ShardReplayConfig, ShardedConfig, ShardedEngine,
 };
 pub use topk::{merge_top_k, select_top_k};

@@ -49,6 +49,7 @@
 //! panicked worker — the post-mortem shows what every thread was doing
 //! just before the crash.
 
+use crate::admission::{self, AdmissionConfig, AdmissionPlan, Lane, OverloadInfo, TimedRequest};
 use crate::engine::FrozenEngine;
 use scenerec_core::Recommendation;
 use scenerec_faults::{Backoff, Injector};
@@ -89,6 +90,12 @@ pub struct Response {
     /// flagged `degraded` and names exactly which item ranges went
     /// unscored, in ascending shard order.
     pub partial_shards: Vec<u32>,
+    /// Set when the admission gate shed this request instead of
+    /// queueing it (bounded scheduler only): the lane that was full,
+    /// the queue depth observed, and a deterministic retry-after hint
+    /// in logical ticks. An overloaded response is typed — never a
+    /// silent drop, never conflated with an engine error.
+    pub overload: Option<OverloadInfo>,
 }
 
 impl Response {
@@ -132,8 +139,32 @@ impl Response {
             }
             s.push(']');
         }
+        if let Some(o) = &self.overload {
+            s.push_str(",\"overloaded\":{\"lane\":\"");
+            s.push_str(o.lane.name());
+            s.push_str("\",\"queue_depth\":");
+            s.push_str(&o.queue_depth.to_string());
+            s.push_str(",\"retry_after_ticks\":");
+            s.push_str(&o.retry_after_ticks.to_string());
+            s.push('}');
+        }
         s.push('}');
         s
+    }
+
+    /// Coarse outcome classification, for accounting and tests:
+    /// `"overloaded"` (shed at admission), `"error"`, `"degraded"`
+    /// (stale fallback), or `"ok"`.
+    pub fn outcome(&self) -> &'static str {
+        if self.overload.is_some() {
+            "overloaded"
+        } else if self.error.is_some() {
+            "error"
+        } else if self.degraded {
+            "degraded"
+        } else {
+            "ok"
+        }
     }
 }
 
@@ -196,23 +227,57 @@ pub fn latency_edges() -> Vec<f64> {
     metrics::log_edges(1e3, 1e10, 6)
 }
 
-/// A claimed micro-batch: request indices `start..end`, plus how many
-/// times a panicking worker has already handed it back.
+/// Admission-controlled scheduler knobs: the plain [`ReplayConfig`]
+/// plus the bounded-queue policy the admission plan is computed from.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedReplayConfig {
+    /// Worker-pool knobs (workers, batching, retries, degraded mode).
+    pub replay: ReplayConfig,
+    /// Queue bounds, lane weights, and the modeled service rate.
+    pub admission: AdmissionConfig,
+}
+
+/// A claimed micro-batch: positions `start..end` in its lane's dequeue
+/// order (see [`Shared::order`]), plus how many times a panicking
+/// worker has already handed it back.
 #[derive(Debug, Clone, Copy)]
 struct Batch {
+    lane: Lane,
     start: usize,
     end: usize,
     requeues: u32,
 }
 
+/// Residual weighted-round-robin shares for one worker's current
+/// round. Workers drain the fast lane `fast_weight` times, then the
+/// cold lane `cold_weight` times, an empty lane ceding its remainder —
+/// the execution-side mirror of the admission simulator's discipline.
+struct LaneShares {
+    fast_left: u32,
+    cold_left: u32,
+}
+
 /// Everything the worker pool shares. All critical sections only move
 /// values between containers, so poisoned locks are safe to recover.
+///
+/// The two lane queues are **separate mutexes** deliberately: a worker
+/// popping the fast (cache-hit) lane takes only `fast`, never `cold`,
+/// so a slow cold-scoring drain can never block fast-lane claims
+/// (pinned by `fast_lane_pop_never_touches_the_cold_mutex`).
 struct Shared<'a> {
     engine: &'a FrozenEngine,
     requests: &'a [Request],
     config: &'a ReplayConfig,
     injector: &'a Injector,
-    queue: Mutex<VecDeque<Batch>>,
+    /// Lane-weight pair `(fast, cold)` for the drain discipline.
+    weights: (u32, u32),
+    /// Per-lane dequeue order: `order[lane][pos]` is the request index
+    /// a batch position maps to. The unbounded path uses the identity
+    /// order on the cold lane; the bounded path uses the admission
+    /// plan's per-lane `seq` order.
+    order: [Vec<usize>; 2],
+    fast: Mutex<VecDeque<Batch>>,
+    cold: Mutex<VecDeque<Batch>>,
     slots: Mutex<Vec<Option<Response>>>,
     /// Last good result per (user, k, precision-tag) — the
     /// degraded-mode fallback. Tagged like the engine's result cache so
@@ -282,6 +347,23 @@ pub fn replay_traced_supervised(
     (responses, traces.unwrap_or_default())
 }
 
+/// Chops `positions` (already in lane dequeue order) into micro-batches.
+fn lane_batches(lane: Lane, count: usize, max_batch: usize) -> VecDeque<Batch> {
+    let mut queue = VecDeque::new();
+    let mut start = 0;
+    while start < count {
+        let end = (start + max_batch).min(count);
+        queue.push_back(Batch {
+            lane,
+            start,
+            end,
+            requeues: 0,
+        });
+        start = end;
+    }
+    queue
+}
+
 fn run_replay(
     engine: &FrozenEngine,
     requests: &[Request],
@@ -291,17 +373,9 @@ fn run_replay(
 ) -> (Vec<Response>, Option<Vec<TraceData>>) {
     let workers = config.workers.max(1);
     let max_batch = config.max_batch.max(1);
-    let mut queue = VecDeque::new();
-    let mut start = 0;
-    while start < requests.len() {
-        let end = (start + max_batch).min(requests.len());
-        queue.push_back(Batch {
-            start,
-            end,
-            requeues: 0,
-        });
-        start = end;
-    }
+    // The unbounded path is a degenerate lane assignment: everything in
+    // the cold lane, in request order, nothing shed.
+    let cold = lane_batches(Lane::Cold, requests.len(), max_batch);
     let traces = traced.then(|| {
         // Every request's trace opens here, on the scheduler thread, in
         // request order: the root span and the queue span get their
@@ -327,15 +401,23 @@ fn run_replay(
         requests,
         config,
         injector,
-        queue: Mutex::new(queue),
+        weights: (1, 1),
+        order: [Vec::new(), (0..requests.len()).collect()],
+        fast: Mutex::new(VecDeque::new()),
+        cold: Mutex::new(cold),
         slots: Mutex::new(requests.iter().map(|_| None).collect()),
         stale: Mutex::new(BTreeMap::new()),
         traces,
     };
     supervise(&shared, workers);
+    finish_run(&shared, requests.len())
+}
 
+/// Drains the response slots (and traces, when present) after the
+/// worker pool has joined.
+fn finish_run(shared: &Shared<'_>, expected: usize) -> (Vec<Response>, Option<Vec<TraceData>>) {
     let out: Vec<Response> = lock_unpoisoned(&shared.slots).drain(..).flatten().collect();
-    debug_assert_eq!(out.len(), requests.len(), "scheduler dropped a request");
+    debug_assert_eq!(out.len(), expected, "scheduler dropped a request");
     let traces = shared.traces.as_ref().map(|m| {
         // Drain under the lock, finish outside it: `Trace::finish`
         // touches the obs span registry, and holding one lock across a
@@ -348,6 +430,202 @@ fn run_replay(
             .collect()
     });
     (out, traces)
+}
+
+/// Replays an **open-loop timed arrival log** through the engine with
+/// bounded lane queues and deterministic admission control, returning
+/// responses in arrival order plus the [`AdmissionPlan`] that produced
+/// them.
+///
+/// The admission decision for every arrival — admit into the fast
+/// (predicted cache hit) or cold lane, or shed with a typed
+/// [`OverloadInfo`] — is computed up front by [`admission::plan`] as a
+/// pure function of (arrival order, queue capacities, lane
+/// classification). Workers then serve exactly the admitted requests
+/// in the planned per-lane order, so:
+///
+/// * **(admitted + shed) == offered** — every arrival gets exactly one
+///   response; a shed request is answered, not dropped.
+/// * **Worker count never changes bytes** — shedding happened before
+///   any worker existed.
+/// * Shed responses carry `overload: Some(..)` with the queue depth
+///   and a deterministic retry-after estimate in logical ticks.
+pub fn replay_bounded(
+    engine: &FrozenEngine,
+    arrivals: &[TimedRequest],
+    config: &BoundedReplayConfig,
+) -> (Vec<Response>, AdmissionPlan) {
+    replay_bounded_supervised(engine, arrivals, config, &Injector::disabled())
+}
+
+/// [`replay_bounded`] with fault injection and full supervision — the
+/// same recovery ladder as [`replay_supervised`]. A panicked worker's
+/// batch is requeued at the **front of its own lane**, so the
+/// exactly-once guarantee composes with admission control: requeues
+/// re-enter a queue that admission has already bounded, never a fresh
+/// admission decision (an admitted request can not be displaced into
+/// shedding by a fault, and a shed request is never retroactively
+/// admitted).
+pub fn replay_bounded_supervised(
+    engine: &FrozenEngine,
+    arrivals: &[TimedRequest],
+    config: &BoundedReplayConfig,
+    injector: &Injector,
+) -> (Vec<Response>, AdmissionPlan) {
+    let (responses, _, plan) = run_bounded(engine, arrivals, config, injector, false);
+    (responses, plan)
+}
+
+/// [`replay_bounded`] with causal tracing. Every arrival's trace roots
+/// at `serve.request` (with a `lane` field); admitted requests record
+/// a `serve.admit` span (queue depth at admission) followed by the
+/// usual `serve.queue` / `serve.batch` children, while shed requests
+/// record a single `serve.shed` span carrying the queue depth and
+/// retry-after hint. All admission spans are opened on the scheduler
+/// thread in arrival order, so that slice of the span structure is
+/// identical at any worker count; the engine-side spans below the
+/// queue are not worker-count invariant for repeated keys, because
+/// with a shared result cache, which replay of a key misses (and so
+/// records a `serve.score` span) is an execution-order fact.
+pub fn replay_bounded_traced(
+    engine: &FrozenEngine,
+    arrivals: &[TimedRequest],
+    config: &BoundedReplayConfig,
+) -> (Vec<Response>, Vec<TraceData>, AdmissionPlan) {
+    replay_bounded_traced_supervised(engine, arrivals, config, &Injector::disabled())
+}
+
+/// [`replay_bounded_supervised`] with causal tracing — see
+/// [`replay_bounded_traced`].
+pub fn replay_bounded_traced_supervised(
+    engine: &FrozenEngine,
+    arrivals: &[TimedRequest],
+    config: &BoundedReplayConfig,
+    injector: &Injector,
+) -> (Vec<Response>, Vec<TraceData>, AdmissionPlan) {
+    let (responses, traces, plan) = run_bounded(engine, arrivals, config, injector, true);
+    (responses, traces.unwrap_or_default(), plan)
+}
+
+/// Records a plan's admit/shed accounting into the obs registry:
+/// `serve/admitted`, `serve/shed`, their per-lane variants
+/// (`serve/admitted_fast`, ...), and the `serve/queue_delay_ticks`
+/// histogram. Shared by the single-engine and sharded bounded paths.
+pub(crate) fn record_admission_metrics(plan: &AdmissionPlan) {
+    metrics::counter("serve/admitted").add(plan.admitted() as u64);
+    metrics::counter("serve/shed").add(plan.shed() as u64);
+    for lane in [Lane::Fast, Lane::Cold] {
+        metrics::counter(&format!("serve/admitted_{}", lane.name()))
+            .add(plan.admitted_by_lane[lane.index()] as u64);
+        metrics::counter(&format!("serve/shed_{}", lane.name()))
+            .add(plan.shed_by_lane[lane.index()] as u64);
+    }
+    let delay_hist = metrics::histogram("serve/queue_delay_ticks", &COUNT_EDGES);
+    for delay in plan.queue_delays() {
+        delay_hist.observe(delay as f64);
+    }
+}
+
+fn run_bounded(
+    engine: &FrozenEngine,
+    arrivals: &[TimedRequest],
+    config: &BoundedReplayConfig,
+    injector: &Injector,
+    traced: bool,
+) -> (Vec<Response>, Option<Vec<TraceData>>, AdmissionPlan) {
+    let plan = admission::plan(arrivals, &config.admission);
+    let workers = config.replay.workers.max(1);
+    let max_batch = config.replay.max_batch.max(1);
+    let requests: Vec<Request> = arrivals.iter().map(|a| a.request).collect();
+    record_admission_metrics(&plan);
+
+    // Pre-fill shed slots with typed overload responses; workers only
+    // ever see admitted work.
+    let mut slots: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+    for (idx, verdict) in plan.verdicts.iter().enumerate() {
+        if let admission::Verdict::Shed(info) = verdict {
+            slots[idx] = Some(Response {
+                user: requests[idx].user,
+                k: requests[idx].k,
+                recs: Vec::new(),
+                error: None,
+                degraded: false,
+                partial_shards: Vec::new(),
+                overload: Some(*info),
+            });
+        }
+    }
+
+    let order = [plan.lane_order(Lane::Fast), plan.lane_order(Lane::Cold)];
+    let fast = lane_batches(Lane::Fast, order[Lane::Fast.index()].len(), max_batch);
+    let cold = lane_batches(Lane::Cold, order[Lane::Cold.index()].len(), max_batch);
+
+    let traces = traced.then(|| {
+        // Admission spans open on the scheduler thread in arrival
+        // order — before any worker exists — so their ticks cannot
+        // depend on worker interleaving.
+        Mutex::new(
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(idx, arrival)| {
+                    let mut t = Trace::new(idx as u64);
+                    let root = t.start_span("serve.request");
+                    t.add_field(root, "user", FieldValue::Int(arrival.request.user as i64));
+                    t.add_field(root, "k", FieldValue::Int(arrival.request.k as i64));
+                    match &plan.verdicts[idx] {
+                        admission::Verdict::Admit { lane, seq, .. } => {
+                            t.add_field(root, "lane", FieldValue::Str(lane.name().to_string()));
+                            let admit = t.start_span("serve.admit");
+                            t.add_field(admit, "seq", FieldValue::Int(*seq as i64));
+                            t.end_span(admit);
+                            t.start_span("serve.queue");
+                        }
+                        admission::Verdict::Shed(info) => {
+                            t.add_field(
+                                root,
+                                "lane",
+                                FieldValue::Str(info.lane.name().to_string()),
+                            );
+                            let shed = t.start_span("serve.shed");
+                            t.add_field(
+                                shed,
+                                "queue_depth",
+                                FieldValue::Int(info.queue_depth as i64),
+                            );
+                            t.add_field(
+                                shed,
+                                "retry_after_ticks",
+                                FieldValue::Int(info.retry_after_ticks as i64),
+                            );
+                            t.end_span(shed);
+                        }
+                    }
+                    Some(t)
+                })
+                .collect::<Vec<Option<Trace>>>(),
+        )
+    });
+
+    let shared = Shared {
+        engine,
+        requests: &requests,
+        config: &config.replay,
+        injector,
+        weights: (
+            config.admission.fast_weight.max(1),
+            config.admission.cold_weight.max(1),
+        ),
+        order,
+        fast: Mutex::new(fast),
+        cold: Mutex::new(cold),
+        slots: Mutex::new(slots),
+        stale: Mutex::new(BTreeMap::new()),
+        traces,
+    };
+    supervise(&shared, workers);
+    let (responses, traces) = finish_run(&shared, requests.len());
+    (responses, traces, plan)
 }
 
 /// Runs `workers` scoped drain loops, replacing any that panic until the
@@ -379,7 +657,11 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
             );
             if let Some(batch) = orphan {
                 if batch.requeues < shared.config.max_retries {
-                    lock_unpoisoned(&shared.queue).push_front(Batch {
+                    // Requeue at the front of the batch's own lane: the
+                    // batch was admitted, so it re-enters a queue the
+                    // admission gate already bounded — a fault can
+                    // never displace admitted work into shedding.
+                    lock_unpoisoned(shared.lane_queue(batch.lane)).push_front(Batch {
                         requeues: batch.requeues + 1,
                         ..batch
                     });
@@ -394,28 +676,92 @@ fn supervise(shared: &Shared<'_>, workers: usize) {
     });
 }
 
-/// One worker's drain loop: claim a batch, register it in-flight, serve
-/// it, commit all its responses atomically, clear the registration.
+impl Shared<'_> {
+    /// The queue for one lane. Callers lock at most one lane queue at
+    /// a time — never both.
+    fn lane_queue(&self, lane: Lane) -> &Mutex<VecDeque<Batch>> {
+        match lane {
+            Lane::Fast => &self.fast,
+            Lane::Cold => &self.cold,
+        }
+    }
+
+    /// Claims the next batch under the weighted round-robin discipline,
+    /// or `None` when both lanes are drained. Each pop locks exactly
+    /// one lane queue (a temporary guard, dropped before anything
+    /// else): the fast lane is claimed without ever touching the cold
+    /// lane's mutex, so cache-hit work cannot block behind cold
+    /// scoring's queue contention.
+    fn pop_weighted(&self, shares: &mut LaneShares) -> Option<Batch> {
+        let mut fast_dry = false;
+        let mut cold_dry = false;
+        loop {
+            if shares.fast_left == 0 && shares.cold_left == 0 {
+                shares.fast_left = self.weights.0;
+                shares.cold_left = self.weights.1;
+            }
+            if shares.fast_left > 0 {
+                shares.fast_left -= 1;
+                if let Some(b) = lock_unpoisoned(&self.fast).pop_front() {
+                    return Some(b);
+                }
+                shares.fast_left = 0;
+                fast_dry = true;
+                if cold_dry {
+                    return None;
+                }
+                continue;
+            }
+            shares.cold_left -= 1;
+            if let Some(b) = lock_unpoisoned(&self.cold).pop_front() {
+                return Some(b);
+            }
+            shares.cold_left = 0;
+            cold_dry = true;
+            if fast_dry {
+                return None;
+            }
+        }
+    }
+}
+
+/// One worker's drain loop: claim a batch (weighted across lanes),
+/// register it in-flight, serve it, commit all its responses
+/// atomically, clear the registration.
 fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
     let queue_hist = metrics::histogram("serve/queue_depth", &COUNT_EDGES);
     let batch_hist = metrics::histogram("serve/batch_size", &COUNT_EDGES);
     let latency_hist = metrics::histogram("serve/latency_ns", &latency_edges());
+    let mut shares = LaneShares {
+        fast_left: 0,
+        cold_left: 0,
+    };
     loop {
-        let batch = {
-            let mut q = lock_unpoisoned(&shared.queue);
-            let depth: usize = q.iter().map(|b| b.end - b.start).sum();
-            if depth > 0 {
-                queue_hist.observe(depth as f64);
-            }
-            q.pop_front()
+        // Depth is sampled lane by lane — two short temporary guards,
+        // never held together, never held across the observe.
+        let fast_depth: usize = lock_unpoisoned(&shared.fast)
+            .iter()
+            .map(|b| b.end - b.start)
+            .sum();
+        let cold_depth: usize = lock_unpoisoned(&shared.cold)
+            .iter()
+            .map(|b| b.end - b.start)
+            .sum();
+        if fast_depth + cold_depth > 0 {
+            queue_hist.observe((fast_depth + cold_depth) as f64);
+        }
+        let Some(batch) = shared.pop_weighted(&mut shares) else {
+            break;
         };
-        let Some(batch) = batch else { break };
         *lock_unpoisoned(inflight) = Some(batch);
         flight::record(
             "serve.batch.claim",
             format!(
-                "requests {}..{} requeues={}",
-                batch.start, batch.end, batch.requeues
+                "{} lane positions {}..{} requeues={}",
+                batch.lane.name(),
+                batch.start,
+                batch.end,
+                batch.requeues
             ),
         );
         // The injected worker crash: fires after the batch is registered
@@ -427,7 +773,8 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
         batch_hist.observe((batch.end - batch.start) as f64);
 
         let mut served = Vec::with_capacity(batch.end - batch.start);
-        for idx in batch.start..batch.end {
+        for pos in batch.start..batch.end {
+            let idx = shared.order[batch.lane.index()][pos];
             let watch = Stopwatch::start();
             let mut trace = shared
                 .traces
@@ -467,7 +814,8 @@ fn drain(shared: &Shared<'_>, inflight: &Mutex<Option<Batch>>) {
 /// Error responses for a batch whose requeue budget ran out.
 fn commit_errors(shared: &Shared<'_>, batch: Batch) {
     let mut slots = lock_unpoisoned(&shared.slots);
-    for idx in batch.start..batch.end {
+    for pos in batch.start..batch.end {
+        let idx = shared.order[batch.lane.index()][pos];
         let req = &shared.requests[idx];
         debug_assert!(slots[idx].is_none(), "response {idx} served twice");
         slots[idx] = Some(Response {
@@ -480,6 +828,7 @@ fn commit_errors(shared: &Shared<'_>, batch: Batch) {
             )),
             degraded: false,
             partial_shards: Vec::new(),
+            overload: None,
         });
     }
 }
@@ -516,6 +865,7 @@ fn serve_one_supervised(
                 )),
                 degraded: false,
                 partial_shards: Vec::new(),
+                overload: None,
             };
         }
         match shared.injector.io("serve/engine") {
@@ -549,6 +899,7 @@ fn serve_one_supervised(
                             error: None,
                             degraded: true,
                             partial_shards: Vec::new(),
+                            overload: None,
                         };
                     }
                 }
@@ -559,6 +910,7 @@ fn serve_one_supervised(
                     error: Some(format!("engine unavailable after {attempt} retries: {e}")),
                     degraded: false,
                     partial_shards: Vec::new(),
+                    overload: None,
                 };
             }
         }
@@ -574,6 +926,7 @@ fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) ->
             error: None,
             degraded: false,
             partial_shards: Vec::new(),
+            overload: None,
         },
         Err(e) => Response {
             user: req.user,
@@ -582,6 +935,7 @@ fn serve_one(engine: &FrozenEngine, req: &Request, trace: Option<&mut Trace>) ->
             error: Some(e.to_string()),
             degraded: false,
             partial_shards: Vec::new(),
+            overload: None,
         },
     }
 }
@@ -690,6 +1044,7 @@ mod tests {
             error: None,
             degraded: false,
             partial_shards: Vec::new(),
+            overload: None,
         };
         assert_eq!(
             r.to_json(),
@@ -806,6 +1161,133 @@ mod tests {
             .as_deref()
             .is_some_and(|e| e.contains("engine unavailable after 2 retries")));
         assert!(!out[0].degraded);
+    }
+
+    /// The 48-request log as a single tick-0 burst: everything arrives
+    /// before the first drain round, so tiny capacities must shed.
+    fn timed_burst() -> Vec<TimedRequest> {
+        log()
+            .into_iter()
+            .map(|request| TimedRequest {
+                arrive_tick: 0,
+                request,
+            })
+            .collect()
+    }
+
+    fn tiny_bounds() -> BoundedReplayConfig {
+        BoundedReplayConfig {
+            replay: ReplayConfig {
+                max_batch: 4,
+                ..ReplayConfig::default()
+            },
+            admission: AdmissionConfig {
+                fast_capacity: 4,
+                cold_capacity: 6,
+                drain_every_ticks: 100,
+                drain_per_round: 1,
+                ..AdmissionConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn bounded_burst_sheds_typed_and_accounts_exactly() {
+        let engine = toy_engine();
+        let arrivals = timed_burst();
+        let (out, plan) = replay_bounded(&engine, &arrivals, &tiny_bounds());
+        assert_eq!(out.len(), arrivals.len());
+        assert_eq!(plan.admitted() + plan.shed(), plan.offered());
+        assert!(plan.shed() > 0, "burst must overflow the toy capacities");
+        let shed = out.iter().filter(|r| r.overload.is_some()).count();
+        assert_eq!(shed, plan.shed(), "every planned shed is answered");
+        for r in &out {
+            match r.outcome() {
+                "overloaded" => {
+                    let info = r.overload.expect("typed overload info");
+                    assert!(info.retry_after_ticks >= 1);
+                    assert!(info.queue_depth > 0);
+                    assert!(r.recs.is_empty() && r.error.is_none() && !r.degraded);
+                    assert!(r.to_json().contains("\"overloaded\":{\"lane\":"));
+                }
+                "ok" => assert!(r.overload.is_none()),
+                other => panic!("unexpected outcome {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_worker_count_does_not_change_bytes() {
+        let arrivals = timed_burst();
+        let cfg = tiny_bounds();
+        let (reference, ref_plan) = replay_bounded(&toy_engine(), &arrivals, &cfg);
+        let reference = responses_to_json(&reference);
+        for workers in [2usize, 4] {
+            let mut cfg = cfg.clone();
+            cfg.replay.workers = workers;
+            let (out, plan) = replay_bounded(&toy_engine(), &arrivals, &cfg);
+            assert_eq!(plan, ref_plan, "plan changed at workers={workers}");
+            assert_eq!(
+                responses_to_json(&out),
+                reference,
+                "bytes diverged at workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything_and_still_answers() {
+        let engine = toy_engine();
+        let arrivals = timed_burst();
+        let mut cfg = tiny_bounds();
+        cfg.admission.fast_capacity = 0;
+        cfg.admission.cold_capacity = 0;
+        let (out, plan) = replay_bounded(&engine, &arrivals, &cfg);
+        assert_eq!(plan.shed(), arrivals.len());
+        assert_eq!(out.len(), arrivals.len());
+        assert!(out.iter().all(|r| r.outcome() == "overloaded"));
+    }
+
+    /// Satellite regression for the lane-mutex split: claiming fast-lane
+    /// work must never lock the cold lane's queue mutex. The test holds
+    /// the cold mutex on the *same* thread and then pops the fast lane —
+    /// if `pop_weighted` ever touched the cold mutex on that path, this
+    /// would deadlock (std mutexes are non-reentrant) and the test
+    /// would hang instead of passing.
+    #[test]
+    fn fast_lane_pop_never_touches_the_cold_mutex() {
+        let engine = toy_engine();
+        let reqs = log();
+        let config = ReplayConfig::default();
+        let inj = Injector::disabled();
+        let batch = |lane| Batch {
+            lane,
+            start: 0,
+            end: 2,
+            requeues: 0,
+        };
+        let shared = Shared {
+            engine: &engine,
+            requests: &reqs,
+            config: &config,
+            injector: &inj,
+            weights: (4, 1),
+            order: [vec![0, 1], vec![2, 3]],
+            fast: Mutex::new(VecDeque::from([batch(Lane::Fast)])),
+            cold: Mutex::new(VecDeque::from([batch(Lane::Cold)])),
+            slots: Mutex::new(vec![None; 4]),
+            stale: Mutex::new(BTreeMap::new()),
+            traces: None,
+        };
+        let _cold_guard = shared.cold.lock().expect("test holds the cold lane");
+        let mut shares = LaneShares {
+            fast_left: 0,
+            cold_left: 0,
+        };
+        let claimed = shared
+            .pop_weighted(&mut shares)
+            .expect("fast batch claimed while cold lane is held");
+        assert_eq!(claimed.lane, Lane::Fast);
     }
 
     #[test]

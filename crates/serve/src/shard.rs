@@ -61,10 +61,11 @@
 //! the shard that owns the item. Per-shard counters live at
 //! `serve/shard/{s}/{requests,cache_hits,cache_misses}`.
 
+use crate::admission::{self, AdmissionConfig, AdmissionPlan, TimedRequest, Verdict};
 use crate::cache::ResultCache;
 use crate::engine::{score_ids, seen_lists, EngineConfig, ServeError};
 use crate::mask::SeenMask;
-use crate::scheduler::{latency_edges, Request, Response};
+use crate::scheduler::{latency_edges, record_admission_metrics, Request, Response};
 use crate::topk::{merge_top_k, select_top_k};
 use scenerec_core::{
     EntityMatrix, FrozenHead, FrozenModel, PairwiseModel, Precision, Recommendation, ShardMap,
@@ -626,6 +627,71 @@ pub fn replay_sharded_traced_supervised(
     (responses, traces.unwrap_or_default())
 }
 
+/// Replays an open-loop timed arrival log through a [`ShardedEngine`]
+/// under the same bounded-queue admission control as
+/// [`crate::scheduler::replay_bounded`]: the admission gate runs
+/// first, as a pure function of (arrival order, capacities, lanes);
+/// shed arrivals are answered with typed overload responses; admitted
+/// requests flow through the consistent-hash scatter-gather in the
+/// plan's global dequeue order, so the sharded task queues only ever
+/// hold work the gate bounded. Responses come back in arrival order
+/// and are byte-identical at any worker count.
+pub fn replay_sharded_bounded(
+    engine: &ShardedEngine,
+    arrivals: &[TimedRequest],
+    config: &ShardReplayConfig,
+    admission: &AdmissionConfig,
+) -> (Vec<Response>, AdmissionPlan) {
+    replay_sharded_bounded_supervised(engine, arrivals, config, admission, &Injector::disabled())
+}
+
+/// [`replay_sharded_bounded`] with fault injection and supervision.
+/// Exactly-once requeue composes with admission exactly as on the
+/// single-engine path: a panicked worker's shard task re-enters its
+/// owner's queue (already bounded by admission), a fault can neither
+/// shed admitted work nor admit shed work.
+pub fn replay_sharded_bounded_supervised(
+    engine: &ShardedEngine,
+    arrivals: &[TimedRequest],
+    config: &ShardReplayConfig,
+    admission: &AdmissionConfig,
+    injector: &Injector,
+) -> (Vec<Response>, AdmissionPlan) {
+    let plan = admission::plan(arrivals, admission);
+    record_admission_metrics(&plan);
+    let order = plan.admitted_order();
+    let admitted: Vec<Request> = order.iter().map(|&idx| arrivals[idx].request).collect();
+    let served = run_sharded(engine, &admitted, config, injector, false).0;
+
+    let mut out: Vec<Option<Response>> = arrivals
+        .iter()
+        .zip(&plan.verdicts)
+        .map(|(arrival, verdict)| match verdict {
+            Verdict::Shed(info) => Some(Response {
+                user: arrival.request.user,
+                k: arrival.request.k,
+                recs: Vec::new(),
+                error: None,
+                degraded: false,
+                partial_shards: Vec::new(),
+                overload: Some(*info),
+            }),
+            Verdict::Admit { .. } => None,
+        })
+        .collect();
+    for (response, &idx) in served.into_iter().zip(&order) {
+        debug_assert!(out[idx].is_none(), "response {idx} served twice");
+        out[idx] = Some(response);
+    }
+    let responses: Vec<Response> = out.into_iter().flatten().collect();
+    debug_assert_eq!(
+        responses.len(),
+        arrivals.len(),
+        "scheduler dropped a request"
+    );
+    (responses, plan)
+}
+
 fn run_sharded(
     engine: &ShardedEngine,
     requests: &[Request],
@@ -874,6 +940,7 @@ fn assemble(
                 error: Some(first_err.unwrap_or_else(|| "no shards".to_owned())),
                 degraded: false,
                 partial_shards: Vec::new(),
+                overload: None,
             }
         } else if !missing.is_empty() {
             metrics::counter("serve/shard_degraded").inc();
@@ -884,6 +951,7 @@ fn assemble(
                 error: None,
                 degraded: true,
                 partial_shards: missing,
+                overload: None,
             }
         } else {
             Response {
@@ -893,6 +961,7 @@ fn assemble(
                 error: None,
                 degraded: false,
                 partial_shards: Vec::new(),
+                overload: None,
             }
         };
 
